@@ -1,0 +1,62 @@
+//! EXP-A1: ablation of the design choices called out in DESIGN.md.
+//!
+//! * `full_test`       — the proposed test as published (no precondition checks,
+//!                        matching the paper's assumptions).
+//! * `with_preconditions` — the proposed test plus explicit regularity and
+//!                        stability verification (the extra O(n³) cost a
+//!                        defensive implementation would pay).
+//! * `proper_part_only` — the paper's "sidetrack": extracting the stable proper
+//!                        part through the structured SHH route without the
+//!                        final positive-realness test.
+//! * `m1_extraction`   — the grade-1/2 chain computation of eq. (24)–(25) alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds_bench::table1_model;
+use ds_passivity::fast::{check_passivity, FastTestOptions};
+use ds_passivity::{proper, reduction, residue};
+use ds_shh::pencil::build_phi;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_structure");
+    group.sample_size(10);
+    for &order in &[20usize, 60, 100] {
+        let model = table1_model(order).expect("workload generator");
+        let sys = &model.system;
+        group.bench_with_input(BenchmarkId::new("full_test", order), sys, |b, sys| {
+            b.iter(|| check_passivity(sys, &FastTestOptions::default()).expect("test"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("with_preconditions", order),
+            sys,
+            |b, sys| {
+                b.iter(|| {
+                    check_passivity(sys, &FastTestOptions::with_precondition_checks())
+                        .expect("test")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("proper_part_only", order),
+            sys,
+            |b, sys| {
+                b.iter(|| {
+                    let phi = build_phi(sys).expect("phi");
+                    let cancelled =
+                        reduction::cancel_impulsive_modes(&phi, 1e-9).expect("cancel");
+                    let nondynamic =
+                        reduction::remove_nondynamic_modes(&cancelled.reduced, 1e-9)
+                            .expect("nondynamic");
+                    let restored = reduction::restore_shh(&nondynamic.reduced).expect("restore");
+                    proper::extract_proper_part(&restored.system, 1e-9).expect("proper part")
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("m1_extraction", order), sys, |b, sys| {
+            b.iter(|| residue::extract_m1(sys, 1e-9).expect("m1"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

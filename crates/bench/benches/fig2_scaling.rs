@@ -1,0 +1,31 @@
+//! EXP-F2 (Criterion form): the scaling curves of Figure 2 — proposed vs
+//! Weierstrass CPU time as a function of model order.  The `fig2` binary emits
+//! the full CSV sweep including order 400 and the LMI prefix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ds_bench::{run_method, table1_model, Method};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_scaling");
+    group.sample_size(10);
+    for &order in &[20usize, 60, 100, 140] {
+        let model = table1_model(order).expect("workload generator");
+        group.throughput(Throughput::Elements(order as u64));
+        group.bench_with_input(
+            BenchmarkId::new("proposed", order),
+            &model,
+            |b, model| b.iter(|| run_method(Method::Proposed, model).expect("proposed test")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("weierstrass", order),
+            &model,
+            |b, model| {
+                b.iter(|| run_method(Method::Weierstrass, model).expect("weierstrass test"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

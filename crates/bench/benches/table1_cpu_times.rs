@@ -1,0 +1,36 @@
+//! EXP-T1 (Criterion form): CPU times of the proposed test and the
+//! Weierstrass baseline on the Table-1 workload for the small/medium orders.
+//! The full 20–400 sweep including the LMI baseline is produced by the
+//! `table1` binary (single-shot timings, like the paper's measurements).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds_bench::{run_method, table1_model, Method};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_cpu_times");
+    group.sample_size(10);
+    for &order in &[20usize, 40, 60, 100] {
+        let model = table1_model(order).expect("workload generator");
+        group.bench_with_input(
+            BenchmarkId::new("proposed", order),
+            &model,
+            |b, model| b.iter(|| run_method(Method::Proposed, model).expect("proposed test")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("weierstrass", order),
+            &model,
+            |b, model| {
+                b.iter(|| run_method(Method::Weierstrass, model).expect("weierstrass test"))
+            },
+        );
+        if order <= 20 {
+            group.bench_with_input(BenchmarkId::new("lmi", order), &model, |b, model| {
+                b.iter(|| run_method(Method::Lmi, model).expect("lmi test"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates **Figure 2** of the paper: CPU-time curves over model order for
+//! the three passivity tests (top pane: all methods, log scale; bottom pane:
+//! proposed vs Weierstrass, linear scale).  The output is CSV so it can be
+//! plotted directly.
+//!
+//! Run with `cargo run -p ds-bench --release --bin fig2 [--quick]`.
+
+use ds_bench::{table1_model, time_method, Method, LMI_MAX_ORDER};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let orders: Vec<usize> = if quick {
+        vec![20, 40, 60, 80, 100]
+    } else {
+        vec![20, 40, 60, 80, 100, 140, 200, 280, 400]
+    };
+
+    println!("# Figure 2 — CPU times for different passivity tests (CSV)");
+    println!("order,lmi_seconds,proposed_seconds,weierstrass_seconds");
+    for order in orders {
+        let model = match table1_model(order) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("order {order}: failed to build model: {e}");
+                continue;
+            }
+        };
+        let lmi = if order <= LMI_MAX_ORDER {
+            time_method(Method::Lmi, &model)
+                .ok()
+                .map(|r| r.elapsed.as_secs_f64())
+        } else {
+            None
+        };
+        let proposed = time_method(Method::Proposed, &model)
+            .ok()
+            .map(|r| r.elapsed.as_secs_f64());
+        let weierstrass = time_method(Method::Weierstrass, &model)
+            .ok()
+            .map(|r| r.elapsed.as_secs_f64());
+        println!(
+            "{},{},{},{}",
+            order,
+            lmi.map_or("".to_string(), |v| format!("{v:.6}")),
+            proposed.map_or("".to_string(), |v| format!("{v:.6}")),
+            weierstrass.map_or("".to_string(), |v| format!("{v:.6}")),
+        );
+    }
+}

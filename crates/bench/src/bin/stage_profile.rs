@@ -1,0 +1,48 @@
+//! EXP-A2: per-stage wall-clock profile of the proposed test across model
+//! orders (which stage of the Fig. 1 flow dominates as the order grows).
+//!
+//! Run with `cargo run -p ds-bench --release --bin stage_profile [--quick]`.
+
+use ds_bench::table1_model;
+use ds_passivity::fast::{check_passivity, FastTestOptions};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let orders: Vec<usize> = if quick {
+        vec![20, 40, 60]
+    } else {
+        vec![20, 40, 60, 100, 200]
+    };
+    println!("# Per-stage timing (ms) of the proposed SHH passivity test");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>10} {:>12} {:>10} {:>10}",
+        "order", "build_phi", "impulse", "nondynamic", "residue", "regularize", "split", "pr_test"
+    );
+    for order in orders {
+        let model = match table1_model(order) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("order {order}: {e}");
+                continue;
+            }
+        };
+        match check_passivity(&model.system, &FastTestOptions::default()) {
+            Ok(report) => {
+                let t = &report.timings;
+                let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+                println!(
+                    "{:>6} {:>10.2} {:>10.2} {:>12.2} {:>10.2} {:>12.2} {:>10.2} {:>10.2}",
+                    order,
+                    ms(t.build_phi),
+                    ms(t.impulse_removal),
+                    ms(t.nondynamic_removal),
+                    ms(t.residue_extraction),
+                    ms(t.regularization),
+                    ms(t.spectral_split),
+                    ms(t.positive_real_test),
+                );
+            }
+            Err(e) => eprintln!("order {order}: test failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Table 1** of the paper: CPU times (seconds) of the LMI test,
+//! the proposed SHH test and the Weierstrass decomposition for RLC models of
+//! order 20–400.
+//!
+//! Run with `cargo run -p ds-bench --release --bin table1`.
+//! Pass `--quick` to restrict the sweep to orders ≤ 100 (useful in CI).
+
+use ds_bench::{format_seconds, table1_model, time_method, Method, LMI_MAX_ORDER, TABLE1_ORDERS};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let orders: Vec<usize> = TABLE1_ORDERS
+        .iter()
+        .copied()
+        .filter(|&o| !quick || o <= 100)
+        .collect();
+
+    println!("# Table 1 — CPU times (s) for different passivity tests");
+    println!("# workload: rlc_ladder_with_impulsive(order), passive with impulsive modes");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}  {}",
+        "order", "LMI", "proposed", "weierstrass", "verdicts"
+    );
+    for order in orders {
+        let model = match table1_model(order) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("order {order}: failed to build model: {e}");
+                continue;
+            }
+        };
+        let lmi = if order <= LMI_MAX_ORDER {
+            time_method(Method::Lmi, &model).ok()
+        } else {
+            None
+        };
+        let proposed = time_method(Method::Proposed, &model).ok();
+        let weierstrass = time_method(Method::Weierstrass, &model).ok();
+        let verdicts = format!(
+            "lmi:{} shh:{} wst:{}",
+            lmi.as_ref().map_or("-".into(), |r| r.verdict_correct.to_string()),
+            proposed
+                .as_ref()
+                .map_or("-".into(), |r| r.verdict_correct.to_string()),
+            weierstrass
+                .as_ref()
+                .map_or("-".into(), |r| r.verdict_correct.to_string()),
+        );
+        println!(
+            "{:>8} {:>14} {:>14} {:>14}  {}",
+            order,
+            format_seconds(lmi.map(|r| r.elapsed)),
+            format_seconds(proposed.map(|r| r.elapsed)),
+            format_seconds(weierstrass.map(|r| r.elapsed)),
+            verdicts
+        );
+    }
+    println!("# 'n/a' for the LMI column beyond order {LMI_MAX_ORDER} mirrors the paper's NIL entries");
+}

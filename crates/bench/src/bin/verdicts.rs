@@ -1,0 +1,78 @@
+//! EXP-V1: verdict agreement of the three passivity tests across passive and
+//! non-passive model families (the qualitative claim of the paper's Section 4
+//! that the proposed test is as reliable as the conventional ones).
+//!
+//! Run with `cargo run -p ds-bench --release --bin verdicts`.
+
+use ds_bench::{run_method, Method};
+use ds_circuits::generators;
+use ds_circuits::random::{
+    random_nonpassive_descriptor, random_passive_descriptor, RandomPassiveOptions,
+};
+
+fn main() {
+    let mut cases: Vec<(String, ds_descriptor::DescriptorSystem, bool)> = Vec::new();
+    for model in [
+        generators::rc_ladder(7, 1.0, 1.0).unwrap(),
+        generators::rlc_ladder(5, 1.0, 0.5, 1.0).unwrap(),
+        generators::rlc_ladder_with_impulsive(12).unwrap(),
+        generators::rlc_ladder_with_impulsive(20).unwrap(),
+        generators::rc_grid(3, 4).unwrap(),
+        generators::nonpassive_ladder(10).unwrap(),
+        generators::negative_m1_model(10).unwrap(),
+    ] {
+        cases.push((model.name.clone(), model.system.clone(), model.expected_passive));
+    }
+    for seed in 0..3 {
+        let opts = RandomPassiveOptions {
+            with_impulsive_part: seed % 2 == 0,
+            ..RandomPassiveOptions::default()
+        };
+        cases.push((
+            format!("random_passive(seed={seed})"),
+            random_passive_descriptor(&opts, seed).unwrap(),
+            true,
+        ));
+        cases.push((
+            format!("random_nonpassive(seed={seed})"),
+            random_nonpassive_descriptor(&RandomPassiveOptions::default(), seed).unwrap(),
+            false,
+        ));
+    }
+
+    println!(
+        "{:<40} {:>6} {:>10} {:>12} {:>8}",
+        "model", "truth", "proposed", "weierstrass", "lmi"
+    );
+    let mut disagreements = 0usize;
+    for (name, system, expected) in &cases {
+        let model = ds_circuits::generators::CircuitModel {
+            name: name.clone(),
+            system: system.clone(),
+            expected_passive: *expected,
+            has_impulsive_modes: false,
+        };
+        let mut row: Vec<String> = Vec::new();
+        for method in [Method::Proposed, Method::Weierstrass, Method::Lmi] {
+            let text = match run_method(method, &model) {
+                Ok(report) => {
+                    let passive = report.verdict.is_passive();
+                    if passive != *expected {
+                        disagreements += 1;
+                        format!("{passive}(!)")
+                    } else {
+                        format!("{passive}")
+                    }
+                }
+                Err(e) => format!("err:{e}"),
+            };
+            row.push(text);
+        }
+        println!(
+            "{:<40} {:>6} {:>10} {:>12} {:>8}",
+            name, expected, row[0], row[1], row[2]
+        );
+    }
+    println!("# entries marked (!) disagree with the construction ground truth");
+    println!("# total disagreements: {disagreements}");
+}

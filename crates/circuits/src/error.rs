@@ -1,0 +1,94 @@
+//! Error type for circuit-model generation.
+
+use ds_descriptor::DescriptorError;
+use std::fmt;
+
+/// Error returned by netlist construction and MNA stamping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// An element references a node index outside the netlist's node range.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of (non-ground) nodes in the netlist.
+        num_nodes: usize,
+    },
+    /// An element value is non-finite or has the wrong sign for its kind.
+    BadElementValue {
+        /// Description of the offending element.
+        details: String,
+    },
+    /// The netlist has no ports, so no input/output map can be built.
+    NoPorts,
+    /// A requested model order cannot be realized by the generator.
+    UnrealizableOrder {
+        /// The requested order.
+        requested: usize,
+        /// Explanation of the constraint.
+        details: String,
+    },
+    /// Building the descriptor system failed downstream.
+    Descriptor(DescriptorError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::NodeOutOfRange { node, num_nodes } => write!(
+                f,
+                "node {node} is out of range for a netlist with {num_nodes} nodes"
+            ),
+            CircuitError::BadElementValue { details } => {
+                write!(f, "bad element value: {details}")
+            }
+            CircuitError::NoPorts => write!(f, "netlist has no ports"),
+            CircuitError::UnrealizableOrder { requested, details } => {
+                write!(f, "cannot realize a model of order {requested}: {details}")
+            }
+            CircuitError::Descriptor(e) => write!(f, "descriptor construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircuitError::Descriptor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DescriptorError> for CircuitError {
+    fn from(e: DescriptorError) -> Self {
+        CircuitError::Descriptor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CircuitError::NoPorts.to_string().contains("no ports"));
+        assert!(CircuitError::NodeOutOfRange {
+            node: 7,
+            num_nodes: 3
+        }
+        .to_string()
+        .contains('7'));
+        assert!(CircuitError::UnrealizableOrder {
+            requested: 3,
+            details: "too small".into()
+        }
+        .to_string()
+        .contains("too small"));
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CircuitError>();
+    }
+}

@@ -1,0 +1,372 @@
+//! Parametric circuit-model generators used by the benchmark harness.
+//!
+//! These play the role of the paper's "practical RLC circuit models of
+//! different orders and number of impulsive modes" (Section 4): every generator
+//! documents its exact state dimension so the Table-1 / Figure-2 order sweep
+//! can be reproduced.
+
+use crate::error::CircuitError;
+use crate::mna;
+use crate::netlist::{Netlist, Port};
+use ds_descriptor::DescriptorSystem;
+
+/// A generated circuit model together with ground-truth metadata used by the
+/// benchmarks and tests.
+#[derive(Debug, Clone)]
+pub struct CircuitModel {
+    /// Human-readable name of the generator and parameters.
+    pub name: String,
+    /// The MNA descriptor system.
+    pub system: DescriptorSystem,
+    /// Whether the model is passive by construction.
+    pub expected_passive: bool,
+    /// Whether the model contains impulsive modes by construction
+    /// (an inductive path from a port that forces `Z(s) ~ sL` at infinity).
+    pub has_impulsive_modes: bool,
+}
+
+/// RC ladder: `sections` series resistors with shunt capacitors, driven from a
+/// single port.  State dimension = `sections + 1` (the port node carries no
+/// capacitor, producing one nondynamic mode).
+///
+/// # Errors
+///
+/// Propagates netlist validation / stamping failures.
+pub fn rc_ladder(sections: usize, r: f64, c: f64) -> Result<CircuitModel, CircuitError> {
+    if sections == 0 {
+        return Err(CircuitError::UnrealizableOrder {
+            requested: 0,
+            details: "rc_ladder needs at least one section".into(),
+        });
+    }
+    let num_nodes = sections + 1;
+    let mut net = Netlist::new(num_nodes);
+    net.port(Port::to_ground(1));
+    for k in 0..sections {
+        let a = k + 1;
+        let b = k + 2;
+        net.resistor(a, b, r * (1.0 + 0.05 * k as f64));
+        net.capacitor(b, 0, c * (1.0 + 0.03 * k as f64));
+    }
+    // A light load to ground keeps the DC impedance bounded.
+    net.resistor(num_nodes, 0, 10.0 * r);
+    let system = mna::stamp(&net)?;
+    Ok(CircuitModel {
+        name: format!("rc_ladder(sections={sections})"),
+        system,
+        expected_passive: true,
+        has_impulsive_modes: false,
+    })
+}
+
+/// RLC ladder: series R–L branches with shunt C, driven from a single port.
+/// State dimension = `2·sections + 1`.
+///
+/// # Errors
+///
+/// Propagates netlist validation / stamping failures.
+pub fn rlc_ladder(sections: usize, r: f64, l: f64, c: f64) -> Result<CircuitModel, CircuitError> {
+    if sections == 0 {
+        return Err(CircuitError::UnrealizableOrder {
+            requested: 0,
+            details: "rlc_ladder needs at least one section".into(),
+        });
+    }
+    let num_nodes = sections + 1;
+    let mut net = Netlist::new(num_nodes);
+    net.port(Port::to_ground(1));
+    for k in 0..sections {
+        let a = k + 1;
+        let b = k + 2;
+        net.resistor(a, b, r * (1.0 + 0.02 * k as f64));
+        net.inductor(a, b, l * (1.0 + 0.04 * k as f64));
+        net.capacitor(b, 0, c * (1.0 + 0.01 * k as f64));
+    }
+    net.resistor(num_nodes, 0, 10.0 * r);
+    let system = mna::stamp(&net)?;
+    Ok(CircuitModel {
+        name: format!("rlc_ladder(sections={sections})"),
+        system,
+        expected_passive: true,
+        has_impulsive_modes: false,
+    })
+}
+
+/// The Table-1 / Figure-2 workload: an RLC ladder whose port is fed through a
+/// series inductor, so the impedance behaves like `s·L_port` at high frequency
+/// — the model is passive *and* has impulsive modes (nonzero `M₁ ⪰ 0`).
+///
+/// The requested `order` is the exact MNA state dimension; it must be even and
+/// at least 6.  Internally the model uses `(order − 4) / 2` ladder sections
+/// (each contributing one node and one inductor) plus the port inductor, a
+/// port node, and one purely algebraic (capacitor-free) internal node.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnrealizableOrder`] for orders below 6 or odd
+/// orders; propagates stamping failures.
+pub fn rlc_ladder_with_impulsive(order: usize) -> Result<CircuitModel, CircuitError> {
+    if order < 6 || order % 2 != 0 {
+        return Err(CircuitError::UnrealizableOrder {
+            requested: order,
+            details: "rlc_ladder_with_impulsive needs an even order ≥ 6".into(),
+        });
+    }
+    let sections = (order - 4) / 2;
+    // Node layout (state dimension = nodes + inductors = (sections + 3) +
+    // (sections + 1) = 2·sections + 4 = order):
+    //   1              : port node (fed through the port inductor) — no shunt C
+    //   2              : junction node — no shunt C (nondynamic mode)
+    //   3..sections+2  : ladder nodes with shunt capacitors
+    //   sections+3     : capacitive termination node
+    let num_nodes = sections + 3;
+    let mut net = Netlist::new(num_nodes);
+    net.port(Port::to_ground(1));
+    // Port inductor from the port node into the ladder: creates the sL part.
+    net.inductor(1, 2, 0.8);
+    // A shunt resistance behind the port inductor keeps the finite part
+    // strictly dissipative without shorting the inductive behaviour at infinity.
+    net.resistor(2, 0, 50.0);
+    let mut prev = 2usize;
+    for k in 0..sections {
+        let node = 3 + k;
+        net.resistor(prev, node, 1.0 + 0.01 * k as f64);
+        net.inductor(prev, node, 0.5 + 0.005 * k as f64);
+        net.capacitor(node, 0, 1.0 + 0.02 * k as f64);
+        net.resistor(node, 0, 200.0);
+        prev = node;
+    }
+    // Capacitive termination.
+    net.resistor(prev, num_nodes, 1.0);
+    net.capacitor(num_nodes, 0, 2.0);
+    net.resistor(num_nodes, 0, 5.0);
+    let system = mna::stamp(&net)?;
+    debug_assert_eq!(system.order(), order, "generator order bookkeeping is off");
+    Ok(CircuitModel {
+        name: format!("rlc_ladder_with_impulsive(order={order})"),
+        system,
+        expected_passive: true,
+        has_impulsive_modes: true,
+    })
+}
+
+/// Two-port RC grid (rows × cols nodes), ports at two opposite corners.
+/// State dimension = `rows·cols` (every node carries a capacitor except the
+/// two port corners, giving two nondynamic modes).
+///
+/// # Errors
+///
+/// Propagates netlist validation / stamping failures.
+pub fn rc_grid(rows: usize, cols: usize) -> Result<CircuitModel, CircuitError> {
+    if rows < 2 || cols < 2 {
+        return Err(CircuitError::UnrealizableOrder {
+            requested: rows * cols,
+            details: "rc_grid needs at least a 2x2 grid".into(),
+        });
+    }
+    let node = |i: usize, j: usize| i * cols + j + 1;
+    let mut net = Netlist::new(rows * cols);
+    net.port(Port::to_ground(node(0, 0)));
+    net.port(Port::to_ground(node(rows - 1, cols - 1)));
+    for i in 0..rows {
+        for j in 0..cols {
+            let here = node(i, j);
+            if j + 1 < cols {
+                net.resistor(here, node(i, j + 1), 1.0 + 0.1 * (i + j) as f64);
+            }
+            if i + 1 < rows {
+                net.resistor(here, node(i + 1, j), 1.5 + 0.05 * (i * j) as f64);
+            }
+            let is_port_corner = (i == 0 && j == 0) || (i == rows - 1 && j == cols - 1);
+            if !is_port_corner {
+                net.capacitor(here, 0, 0.5 + 0.02 * (i + 2 * j) as f64);
+            }
+            if (i + j) % 3 == 0 {
+                net.resistor(here, 0, 30.0);
+            }
+        }
+    }
+    // Ensure the DC impedance is bounded (a leak at each port corner).
+    net.resistor(node(0, 0), 0, 100.0);
+    net.resistor(node(rows - 1, cols - 1), 0, 100.0);
+    let system = mna::stamp(&net)?;
+    Ok(CircuitModel {
+        name: format!("rc_grid({rows}x{cols})"),
+        system,
+        expected_passive: true,
+        has_impulsive_modes: false,
+    })
+}
+
+/// A deliberately non-passive variant of [`rlc_ladder_with_impulsive`]: one
+/// internal shunt resistor is made negative, so the model keeps its impulsive
+/// structure but dissipates negative power in part of the band.
+///
+/// # Errors
+///
+/// Same as [`rlc_ladder_with_impulsive`].
+pub fn nonpassive_ladder(order: usize) -> Result<CircuitModel, CircuitError> {
+    if order < 6 || order % 2 != 0 {
+        return Err(CircuitError::UnrealizableOrder {
+            requested: order,
+            details: "nonpassive_ladder needs an even order ≥ 6".into(),
+        });
+    }
+    let sections = (order - 4) / 2;
+    // Node layout (state dimension = (sections + 3) nodes + (sections + 1)
+    // inductors = 2·sections + 4 = order):
+    //   1              : port node
+    //   2              : node behind the negative series resistor
+    //   3              : junction node (shunt-loaded)
+    //   4..sections+3  : ladder nodes with shunt capacitors
+    let num_nodes = sections + 3;
+    let mut net = Netlist::new(num_nodes);
+    net.port(Port::to_ground(1));
+    // Negative *series* resistance at the port: the DC input resistance is
+    // −10 Ω plus at most the 5 Ω shunt at the junction, i.e. negative for every
+    // order — a clear passivity violation.
+    net.resistor(1, 2, -10.0);
+    net.inductor(2, 3, 0.8);
+    net.resistor(3, 0, 5.0);
+    let mut prev = 3usize;
+    for k in 0..sections {
+        let node = 4 + k;
+        net.resistor(prev, node, 1.0 + 0.01 * k as f64);
+        net.inductor(prev, node, 0.5 + 0.005 * k as f64);
+        net.capacitor(node, 0, 1.0 + 0.02 * k as f64);
+        prev = node;
+    }
+    net.resistor(prev, 0, 5.0);
+    let system = mna::stamp(&net)?;
+    debug_assert_eq!(system.order(), order, "generator order bookkeeping is off");
+    Ok(CircuitModel {
+        name: format!("nonpassive_ladder(order={order})"),
+        system,
+        expected_passive: false,
+        has_impulsive_modes: true,
+    })
+}
+
+/// A non-passive model whose violation sits at infinity: the port sees a
+/// *negative* series inductance (non-PSD `M₁`), which circuit-wise models an
+/// over-compensated macromodel.  Built directly as a descriptor system since a
+/// negative inductor is not a netlist element.
+///
+/// # Errors
+///
+/// Propagates descriptor-construction failures.
+pub fn negative_m1_model(order: usize) -> Result<CircuitModel, CircuitError> {
+    let even_order = {
+        let o = order.max(6);
+        o + (o % 2)
+    };
+    let base = rlc_ladder_with_impulsive(even_order)?;
+    // Flip the sign of the port inductor's branch equation.  Branch currents
+    // follow the node voltages in the MNA state ordering and the port inductor
+    // is the first inductor stamped, so its row is the first row of the
+    // inductance block: row `num_nodes = (order - 4)/2 + 3 = (order + 2)/2`.
+    let (e, a, b, c, d) = base.system.into_parts();
+    let mut e_flipped = e;
+    let first_branch_row = (even_order + 2) / 2;
+    let val = e_flipped[(first_branch_row, first_branch_row)];
+    e_flipped[(first_branch_row, first_branch_row)] = -val;
+    let system = DescriptorSystem::new(e_flipped, a, b, c, d)?;
+    Ok(CircuitModel {
+        name: format!("negative_m1_model(order={order})"),
+        system,
+        expected_passive: false,
+        has_impulsive_modes: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_descriptor::{impulse, poles, transfer};
+
+    #[test]
+    fn rc_ladder_dimensions_and_structure() {
+        let model = rc_ladder(5, 1.0, 1.0).unwrap();
+        assert_eq!(model.system.order(), 6);
+        assert!(model.expected_passive);
+        assert!(model.system.rank_e(1e-12).unwrap() < model.system.order());
+        assert!(model.system.is_regular(1e-10).unwrap());
+        assert!(impulse::is_impulse_free(&model.system, 1e-10).unwrap());
+        assert!(poles::is_stable(&model.system, 1e-12).unwrap());
+    }
+
+    #[test]
+    fn rlc_ladder_dimensions() {
+        let model = rlc_ladder(4, 1.0, 0.5, 1.0).unwrap();
+        assert_eq!(model.system.order(), 2 * 4 + 1);
+        assert!(model.system.is_regular(1e-10).unwrap());
+        assert!(poles::is_stable(&model.system, 1e-12).unwrap());
+    }
+
+    #[test]
+    fn impulsive_ladder_hits_requested_order() {
+        for order in [6, 8, 10, 20, 40] {
+            let model = rlc_ladder_with_impulsive(order).unwrap();
+            assert_eq!(model.system.order(), order, "order {order}");
+            assert!(model.has_impulsive_modes);
+            assert!(!impulse::is_impulse_free(&model.system, 1e-10).unwrap());
+            assert!(model.system.is_regular(1e-10).unwrap());
+            assert!(poles::is_stable(&model.system, 1e-12).unwrap());
+        }
+    }
+
+    #[test]
+    fn impulsive_ladder_popov_nonnegative_and_m1_positive() {
+        let model = rlc_ladder_with_impulsive(10).unwrap();
+        for &w in &[0.0, 0.01, 0.1, 1.0, 10.0, 100.0] {
+            let g = transfer::evaluate_jomega(&model.system, w).unwrap();
+            assert!(
+                g.popov_min_eigenvalue().unwrap() >= -1e-9,
+                "Popov negative at {w}"
+            );
+        }
+        let m1 = transfer::sample_m1(&model.system, 1e5).unwrap();
+        assert!(m1[(0, 0)] > 0.5, "port inductance not visible in M1");
+    }
+
+    #[test]
+    fn generator_order_validation() {
+        assert!(rlc_ladder_with_impulsive(5).is_err());
+        assert!(rlc_ladder_with_impulsive(4).is_err());
+        assert!(rc_ladder(0, 1.0, 1.0).is_err());
+        assert!(rlc_ladder(0, 1.0, 1.0, 1.0).is_err());
+        assert!(rc_grid(1, 5).is_err());
+    }
+
+    #[test]
+    fn rc_grid_two_port_model() {
+        let model = rc_grid(3, 4).unwrap();
+        assert_eq!(model.system.order(), 12);
+        assert_eq!(model.system.num_inputs(), 2);
+        assert!(model.system.is_regular(1e-10).unwrap());
+        assert!(poles::is_stable(&model.system, 1e-12).unwrap());
+        // Passive two-port: Popov function PSD on samples.
+        for &w in &[0.0, 0.5, 5.0, 50.0] {
+            let g = transfer::evaluate_jomega(&model.system, w).unwrap();
+            assert!(g.popov_min_eigenvalue().unwrap() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn nonpassive_ladder_violates_popov_at_dc() {
+        let model = nonpassive_ladder(8).unwrap();
+        assert!(!model.expected_passive);
+        let g0 = transfer::evaluate_jomega(&model.system, 0.0).unwrap();
+        assert!(
+            g0.popov_min_eigenvalue().unwrap() < 0.0,
+            "expected a DC passivity violation"
+        );
+    }
+
+    #[test]
+    fn negative_m1_model_has_nonpsd_m1() {
+        let model = negative_m1_model(8).unwrap();
+        let m1 = transfer::sample_m1(&model.system, 1e5).unwrap();
+        assert!(m1[(0, 0)] < 0.0, "expected negative M1, got {}", m1[(0, 0)]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # ds-circuits
+//!
+//! Synthetic RLC / MNA circuit-model generators producing descriptor systems.
+//!
+//! The DAC 2006 paper evaluates its passivity test on "practical RLC circuit
+//! models of different orders and number of impulsive modes"; those models are
+//! not publicly available, so this crate generates equivalent synthetic
+//! workloads: modified-nodal-analysis (MNA) descriptor systems of RC/RLC
+//! ladders and grids, with
+//!
+//! * singular `E` (nodes without capacitance give nondynamic modes),
+//! * impulsive modes on request (ports fed through series inductors),
+//! * passive instances by construction, and non-passive perturbations
+//!   (negative resistances) for verdict testing.
+//!
+//! # Example
+//!
+//! ```
+//! use ds_circuits::generators;
+//!
+//! # fn main() -> Result<(), ds_circuits::CircuitError> {
+//! let model = generators::rlc_ladder_with_impulsive(20)?;
+//! assert_eq!(model.system.order(), 20);
+//! assert!(model.expected_passive);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod generators;
+pub mod mna;
+pub mod netlist;
+pub mod random;
+
+pub use error::CircuitError;
+pub use netlist::{Element, Netlist, Port};
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::error::CircuitError;
+    pub use crate::generators::CircuitModel;
+    pub use crate::netlist::{Element, Netlist, Port};
+}

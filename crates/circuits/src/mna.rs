@@ -1,0 +1,233 @@
+//! Modified nodal analysis (MNA): stamping a [`Netlist`] into a
+//! [`DescriptorSystem`].
+//!
+//! States are the node voltages `v ∈ R^{N}` followed by the inductor branch
+//! currents `i_L ∈ R^{L}`.  With current-driven ports the equations are
+//!
+//! ```text
+//! C v' = −G v − A_L i_L + A_P u        (KCL at every node)
+//! L i_L' =  A_Lᵀ v                      (branch equations)
+//!     y  =  A_Pᵀ v                      (port voltages)
+//! ```
+//!
+//! giving `E = diag(C, L)`, which is singular whenever some node carries no
+//! capacitance.  The resulting impedance-type model is passive whenever every
+//! element value is non-negative.
+
+use crate::error::CircuitError;
+use crate::netlist::{Element, Netlist, Port};
+use ds_descriptor::DescriptorSystem;
+use ds_linalg::Matrix;
+
+/// Stamps the netlist into an MNA descriptor system (impedance formulation:
+/// port currents in, port voltages out).
+///
+/// # Errors
+///
+/// Returns validation errors from [`Netlist::validate`] and propagates
+/// descriptor-construction failures.
+pub fn stamp(netlist: &Netlist) -> Result<DescriptorSystem, CircuitError> {
+    netlist.validate()?;
+    let n_nodes = netlist.num_nodes;
+    let n_ind = netlist.num_inductors();
+    let n = n_nodes + n_ind;
+    let m = netlist.ports.len();
+
+    let mut cap = Matrix::zeros(n_nodes, n_nodes);
+    let mut cond = Matrix::zeros(n_nodes, n_nodes);
+    let mut ind = Matrix::zeros(n_ind, n_ind);
+    let mut incidence_l = Matrix::zeros(n_nodes, n_ind);
+
+    let mut l_index = 0usize;
+    for element in &netlist.elements {
+        match *element {
+            Element::Resistor { a, b, value } => {
+                // A zero-ohm resistor would be a short; treat tiny |R| as an error.
+                if value.abs() < 1e-300 {
+                    return Err(CircuitError::BadElementValue {
+                        details: "resistor with zero resistance".into(),
+                    });
+                }
+                let g = 1.0 / value;
+                stamp_two_terminal(&mut cond, a, b, g);
+            }
+            Element::Capacitor { a, b, value } => {
+                stamp_two_terminal(&mut cap, a, b, value);
+            }
+            Element::Inductor { a, b, value } => {
+                ind[(l_index, l_index)] = value;
+                if a > 0 {
+                    incidence_l[(a - 1, l_index)] += 1.0;
+                }
+                if b > 0 {
+                    incidence_l[(b - 1, l_index)] -= 1.0;
+                }
+                l_index += 1;
+            }
+        }
+    }
+
+    // Port incidence matrix.
+    let mut incidence_p = Matrix::zeros(n_nodes, m);
+    for (j, port) in netlist.ports.iter().enumerate() {
+        apply_port(&mut incidence_p, port, j);
+    }
+
+    // Assemble E, A, B, C, D.
+    let e = Matrix::block_diag(&[&cap, &ind]);
+    let a = Matrix::from_blocks_2x2(
+        &cond.scale(-1.0),
+        &incidence_l.scale(-1.0),
+        &incidence_l.transpose(),
+        &Matrix::zeros(n_ind, n_ind),
+    );
+    let b = Matrix::vstack(&[&incidence_p, &Matrix::zeros(n_ind, m)]);
+    let c = b.transpose();
+    let d = Matrix::zeros(m, m);
+    let sys = DescriptorSystem::new(e, a, b, c, d)?;
+    debug_assert_eq!(sys.order(), n);
+    Ok(sys)
+}
+
+fn stamp_two_terminal(matrix: &mut Matrix, a: usize, b: usize, value: f64) {
+    if a > 0 {
+        matrix[(a - 1, a - 1)] += value;
+    }
+    if b > 0 {
+        matrix[(b - 1, b - 1)] += value;
+    }
+    if a > 0 && b > 0 {
+        matrix[(a - 1, b - 1)] -= value;
+        matrix[(b - 1, a - 1)] -= value;
+    }
+}
+
+fn apply_port(incidence: &mut Matrix, port: &Port, column: usize) {
+    if port.node_plus > 0 {
+        incidence[(port.node_plus - 1, column)] += 1.0;
+    }
+    if port.node_minus > 0 {
+        incidence[(port.node_minus - 1, column)] -= 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_descriptor::transfer;
+    use ds_linalg::Complex;
+
+    #[test]
+    fn parallel_rc_impedance() {
+        // R ∥ C from node 1 to ground: Z(s) = R / (1 + sRC).
+        let mut net = Netlist::new(1);
+        net.resistor(1, 0, 2.0)
+            .capacitor(1, 0, 0.5)
+            .port(Port::to_ground(1));
+        let sys = stamp(&net).unwrap();
+        assert_eq!(sys.order(), 1);
+        let z = transfer::evaluate_jomega(&sys, 1.0).unwrap();
+        // Z(j1) = 2 / (1 + j·1·1) = 1 − j.
+        assert!((z.re[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((z.im[(0, 0)] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_rl_impedance_is_impulsive() {
+        // Port at node 1, R from 1 to 2, L from 2 to ground: Z(s) = R + sL.
+        let mut net = Netlist::new(2);
+        net.resistor(1, 2, 3.0)
+            .inductor(2, 0, 0.25)
+            .port(Port::to_ground(1));
+        let sys = stamp(&net).unwrap();
+        assert_eq!(sys.order(), 3);
+        let z = transfer::evaluate(&sys, Complex::new(0.0, 4.0)).unwrap();
+        assert!((z.re[(0, 0)] - 3.0).abs() < 1e-10);
+        assert!((z.im[(0, 0)] - 1.0).abs() < 1e-10);
+        // E is singular (node voltages carry no capacitance).
+        assert!(sys.rank_e(1e-12).unwrap() < sys.order());
+        // The model is NOT impulse-free: Z(s) grows like sL.
+        assert!(!ds_descriptor::impulse::is_impulse_free(&sys, 1e-10).unwrap());
+    }
+
+    #[test]
+    fn rc_divider_dc_value() {
+        // R1 from port node 1 to node 2, R2 from node 2 to ground,
+        // C across R2.  Z(0) = R1 + R2.
+        let mut net = Netlist::new(2);
+        net.resistor(1, 2, 1.5)
+            .resistor(2, 0, 2.5)
+            .capacitor(2, 0, 1.0)
+            .port(Port::to_ground(1));
+        let sys = stamp(&net).unwrap();
+        let z0 = transfer::evaluate_jomega(&sys, 0.0).unwrap();
+        assert!((z0.re[(0, 0)] - 4.0).abs() < 1e-10);
+        // At high frequency the capacitor shorts node 2: Z → R1.
+        let zhi = transfer::evaluate_jomega(&sys, 1e7).unwrap();
+        assert!((zhi.re[(0, 0)] - 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn two_port_symmetry() {
+        // Symmetric resistive Π network between two ports.
+        let mut net = Netlist::new(2);
+        net.resistor(1, 0, 1.0)
+            .resistor(2, 0, 1.0)
+            .resistor(1, 2, 2.0)
+            .capacitor(1, 0, 0.1)
+            .capacitor(2, 0, 0.1)
+            .port(Port::to_ground(1))
+            .port(Port::to_ground(2));
+        let sys = stamp(&net).unwrap();
+        assert_eq!(sys.num_inputs(), 2);
+        let z = transfer::evaluate_jomega(&sys, 2.0).unwrap();
+        // Reciprocal network: Z12 = Z21.
+        assert!((z.re[(0, 1)] - z.re[(1, 0)]).abs() < 1e-12);
+        assert!((z.im[(0, 1)] - z.im[(1, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floating_port_between_nodes() {
+        // Port across a resistor between nodes 1 and 2, both tied to ground
+        // through resistors.
+        let mut net = Netlist::new(2);
+        net.resistor(1, 0, 1.0)
+            .resistor(2, 0, 1.0)
+            .resistor(1, 2, 1.0)
+            .capacitor(1, 0, 1.0)
+            .port(Port {
+                node_plus: 1,
+                node_minus: 2,
+            });
+        let sys = stamp(&net).unwrap();
+        let z0 = transfer::evaluate_jomega(&sys, 0.0).unwrap();
+        // Differential resistance of the bridge: 1Ω ∥ (1Ω + 1Ω) = 2/3 Ω.
+        assert!((z0.re[(0, 0)] - 2.0 / 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_resistance_rejected() {
+        let mut net = Netlist::new(1);
+        net.resistor(1, 0, 0.0).port(Port::to_ground(1));
+        assert!(matches!(
+            stamp(&net),
+            Err(CircuitError::BadElementValue { .. })
+        ));
+    }
+
+    #[test]
+    fn passive_ladder_popov_nonnegative() {
+        let mut net = Netlist::new(3);
+        net.resistor(1, 2, 1.0)
+            .capacitor(2, 0, 1.0)
+            .resistor(2, 3, 1.0)
+            .capacitor(3, 0, 2.0)
+            .resistor(3, 0, 5.0)
+            .port(Port::to_ground(1));
+        let sys = stamp(&net).unwrap();
+        for &w in &[0.0, 0.1, 1.0, 10.0, 100.0] {
+            let g = transfer::evaluate_jomega(&sys, w).unwrap();
+            assert!(g.popov_min_eigenvalue().unwrap() >= -1e-10);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Netlist data model: lumped RLC elements and current-driven ports.
+
+use crate::error::CircuitError;
+
+/// A two-terminal lumped element.  Node `0` is ground; nodes `1..=num_nodes`
+/// are the circuit nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Element {
+    /// Resistor of `value` ohms between `a` and `b`.
+    Resistor {
+        /// First terminal node.
+        a: usize,
+        /// Second terminal node.
+        b: usize,
+        /// Resistance in ohms (may be negative to model non-passive devices).
+        value: f64,
+    },
+    /// Capacitor of `value` farads between `a` and `b`.
+    Capacitor {
+        /// First terminal node.
+        a: usize,
+        /// Second terminal node.
+        b: usize,
+        /// Capacitance in farads (must be positive for a passive element).
+        value: f64,
+    },
+    /// Inductor of `value` henries between `a` and `b`.
+    Inductor {
+        /// First terminal node.
+        a: usize,
+        /// Second terminal node.
+        b: usize,
+        /// Inductance in henries (must be positive for a passive element).
+        value: f64,
+    },
+}
+
+impl Element {
+    /// The two terminal nodes of the element.
+    pub fn terminals(&self) -> (usize, usize) {
+        match *self {
+            Element::Resistor { a, b, .. }
+            | Element::Capacitor { a, b, .. }
+            | Element::Inductor { a, b, .. } => (a, b),
+        }
+    }
+
+    /// The element value (R, L or C).
+    pub fn value(&self) -> f64 {
+        match *self {
+            Element::Resistor { value, .. }
+            | Element::Capacitor { value, .. }
+            | Element::Inductor { value, .. } => value,
+        }
+    }
+
+    /// `true` when the element value is consistent with a passive device.
+    pub fn is_passive(&self) -> bool {
+        match *self {
+            Element::Resistor { value, .. } => value >= 0.0,
+            Element::Capacitor { value, .. } | Element::Inductor { value, .. } => value > 0.0,
+        }
+    }
+}
+
+/// A current-driven port: a current source injected into `node_plus` and drawn
+/// from `node_minus`, with the port voltage `v(node_plus) − v(node_minus)` as
+/// the output.  The resulting transfer function is the impedance matrix `Z(s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Port {
+    /// Positive terminal (0 = ground).
+    pub node_plus: usize,
+    /// Negative terminal (0 = ground).
+    pub node_minus: usize,
+}
+
+impl Port {
+    /// Port from a node to ground.
+    pub fn to_ground(node: usize) -> Self {
+        Port {
+            node_plus: node,
+            node_minus: 0,
+        }
+    }
+}
+
+/// A flat netlist: a node count, a list of elements and a list of ports.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Netlist {
+    /// Number of non-ground nodes; valid node indices are `0..=num_nodes`.
+    pub num_nodes: usize,
+    /// Lumped elements.
+    pub elements: Vec<Element>,
+    /// Current-driven ports.
+    pub ports: Vec<Port>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with `num_nodes` non-ground nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Netlist {
+            num_nodes,
+            elements: Vec::new(),
+            ports: Vec::new(),
+        }
+    }
+
+    /// Adds an element.
+    pub fn add(&mut self, element: Element) -> &mut Self {
+        self.elements.push(element);
+        self
+    }
+
+    /// Adds a resistor.
+    pub fn resistor(&mut self, a: usize, b: usize, value: f64) -> &mut Self {
+        self.add(Element::Resistor { a, b, value })
+    }
+
+    /// Adds a capacitor.
+    pub fn capacitor(&mut self, a: usize, b: usize, value: f64) -> &mut Self {
+        self.add(Element::Capacitor { a, b, value })
+    }
+
+    /// Adds an inductor.
+    pub fn inductor(&mut self, a: usize, b: usize, value: f64) -> &mut Self {
+        self.add(Element::Inductor { a, b, value })
+    }
+
+    /// Adds a port.
+    pub fn port(&mut self, port: Port) -> &mut Self {
+        self.ports.push(port);
+        self
+    }
+
+    /// Number of inductors (each contributes one branch-current state).
+    pub fn num_inductors(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Inductor { .. }))
+            .count()
+    }
+
+    /// The MNA state dimension: node voltages plus inductor currents.
+    pub fn state_dimension(&self) -> usize {
+        self.num_nodes + self.num_inductors()
+    }
+
+    /// `true` when every element is individually passive.
+    pub fn is_passive_by_construction(&self) -> bool {
+        self.elements.iter().all(Element::is_passive)
+    }
+
+    /// Validates node ranges, element values and port presence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the corresponding [`CircuitError`] variant for each violation.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        for e in &self.elements {
+            let (a, b) = e.terminals();
+            for node in [a, b] {
+                if node > self.num_nodes {
+                    return Err(CircuitError::NodeOutOfRange {
+                        node,
+                        num_nodes: self.num_nodes,
+                    });
+                }
+            }
+            if !e.value().is_finite() {
+                return Err(CircuitError::BadElementValue {
+                    details: format!("{e:?} has a non-finite value"),
+                });
+            }
+            if matches!(e, Element::Capacitor { .. } | Element::Inductor { .. }) && e.value() <= 0.0
+            {
+                return Err(CircuitError::BadElementValue {
+                    details: format!("{e:?} must have a strictly positive value"),
+                });
+            }
+            if a == b {
+                return Err(CircuitError::BadElementValue {
+                    details: format!("{e:?} is shorted (both terminals on node {a})"),
+                });
+            }
+        }
+        if self.ports.is_empty() {
+            return Err(CircuitError::NoPorts);
+        }
+        for p in &self.ports {
+            for node in [p.node_plus, p.node_minus] {
+                if node > self.num_nodes {
+                    return Err(CircuitError::NodeOutOfRange {
+                        node,
+                        num_nodes: self.num_nodes,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_netlist() {
+        let mut net = Netlist::new(2);
+        net.resistor(1, 2, 10.0)
+            .capacitor(2, 0, 1e-6)
+            .inductor(1, 0, 1e-3)
+            .port(Port::to_ground(1));
+        assert_eq!(net.num_inductors(), 1);
+        assert_eq!(net.state_dimension(), 3);
+        assert!(net.validate().is_ok());
+        assert!(net.is_passive_by_construction());
+    }
+
+    #[test]
+    fn element_accessors() {
+        let r = Element::Resistor {
+            a: 1,
+            b: 0,
+            value: 5.0,
+        };
+        assert_eq!(r.terminals(), (1, 0));
+        assert_eq!(r.value(), 5.0);
+        assert!(r.is_passive());
+        assert!(!Element::Resistor {
+            a: 1,
+            b: 0,
+            value: -5.0
+        }
+        .is_passive());
+    }
+
+    #[test]
+    fn validation_catches_bad_nodes() {
+        let mut net = Netlist::new(1);
+        net.resistor(1, 5, 1.0).port(Port::to_ground(1));
+        assert!(matches!(
+            net.validate(),
+            Err(CircuitError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut net = Netlist::new(2);
+        net.capacitor(1, 2, -1.0).port(Port::to_ground(1));
+        assert!(matches!(
+            net.validate(),
+            Err(CircuitError::BadElementValue { .. })
+        ));
+        let mut net2 = Netlist::new(1);
+        net2.resistor(1, 1, 1.0).port(Port::to_ground(1));
+        assert!(net2.validate().is_err());
+    }
+
+    #[test]
+    fn validation_requires_ports() {
+        let mut net = Netlist::new(1);
+        net.resistor(1, 0, 1.0);
+        assert!(matches!(net.validate(), Err(CircuitError::NoPorts)));
+    }
+
+    #[test]
+    fn negative_resistor_is_allowed_but_flagged() {
+        let mut net = Netlist::new(1);
+        net.resistor(1, 0, -2.0).port(Port::to_ground(1));
+        assert!(net.validate().is_ok());
+        assert!(!net.is_passive_by_construction());
+    }
+}

@@ -1,0 +1,266 @@
+//! Randomized passive / non-passive descriptor-system generators.
+//!
+//! Circuit generators ([`crate::generators`]) provide structured workloads;
+//! this module complements them with randomized systems that are passive *by
+//! construction* (useful for property-based testing of the passivity tests):
+//!
+//! * the proper part is built as `G_p(s) = M₀ + Bᵀ (sI − A)⁻¹ B` with
+//!   `A + Aᵀ ⪯ 0` (an internally-passive realization), and
+//! * an optional impulsive part `s·M₁` with `M₁ = L Lᵀ ⪰ 0` is appended in a
+//!   structurally index-2 descriptor block,
+//! * nondynamic (index-1) algebraic states are padded in,
+//!
+//! all wrapped in a random orthogonal restricted-system-equivalence transform
+//! so the block structure is not visible to the code under test.
+
+use crate::error::CircuitError;
+use ds_descriptor::transform;
+use ds_descriptor::DescriptorSystem;
+use ds_linalg::decomp::qr;
+use ds_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for the random passive descriptor generator.
+#[derive(Debug, Clone)]
+pub struct RandomPassiveOptions {
+    /// Number of finite dynamic states (order of the proper part).
+    pub dynamic_states: usize,
+    /// Number of nondynamic (index-1 algebraic) states to pad in.
+    pub nondynamic_states: usize,
+    /// Number of ports (inputs = outputs).
+    pub ports: usize,
+    /// Whether to include an impulsive part `s·M₁` with `M₁ ⪰ 0` (adds
+    /// `2·ports` states in an index-2 block).
+    pub with_impulsive_part: bool,
+    /// Strength of the resistive feedthrough `M₀` (0 gives a lossless-at-∞
+    /// feedthrough, larger values give strictly passive systems).
+    pub feedthrough: f64,
+}
+
+impl Default for RandomPassiveOptions {
+    fn default() -> Self {
+        RandomPassiveOptions {
+            dynamic_states: 6,
+            nondynamic_states: 2,
+            ports: 1,
+            with_impulsive_part: false,
+            feedthrough: 0.5,
+        }
+    }
+}
+
+fn random_orthogonal(n: usize, rng: &mut StdRng) -> Matrix {
+    let raw = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+    let q = qr::factor_full(&raw).q;
+    q
+}
+
+/// Generates a random passive descriptor system.
+///
+/// The construction guarantees positive realness:
+/// `Re x*(jωI − A)⁻¹x ≥ 0` for `A + Aᵀ ⪯ 0`, so `Bᵀ(sI−A)⁻¹B + M₀` is positive
+/// real for `M₀ + M₀ᵀ ⪰ 0`; adding `s·M₁` with `M₁ = M₁ᵀ ⪰ 0` keeps it passive.
+///
+/// # Errors
+///
+/// Propagates descriptor-construction failures.
+pub fn random_passive_descriptor(
+    options: &RandomPassiveOptions,
+    seed: u64,
+) -> Result<DescriptorSystem, CircuitError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nq = options.dynamic_states;
+    let m = options.ports.max(1);
+
+    // Internally passive proper part: A = S − R with S skew, R ⪰ 0 (diagonal).
+    let skew_raw = Matrix::from_fn(nq, nq, |_, _| rng.gen_range(-1.0..1.0));
+    let skew = skew_raw.skew_part();
+    let damping = Matrix::diag(
+        &(0..nq)
+            .map(|_| rng.gen_range(0.2..2.0))
+            .collect::<Vec<f64>>(),
+    );
+    let a_dyn = &skew - &damping;
+    let b_dyn = Matrix::from_fn(nq, m, |_, _| rng.gen_range(-1.0..1.0));
+    let c_dyn = b_dyn.transpose();
+    let m0_raw = Matrix::from_fn(m, m, |_, _| rng.gen_range(-0.3..0.3));
+    let d = &(&m0_raw * &m0_raw.transpose()) + &Matrix::identity(m).scale(options.feedthrough);
+
+    // Start assembling the block-diagonal descriptor pieces.
+    let mut e_blocks: Vec<Matrix> = vec![Matrix::identity(nq)];
+    let mut a_blocks: Vec<Matrix> = vec![a_dyn];
+    let mut b_rows: Vec<Matrix> = vec![b_dyn];
+    let mut c_cols: Vec<Matrix> = vec![c_dyn];
+
+    // Nondynamic padding: E-block 0, A-block −I, decoupled from the ports.
+    if options.nondynamic_states > 0 {
+        let k = options.nondynamic_states;
+        e_blocks.push(Matrix::zeros(k, k));
+        a_blocks.push(Matrix::identity(k).scale(-1.0));
+        b_rows.push(Matrix::from_fn(k, m, |_, _| rng.gen_range(-0.5..0.5)));
+        c_cols.push(Matrix::zeros(m, k));
+    }
+
+    // Impulsive part: realizes s·M₁ with M₁ = L Lᵀ ⪰ 0 through an index-2 block
+    //   E = [[0, I],[0, 0]], A = I, B = [0; Lᵀ], C = [−L, 0]  ⇒  C(sE−A)⁻¹B = s L Lᵀ.
+    if options.with_impulsive_part {
+        let l = Matrix::from_fn(m, m, |i, j| {
+            if i == j {
+                rng.gen_range(0.4..1.2)
+            } else {
+                rng.gen_range(-0.2..0.2)
+            }
+        });
+        let zero = Matrix::zeros(m, m);
+        let e_imp = Matrix::from_blocks_2x2(&zero, &Matrix::identity(m), &zero, &zero);
+        let a_imp = Matrix::identity(2 * m);
+        let b_imp = Matrix::vstack(&[&Matrix::zeros(m, m), &l.transpose()]);
+        let c_imp = Matrix::hstack(&[&l.scale(-1.0), &Matrix::zeros(m, m)]);
+        e_blocks.push(e_imp);
+        a_blocks.push(a_imp);
+        b_rows.push(b_imp);
+        c_cols.push(c_imp);
+    }
+
+    let e = Matrix::block_diag(&e_blocks.iter().collect::<Vec<_>>());
+    let a = Matrix::block_diag(&a_blocks.iter().collect::<Vec<_>>());
+    let b = Matrix::vstack(&b_rows.iter().collect::<Vec<_>>());
+    let c = Matrix::hstack(&c_cols.iter().collect::<Vec<_>>());
+    let sys = DescriptorSystem::new(e, a, b, c, d)?;
+
+    // Hide the block structure behind a random orthogonal r.s.e. transform.
+    let n = sys.order();
+    let q = random_orthogonal(n, &mut rng);
+    let z = random_orthogonal(n, &mut rng);
+    Ok(transform::restricted_equivalence(&sys, &q, &z)?)
+}
+
+/// Generates a random *non-passive* descriptor system by flipping the sign of
+/// the dissipation in a random passive one (the damping block becomes an
+/// energy source over part of the band).
+///
+/// # Errors
+///
+/// Propagates descriptor-construction failures.
+pub fn random_nonpassive_descriptor(
+    options: &RandomPassiveOptions,
+    seed: u64,
+) -> Result<DescriptorSystem, CircuitError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let nq = options.dynamic_states.max(2);
+    let m = options.ports.max(1);
+    // Stable but internally active: a zero of the Popov function crosses into
+    // the negative range because C ≠ Bᵀ and D is small.
+    let skew = Matrix::from_fn(nq, nq, |_, _| rng.gen_range(-1.0..1.0)).skew_part();
+    let damping = Matrix::diag(
+        &(0..nq)
+            .map(|_| rng.gen_range(0.2..1.0))
+            .collect::<Vec<f64>>(),
+    );
+    let a_dyn = &skew - &damping;
+    let b_dyn = Matrix::from_fn(nq, m, |_, _| rng.gen_range(-1.0..1.0));
+    // Output map decorrelated from B and negated: produces Re G < 0 somewhere.
+    let c_dyn = Matrix::from_fn(m, nq, |_, _| rng.gen_range(-1.5..1.5));
+    let d = Matrix::identity(m).scale(0.01);
+    let e = Matrix::block_diag(&[&Matrix::identity(nq), &Matrix::zeros(1, 1)]);
+    let a = Matrix::block_diag(&[&a_dyn, &Matrix::identity(1).scale(-1.0)]);
+    let b = Matrix::vstack(&[&b_dyn, &Matrix::zeros(1, m)]);
+    let c = Matrix::hstack(&[&c_dyn, &Matrix::zeros(m, 1)]);
+    let sys = DescriptorSystem::new(e, a, b, c, d)?;
+    let n = sys.order();
+    let q = random_orthogonal(n, &mut rng);
+    let z = random_orthogonal(n, &mut rng);
+    Ok(transform::restricted_equivalence(&sys, &q, &z)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_descriptor::{impulse, poles, transfer};
+
+    #[test]
+    fn random_passive_is_stable_and_regular() {
+        for seed in 0..5 {
+            let sys = random_passive_descriptor(&RandomPassiveOptions::default(), seed).unwrap();
+            assert_eq!(sys.order(), 8);
+            assert!(sys.is_regular(1e-10).unwrap(), "seed {seed}");
+            assert!(poles::is_stable(&sys, 1e-10).unwrap(), "seed {seed}");
+            assert!(impulse::is_impulse_free(&sys, 1e-9).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_passive_popov_nonnegative_on_samples() {
+        let opts = RandomPassiveOptions {
+            with_impulsive_part: true,
+            ..RandomPassiveOptions::default()
+        };
+        for seed in 0..5 {
+            let sys = random_passive_descriptor(&opts, seed).unwrap();
+            for &w in &[0.0, 0.3, 1.0, 3.0, 10.0, 100.0] {
+                let g = transfer::evaluate_jomega(&sys, w).unwrap();
+                assert!(
+                    g.popov_min_eigenvalue().unwrap() >= -1e-8,
+                    "seed {seed} negative at ω = {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn impulsive_option_creates_impulsive_modes() {
+        let opts = RandomPassiveOptions {
+            with_impulsive_part: true,
+            ..RandomPassiveOptions::default()
+        };
+        let sys = random_passive_descriptor(&opts, 3).unwrap();
+        assert!(!impulse::is_impulse_free(&sys, 1e-9).unwrap());
+        // M1 from sampling is PSD.
+        let m1 = transfer::sample_m1(&sys, 1e5).unwrap();
+        assert!(m1[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn mimo_random_passive() {
+        let opts = RandomPassiveOptions {
+            ports: 2,
+            dynamic_states: 5,
+            ..RandomPassiveOptions::default()
+        };
+        let sys = random_passive_descriptor(&opts, 11).unwrap();
+        assert_eq!(sys.num_inputs(), 2);
+        for &w in &[0.0, 1.0, 10.0] {
+            let g = transfer::evaluate_jomega(&sys, w).unwrap();
+            assert!(g.popov_min_eigenvalue().unwrap() >= -1e-8);
+        }
+    }
+
+    #[test]
+    fn random_nonpassive_violates_popov_somewhere() {
+        let mut violations = 0;
+        for seed in 0..6 {
+            let sys =
+                random_nonpassive_descriptor(&RandomPassiveOptions::default(), seed).unwrap();
+            let violated = [0.0, 0.2, 0.5, 1.0, 2.0, 5.0, 20.0].iter().any(|&w| {
+                transfer::evaluate_jomega(&sys, w)
+                    .map(|g| g.popov_min_eigenvalue().unwrap() < -1e-6)
+                    .unwrap_or(false)
+            });
+            if violated {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations >= 4,
+            "only {violations}/6 random non-passive systems showed a violation"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = random_passive_descriptor(&RandomPassiveOptions::default(), 42).unwrap();
+        let b = random_passive_descriptor(&RandomPassiveOptions::default(), 42).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,222 @@
+//! First-order passivity enforcement by resistive loading.
+//!
+//! The paper's conclusion points out that "further applications such as
+//! passivity enforcement … can readily be developed on top of this framework".
+//! This module provides the simplest such application: when the passivity test
+//! finds a bounded violation of the Popov function, the feedthrough `D` is
+//! perturbed by a (small) multiple of the identity — circuit-wise, a series
+//! resistance is added at every port — which lifts `Φ(jω) = G(jω) + G(jω)ᴴ`
+//! uniformly over all frequencies.  Violations *at infinity* (an indefinite
+//! residue `M₁` or higher-order Markov parameters) cannot be repaired by a
+//! constant perturbation and are reported as non-enforceable.
+
+use crate::error::PassivityError;
+use crate::fast::{check_passivity, FastTestOptions};
+use crate::report::{NonPassivityReason, PassivityReport};
+use ds_descriptor::{transfer, DescriptorSystem};
+use ds_linalg::Matrix;
+
+/// Options for the resistive passivity enforcement.
+#[derive(Debug, Clone)]
+pub struct EnforcementOptions {
+    /// Safety margin added on top of the measured violation (absolute, in the
+    /// units of the Popov function).
+    pub margin: f64,
+    /// Maximum number of perturb-and-retest iterations.
+    pub max_iterations: usize,
+    /// Options forwarded to the passivity test between iterations.
+    pub test: FastTestOptions,
+    /// Frequencies used to measure the violation depth.
+    pub frequencies: Vec<f64>,
+}
+
+impl Default for EnforcementOptions {
+    fn default() -> Self {
+        let mut freqs = vec![0.0];
+        let mut w = 1e-3;
+        while w <= 1e5 {
+            freqs.push(w);
+            w *= 10.0_f64.sqrt();
+        }
+        EnforcementOptions {
+            margin: 1e-6,
+            max_iterations: 8,
+            test: FastTestOptions::default(),
+            frequencies: freqs,
+        }
+    }
+}
+
+/// Outcome of the enforcement attempt.
+#[derive(Debug, Clone)]
+pub enum EnforcementOutcome {
+    /// The input was already passive; it is returned unchanged.
+    AlreadyPassive {
+        /// The passing report of the unmodified system.
+        report: PassivityReport,
+    },
+    /// Passivity was restored by adding `resistance · I` to the feedthrough.
+    Enforced {
+        /// The perturbed, now passive, descriptor system.
+        system: DescriptorSystem,
+        /// The series resistance added at every port (the size of the
+        /// perturbation of `D`).
+        resistance: f64,
+        /// The passing report of the perturbed system.
+        report: PassivityReport,
+    },
+    /// The violation sits at `ω = ∞` (indefinite `M₁` or Markov parameters of
+    /// order ≥ 2) and cannot be removed by a constant perturbation.
+    NotEnforceable {
+        /// The reason reported by the passivity test.
+        reason: NonPassivityReason,
+    },
+}
+
+impl EnforcementOutcome {
+    /// `true` when the returned (possibly perturbed) system is passive.
+    pub fn is_passive(&self) -> bool {
+        !matches!(self, EnforcementOutcome::NotEnforceable { .. })
+    }
+}
+
+/// Measures the worst Popov-function violation over the option's frequency
+/// grid (0 when the sampled Popov function is PSD everywhere).
+fn sampled_violation(
+    sys: &DescriptorSystem,
+    frequencies: &[f64],
+) -> Result<f64, PassivityError> {
+    let mut worst: f64 = 0.0;
+    for &w in frequencies {
+        let value = match transfer::evaluate_jomega(sys, w) {
+            Ok(v) => v,
+            Err(ds_descriptor::DescriptorError::SingularPencil) => continue,
+            Err(e) => return Err(PassivityError::Descriptor(e)),
+        };
+        let min_eig = value
+            .popov_min_eigenvalue()
+            .map_err(PassivityError::Descriptor)?;
+        worst = worst.min(min_eig);
+    }
+    Ok(-worst)
+}
+
+/// Attempts to enforce passivity by adding a series resistance at every port.
+///
+/// # Errors
+///
+/// Propagates structural failures of the underlying passivity test.
+pub fn enforce_passivity(
+    sys: &DescriptorSystem,
+    options: &EnforcementOptions,
+) -> Result<EnforcementOutcome, PassivityError> {
+    let report = check_passivity(sys, &options.test)?;
+    if report.verdict.is_passive() {
+        return Ok(EnforcementOutcome::AlreadyPassive { report });
+    }
+    let reason = match &report.verdict {
+        crate::report::PassivityVerdict::NotPassive { reason } => reason.clone(),
+        crate::report::PassivityVerdict::Passive { .. } => unreachable!(),
+    };
+    // Violations at infinity cannot be fixed with a constant perturbation.
+    if matches!(
+        reason,
+        NonPassivityReason::IndefiniteResidue { .. }
+            | NonPassivityReason::HigherOrderMarkovParameters
+            | NonPassivityReason::UnstableFiniteModes
+    ) {
+        return Ok(EnforcementOutcome::NotEnforceable { reason });
+    }
+
+    let m = sys.num_inputs();
+    let mut current = sys.clone();
+    let mut total_resistance = 0.0;
+    let mut last_reason = reason;
+    for _ in 0..options.max_iterations {
+        // Measure the violation both by sampling the Popov function and from
+        // the witness the test itself produced; the Popov function shifts by
+        // 2·r when D is shifted by r·I, so half the violation suffices.
+        let sampled = sampled_violation(&current, &options.frequencies)?;
+        let witnessed = match &last_reason {
+            NonPassivityReason::ProperPartNotPositiveReal { min_eigenvalue, .. } => {
+                (-*min_eigenvalue).max(0.0)
+            }
+            NonPassivityReason::LmiInfeasible { .. } | NonPassivityReason::ResidualImpulsiveModes => 0.0,
+            _ => 0.0,
+        };
+        let resistance = 0.5 * sampled.max(witnessed).max(options.margin) + options.margin;
+        total_resistance += resistance;
+        let d_new = current.d() + &Matrix::identity(m).scale(resistance);
+        current = DescriptorSystem::new(
+            current.e().clone(),
+            current.a().clone(),
+            current.b().clone(),
+            current.c().clone(),
+            d_new,
+        )?;
+        let report = check_passivity(&current, &options.test)?;
+        match &report.verdict {
+            crate::report::PassivityVerdict::Passive { .. } => {
+                return Ok(EnforcementOutcome::Enforced {
+                    system: current,
+                    resistance: total_resistance,
+                    report,
+                });
+            }
+            crate::report::PassivityVerdict::NotPassive { reason } => {
+                last_reason = reason.clone();
+            }
+        }
+    }
+    Ok(EnforcementOutcome::NotEnforceable {
+        reason: last_reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_circuits::generators;
+
+    #[test]
+    fn passive_system_left_untouched() {
+        let model = generators::rlc_ladder_with_impulsive(10).unwrap();
+        let outcome = enforce_passivity(&model.system, &EnforcementOptions::default()).unwrap();
+        assert!(matches!(outcome, EnforcementOutcome::AlreadyPassive { .. }));
+        assert!(outcome.is_passive());
+    }
+
+    #[test]
+    fn dc_violation_repaired_by_series_resistance() {
+        let model = generators::nonpassive_ladder(8).unwrap();
+        let outcome = enforce_passivity(&model.system, &EnforcementOptions::default()).unwrap();
+        match outcome {
+            EnforcementOutcome::Enforced {
+                system,
+                resistance,
+                report,
+            } => {
+                assert!(resistance > 0.0);
+                assert!(report.verdict.is_passive());
+                // The perturbation only touched D.
+                assert_eq!(system.e(), model.system.e());
+                assert_eq!(system.a(), model.system.a());
+                assert!((system.d()[(0, 0)] - model.system.d()[(0, 0)] - resistance).abs() < 1e-12);
+            }
+            other => panic!("expected Enforced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_m1_cannot_be_enforced_with_constant_loading() {
+        let model = generators::negative_m1_model(8).unwrap();
+        let outcome = enforce_passivity(&model.system, &EnforcementOptions::default()).unwrap();
+        assert!(matches!(
+            outcome,
+            EnforcementOutcome::NotEnforceable {
+                reason: NonPassivityReason::IndefiniteResidue { .. }
+            }
+        ));
+        assert!(!outcome.is_passive());
+    }
+}

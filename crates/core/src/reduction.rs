@@ -1,0 +1,440 @@
+//! Structure-preserving reductions of the Φ-system (paper eqs. (11)–(20)).
+//!
+//! Three stages, each one an explicit `(E, A, B, C, D)` quintuple so that the
+//! transfer function can be tracked across the flow:
+//!
+//! 1. [`cancel_impulsive_modes`] — find the impulse-unobservable directions
+//!    `Z₀` of `Φ(s)` (eq. (11)), pair them with their impulse-uncontrollable
+//!    duals `−J Z₀` (eq. (12)), and project both out with orthogonal
+//!    projections (eqs. (13)–(17)).  The result is a skew-symmetric/symmetric
+//!    pencil.
+//! 2. [`remove_nondynamic_modes`] — eliminate the algebraic (nondynamic)
+//!    states by a Schur complement on the nonsingular `A₂₂` block
+//!    (eqs. (18)–(19)).
+//! 3. [`restore_shh`] — premultiply by `−J` to restore a
+//!    skew-Hamiltonian/Hamiltonian pencil with nonsingular `E` (eq. (20)).
+
+use crate::error::PassivityError;
+use ds_descriptor::{transform, DescriptorSystem};
+use ds_linalg::decomp::lu;
+use ds_linalg::{subspace, Matrix};
+use ds_shh::pencil::PhiSystem;
+use ds_shh::structure;
+
+/// Result of the impulse-mode cancellation (stage 1).
+#[derive(Debug, Clone)]
+pub struct ImpulseCancellation {
+    /// The reduced Φ-system; its `(E, A)` is a skew-symmetric/symmetric pencil.
+    pub reduced: DescriptorSystem,
+    /// Dimension of the impulse-unobservable subspace `Z₀`.
+    pub unobservable_directions: usize,
+    /// Number of states removed (`2n − order(reduced)`).
+    pub removed_states: usize,
+}
+
+/// Finds the impulse-unobservable directions of the Φ-system and removes them
+/// together with their impulse-uncontrollable duals.
+///
+/// # Errors
+///
+/// Returns [`PassivityError::ReductionBreakdown`] when the subspace geometry is
+/// inconsistent (a symptom of severe ill-conditioning) and propagates numerical
+/// failures.
+pub fn cancel_impulsive_modes(
+    phi: &PhiSystem,
+    rel_tol: f64,
+) -> Result<ImpulseCancellation, PassivityError> {
+    let sys = &phi.system;
+    let order = sys.order();
+    let tol = rel_tol.max(1e-12);
+
+    // One SVD of E_Φ yields both its numerical rank (kernel dimension) and an
+    // orthonormal basis of its range.
+    let e_svd = ds_linalg::decomp::svd::svd(sys.e())?;
+    let rank_e = e_svd.rank(tol);
+    let kernel_dim = order - rank_e;
+
+    // Impulse-unobservable directions (paper eq. (11) / Section 2.5 item 3):
+    // Z₀ spans { v : E_Φ v = 0,  A_Φ v ∈ range(E_Φ),  C_Φ v = 0 },
+    // computed as the kernel of [E_Φ; P⊥ A_Φ; C_Φ] where P⊥ projects onto the
+    // orthogonal complement of range(E_Φ).
+    let z0 = if kernel_dim == 0 {
+        Matrix::zeros(order, 0)
+    } else {
+        let range_e = e_svd.u.block(0, order, 0, rank_e);
+        let projector = &Matrix::identity(order) - &(&range_e * &range_e.transpose());
+        let proj_a = projector.matmul(sys.a())?;
+        let stacked = Matrix::vstack(&[sys.e(), &proj_a, sys.c()]);
+        subspace::null_space(&stacked, tol)?
+    };
+
+    if z0.cols() == 0 {
+        // Nothing to cancel; still convert the SHH pencil into the
+        // skew-symmetric/symmetric form expected downstream by applying the
+        // trivial projection with Z_c0 = I and left projector −J.
+        let identity = Matrix::identity(order);
+        let left = structure::j_mul(&identity)
+            .map_err(PassivityError::Shh)?
+            .scale(-1.0);
+        let reduced = transform::project(sys, &left, &identity)?;
+        return Ok(ImpulseCancellation {
+            reduced,
+            unobservable_directions: 0,
+            removed_states: 0,
+        });
+    }
+
+    // Q₀ spans A_Φ Z₀; its orthogonal complement is Q̄₀ (paper eq. (14)).
+    let a_z0 = sys.a().matmul(&z0)?;
+    let q0 = subspace::range_basis(&a_z0, tol)?;
+    let q0_bar = subspace::complement(&q0, order)?;
+    // The right projection basis is J Q̄₀ with the unobservable directions Z₀
+    // subtracted (paper eq. (16) guarantees Z₀ ⊆ span(J Q̄₀)).
+    let j_q0_bar = structure::j_mul(&q0_bar).map_err(PassivityError::Shh)?;
+    let zc0 = subspace::subtract(&j_q0_bar, &z0, tol)?;
+    // Left projector −J Z_c0 (paper eq. (17)).
+    let left = structure::j_mul(&zc0)
+        .map_err(PassivityError::Shh)?
+        .scale(-1.0);
+
+    let expected = order.checked_sub(2 * z0.cols()).ok_or_else(|| {
+        PassivityError::breakdown("impulse cancellation removed more states than available")
+    })?;
+    if zc0.cols() != expected {
+        return Err(PassivityError::breakdown(format!(
+            "impulse cancellation produced a subspace of dimension {} (expected {expected}); \
+             the unobservable directions are not contained in span(J Q̄0)",
+            zc0.cols()
+        )));
+    }
+
+    let reduced = transform::project(sys, &left, &zc0)?;
+    Ok(ImpulseCancellation {
+        reduced,
+        unobservable_directions: z0.cols(),
+        removed_states: order - zc0.cols(),
+    })
+}
+
+/// Result of the nondynamic-mode removal (stage 2).
+#[derive(Debug, Clone)]
+pub struct NondynamicRemoval {
+    /// The reduced system; `E` is skew-symmetric and nonsingular, `A` is
+    /// symmetric, `B = −Cᵀ` and `D` is symmetric.  Only meaningful when
+    /// [`NondynamicRemoval::impulse_free`] is `true`.
+    pub reduced: DescriptorSystem,
+    /// Number of algebraic states eliminated.
+    pub removed_states: usize,
+    /// `true` when the `A₂₂` block was nonsingular, i.e. the input pencil was
+    /// impulse-free (paper Section 2.5, item 5).  When `false` the original
+    /// system cannot be passive: `Φ` retained observable/controllable
+    /// impulsive modes.
+    pub impulse_free: bool,
+}
+
+/// Eliminates the nondynamic (algebraic) states of a skew-symmetric/symmetric
+/// reduced Φ-system by a Schur complement on `A₂₂` (paper eqs. (18)–(19)).
+///
+/// A singular `A₂₂` (the reduced Φ is not impulse-free) is not an error: it is
+/// reported through [`NondynamicRemoval::impulse_free`], in which case
+/// `reduced` is the unmodified input.
+///
+/// # Errors
+///
+/// Propagates numerical failures.
+pub fn remove_nondynamic_modes(
+    sys: &DescriptorSystem,
+    rel_tol: f64,
+) -> Result<NondynamicRemoval, PassivityError> {
+    let order = sys.order();
+    let tol = rel_tol.max(1e-12);
+    if order == 0 {
+        return Ok(NondynamicRemoval {
+            reduced: sys.clone(),
+            removed_states: 0,
+            impulse_free: true,
+        });
+    }
+    let e_svd = ds_linalg::decomp::svd::svd(sys.e())?;
+    let rank_e = e_svd.rank(tol);
+    let k = order - rank_e;
+    if k == 0 {
+        return Ok(NondynamicRemoval {
+            reduced: sys.clone(),
+            removed_states: 0,
+            impulse_free: true,
+        });
+    }
+    // Orthogonal U whose leading columns span range(E) and trailing columns
+    // span ker(E); for a skew-symmetric E these are exact orthogonal
+    // complements.
+    let range = e_svd.u.block(0, order, 0, rank_e);
+    let u = subspace::complete_basis(&range, order)?;
+    let rotated = transform::restricted_equivalence(sys, &u, &u)?;
+
+    let r = rank_e;
+    let e11 = rotated.e().block(0, r, 0, r);
+    let a11 = rotated.a().block(0, r, 0, r);
+    let a12 = rotated.a().block(0, r, r, order);
+    let a21 = rotated.a().block(r, order, 0, r);
+    let a22 = rotated.a().block(r, order, r, order);
+    let b1 = rotated.b().block(0, r, 0, rotated.num_inputs());
+    let b2 = rotated.b().block(r, order, 0, rotated.num_inputs());
+    let c1 = rotated.c().block(0, rotated.num_outputs(), 0, r);
+    let c2 = rotated.c().block(0, rotated.num_outputs(), r, order);
+
+    // Impulse-freeness ⇔ A₂₂ nonsingular; decide with an SVD-based rank check
+    // (more robust than the LU pivot) and then factor for the Schur complement.
+    if subspace::rank(&a22, tol)? < k {
+        return Ok(NondynamicRemoval {
+            reduced: sys.clone(),
+            removed_states: 0,
+            impulse_free: false,
+        });
+    }
+    let a22_factor = lu::factor(&a22)?;
+    if a22_factor.singular {
+        return Ok(NondynamicRemoval {
+            reduced: sys.clone(),
+            removed_states: 0,
+            impulse_free: false,
+        });
+    }
+    let a22_inv_a21 = a22_factor.solve(&a21)?;
+    let a22_inv_b2 = a22_factor.solve(&b2)?;
+
+    let a_new = &a11 - &a12.matmul(&a22_inv_a21)?;
+    let b_new = &b1 - &a12.matmul(&a22_inv_b2)?;
+    let c_new = &c1 - &c2.matmul(&a22_inv_a21)?;
+    let d_new = sys.d() - &c2.matmul(&a22_inv_b2)?;
+
+    let reduced = DescriptorSystem::new(e11, a_new, b_new, c_new, d_new)?;
+    Ok(NondynamicRemoval {
+        reduced,
+        removed_states: k,
+        impulse_free: true,
+    })
+}
+
+/// Result of restoring the SHH structure (stage 3).
+#[derive(Debug, Clone)]
+pub struct ShhRestoration {
+    /// The restored system: `E` skew-Hamiltonian and nonsingular, `A`
+    /// Hamiltonian, `B = J Cᵀ`, `D` symmetric.
+    pub system: DescriptorSystem,
+    /// Half dimension `n_p` of the restored pencil.
+    pub half: usize,
+}
+
+/// Premultiplies the proper skew-symmetric/symmetric pencil by `−J` to restore
+/// a skew-Hamiltonian/Hamiltonian pencil (paper eq. (20)).
+///
+/// # Errors
+///
+/// Returns [`PassivityError::ReductionBreakdown`] for odd dimensions (which
+/// cannot occur for genuine Φ-reductions) and propagates numerical failures.
+pub fn restore_shh(sys: &DescriptorSystem) -> Result<ShhRestoration, PassivityError> {
+    let order = sys.order();
+    if order % 2 != 0 {
+        return Err(PassivityError::breakdown(format!(
+            "cannot restore SHH structure on an odd-dimensional system (order {order})"
+        )));
+    }
+    if order == 0 {
+        return Ok(ShhRestoration {
+            system: sys.clone(),
+            half: 0,
+        });
+    }
+    let e3 = structure::jt_mul(sys.e()).map_err(PassivityError::Shh)?;
+    let a3 = structure::jt_mul(sys.a()).map_err(PassivityError::Shh)?;
+    let b3 = structure::jt_mul(sys.b()).map_err(PassivityError::Shh)?;
+    let system = DescriptorSystem::new(e3, a3, b3, sys.c().clone(), sys.d().clone())?;
+    Ok(ShhRestoration {
+        system,
+        half: order / 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_descriptor::transfer;
+    use ds_shh::pencil::build_phi;
+
+    /// G(s) = R + sL: a passive impulsive system whose Φ is the constant 2R.
+    fn series_rl(r: f64, l: f64) -> DescriptorSystem {
+        let e = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let c = Matrix::from_rows(&[&[-l, 0.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::filled(1, 1, r)).unwrap()
+    }
+
+    /// G(s) = 0.5 + 1/(s+1) with a nondynamic algebraic state.
+    fn proper_rc() -> DescriptorSystem {
+        let e = Matrix::diag(&[1.0, 0.0]);
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[0.5]]);
+        let c = Matrix::from_rows(&[&[1.0, 1.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::filled(1, 1, 0.25)).unwrap()
+    }
+
+    #[test]
+    fn impulse_cancellation_on_series_rl_removes_the_impulsive_pair() {
+        let phi = build_phi(&series_rl(2.0, 3.0)).unwrap();
+        let cancelled = cancel_impulsive_modes(&phi, 1e-10).unwrap();
+        assert_eq!(cancelled.unobservable_directions, 1);
+        assert_eq!(cancelled.removed_states, 2);
+        assert_eq!(cancelled.reduced.order(), 2);
+        // Φ(s) = 2R = 4 is preserved (the leftover states are nondynamic).
+        for &w in &[0.0, 1.0, 100.0] {
+            let value = transfer::evaluate_jomega(&cancelled.reduced, w).unwrap();
+            assert!((value.re[(0, 0)] - 4.0).abs() < 1e-9);
+            assert!(value.im[(0, 0)].abs() < 1e-9);
+        }
+        // After removing the nondynamic leftovers nothing remains.
+        let removed = remove_nondynamic_modes(&cancelled.reduced, 1e-10).unwrap();
+        assert_eq!(removed.reduced.order(), 0);
+        assert!((removed.reduced.d()[(0, 0)] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impulse_cancellation_on_proper_system_removes_nothing() {
+        let phi = build_phi(&proper_rc()).unwrap();
+        let cancelled = cancel_impulsive_modes(&phi, 1e-10).unwrap();
+        assert_eq!(cancelled.unobservable_directions, 0);
+        assert_eq!(cancelled.removed_states, 0);
+        assert_eq!(cancelled.reduced.order(), 4);
+        // The output is always in skew-symmetric/symmetric form.
+        assert!(cancelled.reduced.e().is_skew_symmetric(1e-12));
+        assert!(cancelled.reduced.a().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn impulse_cancellation_preserves_transfer_function() {
+        // Passive system with both a proper part and an impulsive part:
+        // G(s) = 0.5 + 1/(s+1) + 3s (parallel sum of the two fixtures).
+        let sys = proper_rc().parallel_sum(&series_rl(0.0, 3.0)).unwrap();
+        let phi = build_phi(&sys).unwrap();
+        let cancelled = cancel_impulsive_modes(&phi, 1e-10).unwrap();
+        assert!(cancelled.removed_states > 0);
+        // The reduced Φ still equals G + G~ on the imaginary axis.
+        for &w in &[0.1, 1.0, 10.0] {
+            let expected = transfer::evaluate_jomega(&phi.system, w).unwrap();
+            let got = transfer::evaluate_jomega(&cancelled.reduced, w).unwrap();
+            assert!(
+                expected.sub(&got).norm_max() < 1e-8,
+                "transfer function changed at ω = {w}"
+            );
+        }
+        // The reduced pencil is skew-symmetric/symmetric.
+        assert!(cancelled.reduced.e().is_skew_symmetric(1e-9));
+        assert!(cancelled.reduced.a().is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn nondynamic_removal_keeps_transfer_and_kills_kernel() {
+        let sys = proper_rc();
+        let phi = build_phi(&sys).unwrap();
+        let cancelled = cancel_impulsive_modes(&phi, 1e-10).unwrap();
+        let removed = remove_nondynamic_modes(&cancelled.reduced, 1e-10).unwrap();
+        assert_eq!(removed.removed_states, 2);
+        assert_eq!(removed.reduced.order(), 2);
+        assert_eq!(
+            subspace::rank(removed.reduced.e(), 1e-12).unwrap(),
+            removed.reduced.order()
+        );
+        for &w in &[0.0, 0.5, 5.0] {
+            let expected = transfer::evaluate_jomega(&phi.system, w).unwrap();
+            let got = transfer::evaluate_jomega(&removed.reduced, w).unwrap();
+            assert!(expected.sub(&got).norm_max() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nondynamic_removal_detects_non_impulse_free_input() {
+        // A skew-symmetric/symmetric pencil with singular A22: take E with a
+        // 2-dimensional kernel but A22 = 0 in that corner.
+        let e = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0, 0.0],
+            &[-1.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0],
+        ]);
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 1.0],
+            &[0.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+        ]);
+        let sys = DescriptorSystem::new(
+            e,
+            a.symmetric_part(),
+            Matrix::zeros(4, 1),
+            Matrix::zeros(1, 4),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        let result = remove_nondynamic_modes(&sys, 1e-10).unwrap();
+        assert!(!result.impulse_free);
+        assert_eq!(result.removed_states, 0);
+    }
+
+    #[test]
+    fn restore_shh_gives_structured_pencil() {
+        // Start from a proper RC system, run the J-conversion round trip.
+        let sys = proper_rc();
+        let phi = build_phi(&sys).unwrap();
+        let identity = Matrix::identity(4);
+        let j = ds_shh::structure::j_matrix(2);
+        let skew_sym =
+            transform::project(&phi.system, &(&j * &identity).scale(-1.0), &identity).unwrap();
+        let removed = remove_nondynamic_modes(&skew_sym, 1e-10).unwrap();
+        let restored = restore_shh(&removed.reduced).unwrap();
+        assert_eq!(restored.half, 1);
+        let scale = restored.system.scale();
+        assert!(structure::is_skew_hamiltonian(restored.system.e(), 1e-9 * scale).unwrap());
+        assert!(structure::is_hamiltonian(restored.system.a(), 1e-9 * scale).unwrap());
+        // E must be nonsingular.
+        assert_eq!(
+            subspace::rank(restored.system.e(), 1e-12).unwrap(),
+            restored.system.order()
+        );
+        // Transfer function still intact.
+        for &w in &[0.3, 3.0] {
+            let expected = transfer::evaluate_jomega(&phi.system, w).unwrap();
+            let got = transfer::evaluate_jomega(&restored.system, w).unwrap();
+            assert!(expected.sub(&got).norm_max() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn restore_shh_rejects_odd_dimension() {
+        let sys = DescriptorSystem::new(
+            Matrix::identity(3),
+            Matrix::identity(3),
+            Matrix::zeros(3, 1),
+            Matrix::zeros(1, 3),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        assert!(restore_shh(&sys).is_err());
+    }
+
+    #[test]
+    fn empty_system_passes_through_every_stage() {
+        let empty = DescriptorSystem::new(
+            Matrix::zeros(0, 0),
+            Matrix::zeros(0, 0),
+            Matrix::zeros(0, 1),
+            Matrix::zeros(1, 0),
+            Matrix::filled(1, 1, 4.0),
+        )
+        .unwrap();
+        let removed = remove_nondynamic_modes(&empty, 1e-10).unwrap();
+        assert_eq!(removed.removed_states, 0);
+        let restored = restore_shh(&empty).unwrap();
+        assert_eq!(restored.half, 0);
+    }
+}

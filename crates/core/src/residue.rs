@@ -1,0 +1,216 @@
+//! Extraction of the residue matrix `M₁` (paper eqs. (24)–(25)).
+//!
+//! For a minimal passive descriptor system the impulsive part of `G(s)` is
+//! `s·M₁` with `M₁ ⪰ 0`.  `M₁` is recovered from the grade-1/grade-2
+//! generalized eigenvector chains of the pencil `(E, A)` at infinity:
+//!
+//! * right chains: `E v⁽¹⁾ = 0`, `E v⁽²⁾ = A v⁽¹⁾` (controllable directions),
+//! * left chains:  `Eᵀ w⁽¹⁾ = 0`, `Eᵀ w⁽²⁾ = Aᵀ w⁽¹⁾` (observable directions),
+//!
+//! and the deflating projections `Z_R∞ = [V⁽¹⁾, V⁽²⁾]`,
+//! `Z_L∞ = [W⁽¹⁾, W⁽²⁾]ᵀ` give `M₁ = −C_∞ A_∞⁺ E_∞ A_∞⁺ B_∞` on the projected
+//! quadruple (paper eq. (25)).
+
+use crate::error::PassivityError;
+use ds_descriptor::DescriptorSystem;
+use ds_linalg::{pinv, subspace, Matrix};
+
+/// Result of the residue extraction.
+#[derive(Debug, Clone)]
+pub struct ResidueExtraction {
+    /// The residue matrix `M₁` (`m x m`, zero when the system is proper).
+    pub m1: Matrix,
+    /// Number of grade-2 right (controllable) chains found.
+    pub right_chains: usize,
+    /// Number of grade-2 left (observable) chains found.
+    pub left_chains: usize,
+}
+
+/// Finds the grade-1 directions that continue into grade-2 chains:
+/// an orthonormal basis of `{v : E v = 0  and  A v ∈ range(E)}`.
+fn chain_starts(e: &Matrix, a: &Matrix, rel_tol: f64) -> Result<Matrix, PassivityError> {
+    let n = e.rows();
+    let kernel = subspace::null_space(e, rel_tol)?;
+    if kernel.cols() == 0 {
+        return Ok(Matrix::zeros(n, 0));
+    }
+    // Projector onto the orthogonal complement of range(E).
+    let range = subspace::range_basis(e, rel_tol)?;
+    let projector = &Matrix::identity(n) - &(&range * &range.transpose());
+    // v ∈ ker(E) with (I − P_range) A v = 0.
+    let stacked = Matrix::vstack(&[e, &projector.matmul(a)?]);
+    let starts = subspace::null_space(&stacked, rel_tol)?;
+    Ok(starts)
+}
+
+/// Extracts `M₁` from the generalized eigenvector chains of `(E, A)`.
+///
+/// Returns a zero matrix for proper systems (no grade-2 chains).  The result
+/// is exact when the polynomial part of `G(s)` has degree one; higher-order
+/// polynomial parts are the caller's responsibility to detect (they make the
+/// system non-passive regardless of `M₁`).
+///
+/// # Errors
+///
+/// Propagates numerical failures from the subspace computations.
+pub fn extract_m1(
+    sys: &DescriptorSystem,
+    rel_tol: f64,
+) -> Result<ResidueExtraction, PassivityError> {
+    let m_out = sys.num_outputs();
+    let m_in = sys.num_inputs();
+    let zero = Matrix::zeros(m_out, m_in);
+    let n = sys.order();
+    if n == 0 {
+        return Ok(ResidueExtraction {
+            m1: zero,
+            right_chains: 0,
+            left_chains: 0,
+        });
+    }
+    let e = sys.e();
+    let a = sys.a();
+
+    // Right (controllable) chains.
+    let v1 = chain_starts(e, a, rel_tol)?;
+    // Left (observable) chains.
+    let et = e.transpose();
+    let at = a.transpose();
+    let w1 = chain_starts(&et, &at, rel_tol)?;
+
+    if v1.cols() == 0 || w1.cols() == 0 {
+        return Ok(ResidueExtraction {
+            m1: zero,
+            right_chains: v1.cols(),
+            left_chains: w1.cols(),
+        });
+    }
+
+    // Grade-2 partners: minimum-norm solutions of E V2 = A V1 and Eᵀ W2 = Aᵀ W1.
+    let e_pinv = pinv::pseudo_inverse(e, rel_tol)?;
+    let v2 = e_pinv.matmul(&a.matmul(&v1)?)?;
+    let et_pinv = pinv::pseudo_inverse(&et, rel_tol)?;
+    let w2 = et_pinv.matmul(&at.matmul(&w1)?)?;
+
+    // Deflating projections (paper eq. (25)).
+    let zr = Matrix::hstack(&[&v1, &v2]);
+    let zl = Matrix::hstack(&[&w1, &w2]).transpose();
+    let e_inf = zl.matmul(&e.matmul(&zr)?)?;
+    let a_inf = zl.matmul(&a.matmul(&zr)?)?;
+    let b_inf = zl.matmul(sys.b())?;
+    let c_inf = sys.c().matmul(&zr)?;
+
+    let a_inf_pinv = pinv::pseudo_inverse(&a_inf, rel_tol)?;
+    let inner = a_inf_pinv.matmul(&e_inf.matmul(&a_inf_pinv.matmul(&b_inf)?)?)?;
+    let m1 = c_inf.matmul(&inner)?.scale(-1.0);
+
+    Ok(ResidueExtraction {
+        m1,
+        right_chains: v1.cols(),
+        left_chains: w1.cols(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_descriptor::transfer;
+
+    fn series_rl(r: f64, l: f64) -> DescriptorSystem {
+        let e = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let c = Matrix::from_rows(&[&[-l, 0.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::filled(1, 1, r)).unwrap()
+    }
+
+    fn proper_rc() -> DescriptorSystem {
+        let e = Matrix::diag(&[1.0, 0.0]);
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[0.5]]);
+        let c = Matrix::from_rows(&[&[1.0, 1.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::filled(1, 1, 0.25)).unwrap()
+    }
+
+    #[test]
+    fn m1_of_series_rl_is_the_inductance() {
+        let extraction = extract_m1(&series_rl(2.0, 3.5), 1e-10).unwrap();
+        assert_eq!(extraction.right_chains, 1);
+        assert_eq!(extraction.left_chains, 1);
+        assert!((extraction.m1[(0, 0)] - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn m1_of_proper_system_is_zero() {
+        let extraction = extract_m1(&proper_rc(), 1e-10).unwrap();
+        assert_eq!(extraction.m1.norm_max(), 0.0);
+        assert_eq!(extraction.right_chains, 0);
+    }
+
+    #[test]
+    fn m1_of_mixed_system_matches_sampling() {
+        let sys = proper_rc().parallel_sum(&series_rl(0.5, 2.25)).unwrap();
+        let extraction = extract_m1(&sys, 1e-10).unwrap();
+        let sampled = transfer::sample_m1(&sys, 1e5).unwrap();
+        assert!(
+            (extraction.m1[(0, 0)] - sampled[(0, 0)]).abs() < 1e-5,
+            "chain-based {} vs sampled {}",
+            extraction.m1[(0, 0)],
+            sampled[(0, 0)]
+        );
+        assert!((extraction.m1[(0, 0)] - 2.25).abs() < 1e-8);
+    }
+
+    #[test]
+    fn m1_of_mimo_system_is_symmetric_psd() {
+        // Two decoupled RL branches: M1 = diag(1.5, 0.75).
+        let branch1 = series_rl(1.0, 1.5);
+        let branch2 = series_rl(0.5, 0.75);
+        let e = Matrix::block_diag(&[branch1.e(), branch2.e()]);
+        let a = Matrix::block_diag(&[branch1.a(), branch2.a()]);
+        let b = Matrix::block_diag(&[branch1.b(), branch2.b()]);
+        let c = Matrix::block_diag(&[branch1.c(), branch2.c()]);
+        let d = Matrix::diag(&[1.0, 0.5]);
+        let sys = DescriptorSystem::new(e, a, b, c, d).unwrap();
+        let extraction = extract_m1(&sys, 1e-10).unwrap();
+        assert!(extraction.m1.is_symmetric(1e-9));
+        assert!((extraction.m1[(0, 0)] - 1.5).abs() < 1e-8);
+        assert!((extraction.m1[(1, 1)] - 0.75).abs() < 1e-8);
+        assert!(extraction.m1[(0, 1)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_inductance_gives_indefinite_m1() {
+        let extraction = extract_m1(&series_rl(1.0, -2.0), 1e-10).unwrap();
+        assert!(extraction.m1[(0, 0)] < 0.0);
+    }
+
+    #[test]
+    fn regular_system_has_no_chains() {
+        let sys = DescriptorSystem::new(
+            Matrix::identity(2),
+            Matrix::diag(&[-1.0, -2.0]),
+            Matrix::column(&[1.0, 1.0]),
+            Matrix::row_vector(&[1.0, 1.0]),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        let extraction = extract_m1(&sys, 1e-10).unwrap();
+        assert_eq!(extraction.m1.norm_max(), 0.0);
+    }
+
+    #[test]
+    fn empty_system() {
+        let sys = DescriptorSystem::new(
+            Matrix::zeros(0, 0),
+            Matrix::zeros(0, 0),
+            Matrix::zeros(0, 2),
+            Matrix::zeros(2, 0),
+            Matrix::identity(2),
+        )
+        .unwrap();
+        let extraction = extract_m1(&sys, 1e-10).unwrap();
+        assert_eq!(extraction.m1.shape(), (2, 2));
+        assert_eq!(extraction.m1.norm_max(), 0.0);
+    }
+}

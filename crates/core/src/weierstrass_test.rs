@@ -1,0 +1,233 @@
+//! The Weierstrass-decomposition passivity test (the paper's first baseline).
+//!
+//! The conventional route: decompose `G(s)` into its proper part and
+//! polynomial (Markov) part first — the paper uses GUPTRI for this, we use the
+//! Cayley-shift decomposition of [`ds_descriptor::weierstrass`] — and then test
+//! each part separately:
+//!
+//! * Markov parameters of order ≥ 2 must vanish,
+//! * `M₁` must be symmetric positive semidefinite,
+//! * the proper part must be stable and positive real.
+//!
+//! This reproduces the approach the paper benchmarks in Table 1 / Fig. 2 under
+//! the name "Weierstrass decomposition"; as the paper notes, it relies on
+//! generally non-orthogonal (potentially ill-conditioned) transformations.
+
+use crate::error::PassivityError;
+use crate::report::{NonPassivityReason, PassivityReport, PassivityVerdict};
+use ds_descriptor::weierstrass::{decompose, WeierstrassOptions};
+use ds_descriptor::DescriptorSystem;
+use ds_linalg::decomp::symmetric;
+use ds_shh::positive_real::{self, PositiveRealOptions, PositiveRealVerdict};
+
+/// Options for the Weierstrass-baseline passivity test.
+#[derive(Debug, Clone)]
+pub struct WeierstrassTestOptions {
+    /// Options forwarded to the Weierstrass decomposition.
+    pub decomposition: WeierstrassOptions,
+    /// Relative tolerance for definiteness checks.
+    pub rel_tol: f64,
+    /// Options forwarded to the positive-realness test of the proper part.
+    pub positive_real: PositiveRealOptions,
+}
+
+impl Default for WeierstrassTestOptions {
+    fn default() -> Self {
+        WeierstrassTestOptions {
+            decomposition: WeierstrassOptions::default(),
+            rel_tol: 1e-9,
+            positive_real: PositiveRealOptions::default(),
+        }
+    }
+}
+
+/// Runs the Weierstrass-decomposition passivity test.
+///
+/// # Errors
+///
+/// Structural failures only (non-square systems, singular pencils, numerical
+/// breakdowns); "not passive" is reported through the verdict.
+pub fn check_passivity_weierstrass(
+    sys: &DescriptorSystem,
+    options: &WeierstrassTestOptions,
+) -> Result<PassivityReport, PassivityError> {
+    if !sys.is_square_system() {
+        return Err(PassivityError::NotSquareSystem {
+            inputs: sys.num_inputs(),
+            outputs: sys.num_outputs(),
+        });
+    }
+    let tol = options.rel_tol.max(1e-13);
+    let scale = sys.scale();
+
+    let decomposition = decompose(sys, &options.decomposition)?;
+
+    // Markov parameters of order ≥ 2 rule out passivity immediately.
+    if decomposition.polynomial_degree() >= 2 {
+        let mut report = PassivityReport::new(
+            "weierstrass",
+            PassivityVerdict::NotPassive {
+                reason: NonPassivityReason::HigherOrderMarkovParameters,
+            },
+        );
+        report.m1 = Some(decomposition.m1(sys.num_outputs(), sys.num_inputs()));
+        return Ok(report);
+    }
+
+    // M₁ must be PSD (symmetric part; an asymmetric M₁ is also non-passive and
+    // shows up as an indefinite symmetric part or via the PR test).
+    let m1 = decomposition.m1(sys.num_outputs(), sys.num_inputs());
+    if m1.rows() > 0 && m1.norm_max() > 0.0 {
+        let skew_norm = m1.skew_part().norm_max();
+        let min_eig = symmetric::min_eigenvalue(&m1.symmetric_part())?;
+        if min_eig < -tol.max(1e-10) * scale || skew_norm > 1e-7 * scale {
+            let mut report = PassivityReport::new(
+                "weierstrass",
+                PassivityVerdict::NotPassive {
+                    reason: NonPassivityReason::IndefiniteResidue {
+                        min_eigenvalue: min_eig.min(-skew_norm),
+                    },
+                },
+            );
+            report.m1 = Some(m1);
+            return Ok(report);
+        }
+    }
+
+    // Stability of the finite modes.
+    let proper = decomposition.proper.clone();
+    if proper.order() > 0 && !proper.is_stable(0.0)? {
+        let mut report = PassivityReport::new(
+            "weierstrass",
+            PassivityVerdict::NotPassive {
+                reason: NonPassivityReason::UnstableFiniteModes,
+            },
+        );
+        report.m1 = Some(m1);
+        report.proper_part = Some(proper);
+        return Ok(report);
+    }
+
+    // Positive realness of the proper part.
+    let verdict = positive_real::test_positive_real(&proper, &options.positive_real)
+        .map_err(PassivityError::Shh)?;
+    let overall = match verdict {
+        PositiveRealVerdict::StrictlyPositiveReal => PassivityVerdict::Passive {
+            strictly: m1.norm_max() <= tol * scale,
+        },
+        PositiveRealVerdict::PositiveReal { .. } => PassivityVerdict::Passive { strictly: false },
+        PositiveRealVerdict::NotPositiveReal {
+            witness_frequency,
+            min_eigenvalue,
+        } => PassivityVerdict::NotPassive {
+            reason: NonPassivityReason::ProperPartNotPositiveReal {
+                witness_frequency,
+                min_eigenvalue,
+            },
+        },
+    };
+    let mut report = PassivityReport::new("weierstrass", overall);
+    report.m1 = Some(m1);
+    report.proper_part = Some(proper);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_circuits::generators;
+    use ds_linalg::Matrix;
+
+    fn opts() -> WeierstrassTestOptions {
+        WeierstrassTestOptions::default()
+    }
+
+    fn series_rl(r: f64, l: f64) -> DescriptorSystem {
+        let e = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let c = Matrix::from_rows(&[&[-l, 0.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::filled(1, 1, r)).unwrap()
+    }
+
+    #[test]
+    fn passive_rl_accepted() {
+        let report = check_passivity_weierstrass(&series_rl(2.0, 3.0), &opts()).unwrap();
+        assert!(report.verdict.is_passive(), "{}", report.verdict);
+        assert!((report.m1.unwrap()[(0, 0)] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn negative_inductance_rejected() {
+        let report = check_passivity_weierstrass(&series_rl(2.0, -1.0), &opts()).unwrap();
+        assert!(!report.verdict.is_passive());
+    }
+
+    #[test]
+    fn passive_circuits_accepted() {
+        for model in [
+            generators::rc_ladder(4, 1.0, 1.0).unwrap(),
+            generators::rlc_ladder_with_impulsive(10).unwrap(),
+            generators::rc_grid(3, 3).unwrap(),
+        ] {
+            let report = check_passivity_weierstrass(&model.system, &opts()).unwrap();
+            assert!(
+                report.verdict.is_passive(),
+                "{}: {}",
+                model.name,
+                report.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn nonpassive_circuits_rejected() {
+        for model in [
+            generators::nonpassive_ladder(8).unwrap(),
+            generators::negative_m1_model(8).unwrap(),
+        ] {
+            let report = check_passivity_weierstrass(&model.system, &opts()).unwrap();
+            assert!(
+                !report.verdict.is_passive(),
+                "{} wrongly accepted",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_impedance_rejected_for_higher_markov() {
+        let e = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[0.0, 0.0, 0.0],
+        ]);
+        let a = Matrix::identity(3);
+        let b = Matrix::column(&[0.0, 0.0, 1.0]);
+        let c = Matrix::row_vector(&[-2.0, 0.0, 0.0]);
+        let sys = DescriptorSystem::new(e, a, b, c, Matrix::filled(1, 1, 1.0)).unwrap();
+        let report = check_passivity_weierstrass(&sys, &opts()).unwrap();
+        assert_eq!(
+            report.verdict,
+            PassivityVerdict::NotPassive {
+                reason: NonPassivityReason::HigherOrderMarkovParameters
+            }
+        );
+    }
+
+    #[test]
+    fn unstable_finite_mode_rejected() {
+        let e = Matrix::diag(&[1.0, 0.0]);
+        let a = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let c = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let sys = DescriptorSystem::new(e, a, b, c, Matrix::filled(1, 1, 1.0)).unwrap();
+        let report = check_passivity_weierstrass(&sys, &opts()).unwrap();
+        assert_eq!(
+            report.verdict,
+            PassivityVerdict::NotPassive {
+                reason: NonPassivityReason::UnstableFiniteModes
+            }
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Error type for descriptor-system operations.
+
+use ds_linalg::LinalgError;
+use std::fmt;
+
+/// Error returned by descriptor-system routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DescriptorError {
+    /// The five system matrices have inconsistent dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the inconsistency.
+        details: String,
+    },
+    /// The pencil `(E, A)` is singular (not regular): `det(sE − A) ≡ 0`.
+    SingularPencil,
+    /// The requested operation needs a square system (`m` inputs = `m` outputs).
+    NotSquareSystem {
+        /// Number of inputs.
+        inputs: usize,
+        /// Number of outputs.
+        outputs: usize,
+    },
+    /// The operation requires an impulse-free / admissible system but the input
+    /// is not.
+    NotAdmissible {
+        /// Explanation of the failed requirement.
+        details: String,
+    },
+    /// A numerical kernel failed underneath.
+    Numerical(LinalgError),
+    /// Generic invalid input.
+    InvalidInput {
+        /// Explanation of the violated precondition.
+        message: String,
+    },
+}
+
+impl fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DescriptorError::DimensionMismatch { details } => {
+                write!(f, "dimension mismatch: {details}")
+            }
+            DescriptorError::SingularPencil => {
+                write!(f, "the matrix pencil (E, A) is singular (not regular)")
+            }
+            DescriptorError::NotSquareSystem { inputs, outputs } => write!(
+                f,
+                "operation requires a square system, got {inputs} inputs and {outputs} outputs"
+            ),
+            DescriptorError::NotAdmissible { details } => {
+                write!(f, "system is not admissible: {details}")
+            }
+            DescriptorError::Numerical(e) => write!(f, "numerical kernel failed: {e}"),
+            DescriptorError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DescriptorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DescriptorError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for DescriptorError {
+    fn from(e: LinalgError) -> Self {
+        DescriptorError::Numerical(e)
+    }
+}
+
+impl DescriptorError {
+    /// Convenience constructor for [`DescriptorError::InvalidInput`].
+    pub fn invalid_input(message: impl Into<String>) -> Self {
+        DescriptorError::InvalidInput {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`DescriptorError::DimensionMismatch`].
+    pub fn dimension_mismatch(details: impl Into<String>) -> Self {
+        DescriptorError::DimensionMismatch {
+            details: details.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DescriptorError::SingularPencil.to_string().contains("singular"));
+        assert!(DescriptorError::dimension_mismatch("E is 2x3")
+            .to_string()
+            .contains("E is 2x3"));
+        assert!(DescriptorError::NotSquareSystem {
+            inputs: 2,
+            outputs: 3
+        }
+        .to_string()
+        .contains("2 inputs"));
+    }
+
+    #[test]
+    fn from_linalg_error_keeps_source() {
+        let inner = LinalgError::Singular { operation: "lu" };
+        let err: DescriptorError = inner.clone().into();
+        assert_eq!(err, DescriptorError::Numerical(inner));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<DescriptorError>();
+    }
+}

@@ -1,0 +1,245 @@
+//! Impulse-freeness, impulse observability and impulse controllability tests
+//! (paper Section 2.5, SVD-coordinate characterizations).
+
+use crate::error::DescriptorError;
+use crate::system::DescriptorSystem;
+use crate::transform::{to_svd_coordinates, SvdCoordinates};
+use ds_linalg::{subspace, Matrix};
+
+/// Summary of the impulsive structure of a descriptor system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImpulseReport {
+    /// Numerical rank of `E`.
+    pub rank_e: usize,
+    /// `true` when the pair `(E, A)` is impulse-free.
+    pub impulse_free: bool,
+    /// `true` when the triple `(E, A, C)` is impulse observable.
+    pub impulse_observable: bool,
+    /// `true` when the triple `(E, A, B)` is impulse controllable.
+    pub impulse_controllable: bool,
+}
+
+/// Relative tolerance wrapper used by all tests in this module.
+fn tol_for(sys: &DescriptorSystem, rel_tol: f64) -> f64 {
+    rel_tol.max(f64::EPSILON * sys.order() as f64)
+}
+
+/// Computes the full impulse report for a descriptor system.
+///
+/// # Errors
+///
+/// Propagates SVD failures.
+pub fn analyze(sys: &DescriptorSystem, rel_tol: f64) -> Result<ImpulseReport, DescriptorError> {
+    let tol = tol_for(sys, rel_tol);
+    let coords = to_svd_coordinates(sys, tol)?;
+    Ok(ImpulseReport {
+        rank_e: coords.rank_e,
+        impulse_free: impulse_free_from_coords(&coords, tol)?,
+        impulse_observable: impulse_observable_from_coords(&coords, tol)?,
+        impulse_controllable: impulse_controllable_from_coords(&coords, tol)?,
+    })
+}
+
+/// Returns `true` when the pair `(E, A)` is impulse-free: in SVD coordinates
+/// the `A₂₂` block either vanishes (trivially, when `E` has full rank) or is
+/// nonsingular (paper Section 2.5, item 5).
+///
+/// # Errors
+///
+/// Propagates SVD failures.
+pub fn is_impulse_free(sys: &DescriptorSystem, rel_tol: f64) -> Result<bool, DescriptorError> {
+    let tol = tol_for(sys, rel_tol);
+    let coords = to_svd_coordinates(sys, tol)?;
+    impulse_free_from_coords(&coords, tol)
+}
+
+/// Returns `true` when the triple `(E, A, C)` is impulse observable: the
+/// stacked block `[A₂₂; C₂]` has full column rank.
+///
+/// # Errors
+///
+/// Propagates SVD failures.
+pub fn is_impulse_observable(
+    sys: &DescriptorSystem,
+    rel_tol: f64,
+) -> Result<bool, DescriptorError> {
+    let tol = tol_for(sys, rel_tol);
+    let coords = to_svd_coordinates(sys, tol)?;
+    impulse_observable_from_coords(&coords, tol)
+}
+
+/// Returns `true` when the triple `(E, A, B)` is impulse controllable: the
+/// stacked block `[A₂₂, B₂]` has full row rank.
+///
+/// # Errors
+///
+/// Propagates SVD failures.
+pub fn is_impulse_controllable(
+    sys: &DescriptorSystem,
+    rel_tol: f64,
+) -> Result<bool, DescriptorError> {
+    let tol = tol_for(sys, rel_tol);
+    let coords = to_svd_coordinates(sys, tol)?;
+    impulse_controllable_from_coords(&coords, tol)
+}
+
+fn impulse_free_from_coords(coords: &SvdCoordinates, tol: f64) -> Result<bool, DescriptorError> {
+    let n = coords.system.order();
+    let k = n - coords.rank_e;
+    if k == 0 {
+        return Ok(true);
+    }
+    let a22 = coords.a22();
+    Ok(subspace::rank(&a22, tol)? == k)
+}
+
+fn impulse_observable_from_coords(
+    coords: &SvdCoordinates,
+    tol: f64,
+) -> Result<bool, DescriptorError> {
+    let n = coords.system.order();
+    let k = n - coords.rank_e;
+    if k == 0 {
+        return Ok(true);
+    }
+    let stacked = Matrix::vstack(&[&coords.a22(), &coords.c2()]);
+    Ok(subspace::rank(&stacked, tol)? == k)
+}
+
+fn impulse_controllable_from_coords(
+    coords: &SvdCoordinates,
+    tol: f64,
+) -> Result<bool, DescriptorError> {
+    let n = coords.system.order();
+    let k = n - coords.rank_e;
+    if k == 0 {
+        return Ok(true);
+    }
+    let stacked = Matrix::hstack(&[&coords.a22(), &coords.b2()]);
+    Ok(subspace::rank(&stacked, tol)? == k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Index-1 system (nondynamic mode only, impulse-free).
+    fn index1() -> DescriptorSystem {
+        let e = Matrix::diag(&[1.0, 0.0]);
+        let a = Matrix::from_rows(&[&[-1.0, 0.5], &[0.0, -2.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let c = Matrix::from_rows(&[&[1.0, 0.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::zeros(1, 1)).unwrap()
+    }
+
+    /// Index-2 system with an impulsive mode: nilpotent block of size 2.
+    fn index2() -> DescriptorSystem {
+        // E = [[1,0,0],[0,0,1],[0,0,0]], A = I gives a Jordan block at infinity
+        // of size 2 plus one finite mode at 1... make the finite mode stable:
+        let e = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[0.0, 0.0, 0.0],
+        ]);
+        let a = Matrix::from_rows(&[
+            &[-1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ]);
+        let b = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0]]);
+        let c = Matrix::from_rows(&[&[1.0, 1.0, 0.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::zeros(1, 1)).unwrap()
+    }
+
+    #[test]
+    fn regular_state_space_is_impulse_free() {
+        let sys = DescriptorSystem::new(
+            Matrix::identity(2),
+            Matrix::diag(&[-1.0, -2.0]),
+            Matrix::column(&[1.0, 0.0]),
+            Matrix::row_vector(&[1.0, 1.0]),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        let report = analyze(&sys, 1e-10).unwrap();
+        assert!(report.impulse_free);
+        assert!(report.impulse_observable);
+        assert!(report.impulse_controllable);
+        assert_eq!(report.rank_e, 2);
+    }
+
+    #[test]
+    fn index1_system_is_impulse_free() {
+        let report = analyze(&index1(), 1e-10).unwrap();
+        assert_eq!(report.rank_e, 1);
+        assert!(report.impulse_free);
+    }
+
+    #[test]
+    fn index2_system_has_impulsive_modes() {
+        let sys = index2();
+        let report = analyze(&sys, 1e-10).unwrap();
+        assert_eq!(report.rank_e, 2);
+        assert!(!report.impulse_free);
+    }
+
+    #[test]
+    fn index2_system_impulse_controllability_and_observability() {
+        // With B touching the impulsive chain the system is impulse
+        // controllable; with C touching it, impulse observable.
+        let sys = index2();
+        let report = analyze(&sys, 1e-10).unwrap();
+        // These specific structures are controllable/observable at infinity.
+        assert!(report.impulse_controllable);
+        assert!(report.impulse_observable);
+    }
+
+    #[test]
+    fn unobservable_impulsive_mode_detected() {
+        // Same pencil as index2 but C does not see the impulsive chain and B
+        // does not excite it.
+        let e = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[0.0, 0.0, 0.0],
+        ]);
+        let a = Matrix::diag(&[-1.0, 1.0, 1.0]);
+        let b = Matrix::from_rows(&[&[1.0], &[0.0], &[0.0]]);
+        let c = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        let sys = DescriptorSystem::new(e, a, b, c, Matrix::zeros(1, 1)).unwrap();
+        let report = analyze(&sys, 1e-10).unwrap();
+        assert!(!report.impulse_free);
+        assert!(!report.impulse_observable);
+        assert!(!report.impulse_controllable);
+    }
+
+    #[test]
+    fn individual_predicates_match_report() {
+        let sys = index2();
+        let report = analyze(&sys, 1e-10).unwrap();
+        assert_eq!(is_impulse_free(&sys, 1e-10).unwrap(), report.impulse_free);
+        assert_eq!(
+            is_impulse_observable(&sys, 1e-10).unwrap(),
+            report.impulse_observable
+        );
+        assert_eq!(
+            is_impulse_controllable(&sys, 1e-10).unwrap(),
+            report.impulse_controllable
+        );
+    }
+
+    #[test]
+    fn full_rank_e_shortcuts() {
+        let sys = DescriptorSystem::new(
+            Matrix::identity(3),
+            Matrix::diag(&[-1.0, -2.0, -3.0]),
+            Matrix::zeros(3, 1),
+            Matrix::zeros(1, 3),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        // Even with zero B and C, a full-rank-E system has no impulsive modes.
+        let report = analyze(&sys, 1e-10).unwrap();
+        assert!(report.impulse_free && report.impulse_observable && report.impulse_controllable);
+    }
+}

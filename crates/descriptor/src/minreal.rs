@@ -1,0 +1,210 @@
+//! Minimal-realization helpers for regular state-space systems.
+//!
+//! The necessity direction of the positive-real LMI (paper Section 2.2) and
+//! the `M₁` chain construction (Section 3.4) both assume a *minimal*
+//! realization.  This module provides the Kalman-style reduction that removes
+//! uncontrollable and unobservable finite modes from a [`StateSpace`], plus the
+//! controllability/observability subspace computations it is built on.
+
+use crate::error::DescriptorError;
+use crate::system::StateSpace;
+use ds_linalg::{subspace, Matrix};
+
+/// Orthonormal basis of the controllable subspace
+/// `span[B, AB, …, A^{n−1}B]` of `(A, B)`.
+///
+/// # Errors
+///
+/// Propagates numerical failures.
+pub fn controllable_subspace(a: &Matrix, b: &Matrix, rel_tol: f64) -> Result<Matrix, DescriptorError> {
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Matrix::zeros(0, 0));
+    }
+    let mut basis = subspace::range_basis(b, rel_tol)?;
+    loop {
+        if basis.cols() == 0 || basis.cols() == n {
+            return Ok(basis);
+        }
+        let image = a.matmul(&basis)?;
+        let extended = subspace::sum(&basis, &image, rel_tol)?;
+        if extended.cols() == basis.cols() {
+            return Ok(basis);
+        }
+        basis = extended;
+    }
+}
+
+/// Orthonormal basis of the observable subspace of `(A, C)` (the orthogonal
+/// complement of the unobservable subspace `⋂ Ker(C Aᵏ)`).
+///
+/// # Errors
+///
+/// Propagates numerical failures.
+pub fn observable_subspace(a: &Matrix, c: &Matrix, rel_tol: f64) -> Result<Matrix, DescriptorError> {
+    // Observability of (A, C) is controllability of (Aᵀ, Cᵀ).
+    controllable_subspace(&a.transpose(), &c.transpose(), rel_tol)
+}
+
+/// Result of a minimal-realization reduction.
+#[derive(Debug, Clone)]
+pub struct MinimalRealization {
+    /// The reduced (controllable and observable) state space.
+    pub system: StateSpace,
+    /// Number of uncontrollable states removed.
+    pub removed_uncontrollable: usize,
+    /// Number of unobservable states removed (after the controllability pass).
+    pub removed_unobservable: usize,
+}
+
+/// Removes uncontrollable and then unobservable finite modes of a state-space
+/// system by orthogonal projection onto the controllable / observable
+/// subspaces.  The transfer function is preserved.
+///
+/// # Errors
+///
+/// Propagates numerical failures.
+pub fn minimal_realization(
+    ss: &StateSpace,
+    rel_tol: f64,
+) -> Result<MinimalRealization, DescriptorError> {
+    let n = ss.order();
+    // Controllability pass.
+    let vc = controllable_subspace(&ss.a, &ss.b, rel_tol)?;
+    let (a1, b1, c1) = if vc.cols() < n {
+        (
+            vc.transpose_matmul(&ss.a.matmul(&vc)?)?,
+            vc.transpose_matmul(&ss.b)?,
+            ss.c.matmul(&vc)?,
+        )
+    } else {
+        (ss.a.clone(), ss.b.clone(), ss.c.clone())
+    };
+    let removed_uncontrollable = n - a1.rows();
+
+    // Observability pass on the reduced system.
+    let vo = observable_subspace(&a1, &c1, rel_tol)?;
+    let n1 = a1.rows();
+    let (a2, b2, c2) = if vo.cols() < n1 {
+        (
+            vo.transpose_matmul(&a1.matmul(&vo)?)?,
+            vo.transpose_matmul(&b1)?,
+            c1.matmul(&vo)?,
+        )
+    } else {
+        (a1, b1, c1)
+    };
+    let removed_unobservable = n1 - a2.rows();
+
+    Ok(MinimalRealization {
+        system: StateSpace::new(a2, b2, c2, ss.d.clone())?,
+        removed_uncontrollable,
+        removed_unobservable,
+    })
+}
+
+/// Returns `true` when `(A, B)` is controllable and `(A, C)` observable,
+/// i.e. the realization is already minimal.
+///
+/// # Errors
+///
+/// Propagates numerical failures.
+pub fn is_minimal(ss: &StateSpace, rel_tol: f64) -> Result<bool, DescriptorError> {
+    let n = ss.order();
+    Ok(controllable_subspace(&ss.a, &ss.b, rel_tol)?.cols() == n
+        && observable_subspace(&ss.a, &ss.c, rel_tol)?.cols() == n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer;
+    use ds_linalg::Complex;
+
+    fn probe(ss: &StateSpace, s: Complex) -> f64 {
+        let v = transfer::evaluate_state_space(ss, s).unwrap();
+        v.re[(0, 0)]
+    }
+
+    #[test]
+    fn controllable_subspace_of_controllable_pair_is_full() {
+        let a = Matrix::from_rows(&[&[-1.0, 1.0], &[0.0, -2.0]]);
+        let b = Matrix::column(&[0.0, 1.0]);
+        assert_eq!(controllable_subspace(&a, &b, 1e-10).unwrap().cols(), 2);
+    }
+
+    #[test]
+    fn uncontrollable_mode_detected_and_removed() {
+        // Block-diagonal system where the second state never sees the input.
+        let a = Matrix::diag(&[-1.0, -5.0]);
+        let b = Matrix::column(&[1.0, 0.0]);
+        let c = Matrix::row_vector(&[2.0, 3.0]);
+        let ss = StateSpace::new(a, b, c, Matrix::zeros(1, 1)).unwrap();
+        assert!(!is_minimal(&ss, 1e-10).unwrap());
+        let min = minimal_realization(&ss, 1e-10).unwrap();
+        assert_eq!(min.system.order(), 1);
+        assert_eq!(min.removed_uncontrollable, 1);
+        assert_eq!(min.removed_unobservable, 0);
+        // Transfer function preserved: G(s) = 2/(s+1).
+        for &w in &[0.0, 1.0, 4.0] {
+            let s = Complex::new(0.0, w);
+            assert!((probe(&ss, s) - probe(&min.system, s)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn unobservable_mode_detected_and_removed() {
+        let a = Matrix::diag(&[-1.0, -5.0]);
+        let b = Matrix::column(&[1.0, 1.0]);
+        let c = Matrix::row_vector(&[2.0, 0.0]);
+        let ss = StateSpace::new(a, b, c, Matrix::zeros(1, 1)).unwrap();
+        let min = minimal_realization(&ss, 1e-10).unwrap();
+        assert_eq!(min.system.order(), 1);
+        assert_eq!(min.removed_unobservable, 1);
+        for &w in &[0.3, 2.0] {
+            let s = Complex::new(0.5, w);
+            assert!((probe(&ss, s) - probe(&min.system, s)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn minimal_system_untouched() {
+        let a = Matrix::from_rows(&[&[-1.0, 1.0], &[0.0, -2.0]]);
+        let b = Matrix::column(&[0.0, 1.0]);
+        let c = Matrix::row_vector(&[1.0, 0.0]);
+        let ss = StateSpace::new(a, b, c, Matrix::filled(1, 1, 0.5)).unwrap();
+        assert!(is_minimal(&ss, 1e-10).unwrap());
+        let min = minimal_realization(&ss, 1e-10).unwrap();
+        assert_eq!(min.system.order(), 2);
+        assert_eq!(min.removed_uncontrollable + min.removed_unobservable, 0);
+    }
+
+    #[test]
+    fn duplicated_parallel_branches_collapse() {
+        // Two identical RC branches in parallel share a single pole; the
+        // duplicated realization is reducible to order 1.
+        let a = Matrix::diag(&[-1.0, -1.0]);
+        let b = Matrix::column(&[1.0, 1.0]);
+        let c = Matrix::row_vector(&[0.5, 0.5]);
+        let ss = StateSpace::new(a, b, c, Matrix::zeros(1, 1)).unwrap();
+        let min = minimal_realization(&ss, 1e-10).unwrap();
+        assert_eq!(min.system.order(), 1);
+        for &w in &[0.0, 1.0, 10.0] {
+            let s = Complex::new(0.0, w);
+            assert!((probe(&ss, s) - probe(&min.system, s)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_system_is_minimal() {
+        let ss = StateSpace::new(
+            Matrix::zeros(0, 0),
+            Matrix::zeros(0, 1),
+            Matrix::zeros(1, 0),
+            Matrix::filled(1, 1, 1.0),
+        )
+        .unwrap();
+        assert!(is_minimal(&ss, 1e-10).unwrap());
+        assert_eq!(minimal_realization(&ss, 1e-10).unwrap().system.order(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Finite-pole analysis and admissibility checks for descriptor systems.
+
+use crate::error::DescriptorError;
+use crate::impulse;
+use crate::system::DescriptorSystem;
+use crate::weierstrass::{decompose, WeierstrassOptions};
+use ds_linalg::{eigen, Complex};
+
+/// Finite dynamic eigenvalues of the pencil `(E, A)` (the poles of the finite
+/// part of `G(s)`), computed through the Weierstrass-style decomposition.
+///
+/// # Errors
+///
+/// Propagates decomposition failures (e.g. singular pencils).
+pub fn finite_eigenvalues(sys: &DescriptorSystem) -> Result<Vec<Complex>, DescriptorError> {
+    let dec = decompose(sys, &WeierstrassOptions::default())?;
+    Ok(eigen::eigenvalues(&dec.proper.a)?)
+}
+
+/// The number of finite dynamic modes `q = deg det(sE − A)`.
+///
+/// # Errors
+///
+/// Propagates decomposition failures.
+pub fn finite_degree(sys: &DescriptorSystem) -> Result<usize, DescriptorError> {
+    Ok(decompose(sys, &WeierstrassOptions::default())?.finite_dim)
+}
+
+/// Returns `true` when every finite eigenvalue of `(E, A)` has a strictly
+/// negative real part (the pencil is *stable* in the paper's terminology).
+///
+/// # Errors
+///
+/// Propagates decomposition failures.
+pub fn is_stable(sys: &DescriptorSystem, tol: f64) -> Result<bool, DescriptorError> {
+    let eigs = finite_eigenvalues(sys)?;
+    Ok(eigs.iter().all(|z| z.re < -tol.abs()))
+}
+
+/// Returns `true` when the descriptor system is *admissible*: regular, stable
+/// and impulse-free.
+///
+/// # Errors
+///
+/// Propagates the underlying regularity, stability and impulse-test failures.
+pub fn is_admissible(sys: &DescriptorSystem, tol: f64) -> Result<bool, DescriptorError> {
+    if !sys.is_regular(tol)? {
+        return Ok(false);
+    }
+    if !impulse::is_impulse_free(sys, tol)? {
+        return Ok(false);
+    }
+    is_stable(sys, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_linalg::Matrix;
+
+    fn stable_index1() -> DescriptorSystem {
+        let e = Matrix::diag(&[1.0, 1.0, 0.0]);
+        let a = Matrix::from_rows(&[
+            &[-1.0, 0.2, 0.0],
+            &[0.0, -3.0, 1.0],
+            &[0.0, 0.0, -1.0],
+        ]);
+        let b = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0]]);
+        let c = Matrix::from_rows(&[&[1.0, 1.0, 0.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::zeros(1, 1)).unwrap()
+    }
+
+    fn unstable_index1() -> DescriptorSystem {
+        let e = Matrix::diag(&[1.0, 0.0]);
+        let a = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let c = Matrix::from_rows(&[&[1.0, 0.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::zeros(1, 1)).unwrap()
+    }
+
+    fn impulsive_stable() -> DescriptorSystem {
+        // G(s) = sL + 1/(s+1): impulsive but with stable finite mode.
+        let e = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ]);
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, -1.0],
+        ]);
+        let b = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0]]);
+        let c = Matrix::from_rows(&[&[-2.0, 0.0, 1.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::zeros(1, 1)).unwrap()
+    }
+
+    #[test]
+    fn finite_eigenvalues_of_stable_system() {
+        let eigs = finite_eigenvalues(&stable_index1()).unwrap();
+        assert_eq!(eigs.len(), 2);
+        assert!(eigs.iter().all(|z| z.re < 0.0));
+        assert_eq!(finite_degree(&stable_index1()).unwrap(), 2);
+    }
+
+    #[test]
+    fn stability_classification() {
+        assert!(is_stable(&stable_index1(), 1e-9).unwrap());
+        assert!(!is_stable(&unstable_index1(), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn admissibility_requires_impulse_freeness() {
+        assert!(is_admissible(&stable_index1(), 1e-9).unwrap());
+        // The impulsive system is stable but not impulse-free, hence not admissible.
+        assert!(is_stable(&impulsive_stable(), 1e-9).unwrap());
+        assert!(!is_admissible(&impulsive_stable(), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn admissibility_rejects_unstable() {
+        assert!(!is_admissible(&unstable_index1(), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn purely_static_system_is_trivially_stable() {
+        let sys = DescriptorSystem::new(
+            Matrix::zeros(1, 1),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::filled(1, 1, 2.0),
+        )
+        .unwrap();
+        assert_eq!(finite_degree(&sys).unwrap(), 0);
+        assert!(is_stable(&sys, 1e-9).unwrap());
+    }
+}

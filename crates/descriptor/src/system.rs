@@ -1,0 +1,430 @@
+//! The [`DescriptorSystem`] and [`StateSpace`] types.
+
+use crate::error::DescriptorError;
+use ds_linalg::{eigen, Matrix};
+
+/// A linear time-invariant continuous-time descriptor system
+/// `E x' = A x + B u`, `y = C x + D u` (paper eq. (1)).
+///
+/// `E` and `A` are `n x n`, `B` is `n x m_in`, `C` is `m_out x n`, `D` is
+/// `m_out x m_in`. `E` may be singular; the pencil `(E, A)` is expected to be
+/// regular for most operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DescriptorSystem {
+    e: Matrix,
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    d: Matrix,
+}
+
+impl DescriptorSystem {
+    /// Creates a descriptor system after validating the matrix dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescriptorError::DimensionMismatch`] when the shapes are
+    /// inconsistent.
+    pub fn new(
+        e: Matrix,
+        a: Matrix,
+        b: Matrix,
+        c: Matrix,
+        d: Matrix,
+    ) -> Result<Self, DescriptorError> {
+        let n = e.rows();
+        if !e.is_square() || !a.is_square() || a.rows() != n {
+            return Err(DescriptorError::dimension_mismatch(format!(
+                "E is {:?} and A is {:?}; both must be square of the same order",
+                e.shape(),
+                a.shape()
+            )));
+        }
+        if b.rows() != n {
+            return Err(DescriptorError::dimension_mismatch(format!(
+                "B has {} rows but the state dimension is {}",
+                b.rows(),
+                n
+            )));
+        }
+        if c.cols() != n {
+            return Err(DescriptorError::dimension_mismatch(format!(
+                "C has {} columns but the state dimension is {}",
+                c.cols(),
+                n
+            )));
+        }
+        if d.shape() != (c.rows(), b.cols()) {
+            return Err(DescriptorError::dimension_mismatch(format!(
+                "D is {:?} but C has {} rows and B has {} columns",
+                d.shape(),
+                c.rows(),
+                b.cols()
+            )));
+        }
+        Ok(DescriptorSystem { e, a, b, c, d })
+    }
+
+    /// Builds a descriptor system from a regular state space (`E = I`).
+    pub fn from_state_space(ss: &StateSpace) -> Self {
+        DescriptorSystem {
+            e: Matrix::identity(ss.order()),
+            a: ss.a.clone(),
+            b: ss.b.clone(),
+            c: ss.c.clone(),
+            d: ss.d.clone(),
+        }
+    }
+
+    /// The descriptor matrix `E`.
+    pub fn e(&self) -> &Matrix {
+        &self.e
+    }
+
+    /// The state matrix `A`.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The input matrix `B`.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// The output matrix `C`.
+    pub fn c(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// The feedthrough matrix `D`.
+    pub fn d(&self) -> &Matrix {
+        &self.d
+    }
+
+    /// State dimension `n`.
+    pub fn order(&self) -> usize {
+        self.e.rows()
+    }
+
+    /// Number of inputs `m_in`.
+    pub fn num_inputs(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Number of outputs `m_out`.
+    pub fn num_outputs(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Returns `true` for a square system (as many inputs as outputs), which is
+    /// the setting in which passivity is defined.
+    pub fn is_square_system(&self) -> bool {
+        self.num_inputs() == self.num_outputs()
+    }
+
+    /// Decomposes the system into its parts, consuming it.
+    pub fn into_parts(self) -> (Matrix, Matrix, Matrix, Matrix, Matrix) {
+        (self.e, self.a, self.b, self.c, self.d)
+    }
+
+    /// Numerical rank of `E`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures.
+    pub fn rank_e(&self, rel_tol: f64) -> Result<usize, DescriptorError> {
+        Ok(ds_linalg::subspace::rank(&self.e, rel_tol)?)
+    }
+
+    /// Checks regularity of the pencil `(E, A)`: `det(s₀E − A) ≠ 0` for some
+    /// `s₀`.  Probes a fixed set of shift points and checks full numerical rank
+    /// of `s₀E − A`; a regular pencil passes with probability 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures.
+    pub fn is_regular(&self, rel_tol: f64) -> Result<bool, DescriptorError> {
+        let n = self.order();
+        if n == 0 {
+            return Ok(true);
+        }
+        for &s0 in &[1.0, -1.3, 2.718_281_828, -0.314_159_265, 7.389_056] {
+            let pencil = &self.e.scale(s0) - &self.a;
+            if ds_linalg::subspace::rank(&pencil, rel_tol.max(1e-12))? == n {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// The adjoint (para-Hermitian conjugate) system with transfer function
+    /// `G~(s) = Gᵀ(−s)`, realized as `(Eᵀ, −Aᵀ, −Cᵀ, Bᵀ, Dᵀ)`.
+    pub fn adjoint(&self) -> DescriptorSystem {
+        DescriptorSystem {
+            e: self.e.transpose(),
+            a: self.a.transpose().scale(-1.0),
+            b: self.c.transpose().scale(-1.0),
+            c: self.b.transpose(),
+            d: self.d.transpose(),
+        }
+    }
+
+    /// Parallel interconnection: the descriptor realization of `G₁(s) + G₂(s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescriptorError::DimensionMismatch`] when the port dimensions
+    /// differ.
+    pub fn parallel_sum(&self, other: &DescriptorSystem) -> Result<DescriptorSystem, DescriptorError> {
+        if self.num_inputs() != other.num_inputs() || self.num_outputs() != other.num_outputs() {
+            return Err(DescriptorError::dimension_mismatch(
+                "parallel_sum requires matching input/output dimensions",
+            ));
+        }
+        let e = Matrix::block_diag(&[&self.e, &other.e]);
+        let a = Matrix::block_diag(&[&self.a, &other.a]);
+        let b = Matrix::vstack(&[&self.b, &other.b]);
+        let c = Matrix::hstack(&[&self.c, &other.c]);
+        let d = &self.d + &other.d;
+        Ok(DescriptorSystem { e, a, b, c, d })
+    }
+
+    /// Frobenius-norm scale of the system matrices, used to set tolerances.
+    pub fn scale(&self) -> f64 {
+        self.e
+            .norm_fro()
+            .max(self.a.norm_fro())
+            .max(self.b.norm_fro())
+            .max(self.c.norm_fro())
+            .max(self.d.norm_fro())
+            .max(1.0)
+    }
+}
+
+/// A regular (non-singular `E = I`) state-space system `x' = A x + B u`,
+/// `y = C x + D u`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSpace {
+    /// State matrix.
+    pub a: Matrix,
+    /// Input matrix.
+    pub b: Matrix,
+    /// Output matrix.
+    pub c: Matrix,
+    /// Feedthrough matrix.
+    pub d: Matrix,
+}
+
+impl StateSpace {
+    /// Creates a state-space system after validating dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescriptorError::DimensionMismatch`] when the shapes are
+    /// inconsistent.
+    pub fn new(a: Matrix, b: Matrix, c: Matrix, d: Matrix) -> Result<Self, DescriptorError> {
+        let n = a.rows();
+        if !a.is_square() {
+            return Err(DescriptorError::dimension_mismatch("A must be square"));
+        }
+        if b.rows() != n || c.cols() != n || d.shape() != (c.rows(), b.cols()) {
+            return Err(DescriptorError::dimension_mismatch(
+                "B, C, D dimensions are inconsistent with A",
+            ));
+        }
+        Ok(StateSpace { a, b, c, d })
+    }
+
+    /// State dimension.
+    pub fn order(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Poles (eigenvalues of `A`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigenvalue failures.
+    pub fn poles(&self) -> Result<Vec<ds_linalg::Complex>, DescriptorError> {
+        Ok(eigen::eigenvalues(&self.a)?)
+    }
+
+    /// Returns `true` when every pole has a strictly negative real part.
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigenvalue failures.
+    pub fn is_stable(&self, tol: f64) -> Result<bool, DescriptorError> {
+        Ok(eigen::is_hurwitz(&self.a, tol)?)
+    }
+
+    /// Converts to a descriptor system with `E = I`.
+    pub fn to_descriptor(&self) -> DescriptorSystem {
+        DescriptorSystem::from_state_space(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc_shunt() -> DescriptorSystem {
+        // Node equation (C dv/dt + G v = i_in) plus a redundant algebraic state.
+        let e = Matrix::diag(&[1.0, 0.0]);
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[0.0]]);
+        let c = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let d = Matrix::zeros(1, 1);
+        DescriptorSystem::new(e, a, b, c, d).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_dimensions() {
+        let err = DescriptorSystem::new(
+            Matrix::zeros(2, 2),
+            Matrix::zeros(3, 3),
+            Matrix::zeros(2, 1),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(1, 1),
+        );
+        assert!(matches!(err, Err(DescriptorError::DimensionMismatch { .. })));
+        let err_b = DescriptorSystem::new(
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 2),
+            Matrix::zeros(3, 1),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(1, 1),
+        );
+        assert!(err_b.is_err());
+        let err_d = DescriptorSystem::new(
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 1),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(2, 2),
+        );
+        assert!(err_d.is_err());
+    }
+
+    #[test]
+    fn accessors_and_dimensions() {
+        let sys = rc_shunt();
+        assert_eq!(sys.order(), 2);
+        assert_eq!(sys.num_inputs(), 1);
+        assert_eq!(sys.num_outputs(), 1);
+        assert!(sys.is_square_system());
+        assert_eq!(sys.rank_e(1e-10).unwrap(), 1);
+    }
+
+    #[test]
+    fn regularity_detection() {
+        let sys = rc_shunt();
+        assert!(sys.is_regular(1e-12).unwrap());
+        // Singular pencil: E = A = 0 row.
+        let bad = DescriptorSystem::new(
+            Matrix::diag(&[1.0, 0.0]),
+            Matrix::diag(&[1.0, 0.0]),
+            Matrix::zeros(2, 1),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        assert!(!bad.is_regular(1e-12).unwrap());
+    }
+
+    #[test]
+    fn adjoint_realization_shape() {
+        let sys = rc_shunt();
+        let adj = sys.adjoint();
+        assert_eq!(adj.order(), 2);
+        assert_eq!(adj.num_inputs(), 1);
+        assert_eq!(adj.num_outputs(), 1);
+        assert_eq!(adj.e(), &sys.e().transpose());
+        assert_eq!(adj.a(), &sys.a().transpose().scale(-1.0));
+    }
+
+    #[test]
+    fn parallel_sum_doubles_order() {
+        let sys = rc_shunt();
+        let sum = sys.parallel_sum(&sys.adjoint()).unwrap();
+        assert_eq!(sum.order(), 4);
+        assert_eq!(sum.num_inputs(), 1);
+        // Mismatched ports rejected.
+        let two_port = DescriptorSystem::new(
+            Matrix::identity(1),
+            Matrix::identity(1).scale(-1.0),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(2, 1),
+            Matrix::zeros(2, 2),
+        )
+        .unwrap();
+        assert!(sys.parallel_sum(&two_port).is_err());
+    }
+
+    #[test]
+    fn state_space_round_trip() {
+        let ss = StateSpace::new(
+            Matrix::from_rows(&[&[-1.0, 0.0], &[1.0, -2.0]]),
+            Matrix::column(&[1.0, 0.0]),
+            Matrix::row_vector(&[0.0, 1.0]),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        assert_eq!(ss.order(), 2);
+        assert!(ss.is_stable(1e-12).unwrap());
+        let ds = ss.to_descriptor();
+        assert_eq!(ds.e(), &Matrix::identity(2));
+        assert!(ds.is_regular(1e-12).unwrap());
+    }
+
+    #[test]
+    fn state_space_poles() {
+        let ss = StateSpace::new(
+            Matrix::diag(&[-1.0, -3.0]),
+            Matrix::column(&[1.0, 1.0]),
+            Matrix::row_vector(&[1.0, 1.0]),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        let poles = ss.poles().unwrap();
+        let mut re: Vec<f64> = poles.iter().map(|z| z.re).collect();
+        re.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((re[0] + 3.0).abs() < 1e-12);
+        assert!((re[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_parts_round_trip() {
+        let sys = rc_shunt();
+        let (e, a, b, c, d) = sys.clone().into_parts();
+        let rebuilt = DescriptorSystem::new(e, a, b, c, d).unwrap();
+        assert_eq!(rebuilt, sys);
+    }
+
+    #[test]
+    fn scale_is_at_least_one() {
+        let sys = rc_shunt();
+        assert!(sys.scale() >= 1.0);
+    }
+
+    #[test]
+    fn state_space_rejects_bad_dimensions() {
+        assert!(StateSpace::new(
+            Matrix::zeros(2, 3),
+            Matrix::zeros(2, 1),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(1, 1)
+        )
+        .is_err());
+    }
+}

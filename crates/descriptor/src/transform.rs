@@ -1,0 +1,253 @@
+//! Equivalence transformations of descriptor systems.
+//!
+//! *Restricted system equivalence* (r.s.e.) pre- and post-multiplies the pencil
+//! by nonsingular matrices `Q`, `Z`; *strong equivalence* (s.e.) additionally
+//! allows feedback-like terms `M`, `R` with `MᵀE = E R = 0` (paper eq. (6)).
+//! Both preserve the transfer function.  The SVD coordinate form (paper
+//! eq. (7)) is the workhorse representation for the impulse tests.
+
+use crate::error::DescriptorError;
+use crate::system::DescriptorSystem;
+use ds_linalg::decomp::svd::svd;
+use ds_linalg::Matrix;
+
+/// Applies the restricted-system-equivalence transform
+/// `(QᵀEZ, QᵀAZ, QᵀB, CZ, D)`.
+///
+/// `Q` and `Z` must be nonsingular `n x n` matrices (orthogonality is not
+/// required but is numerically preferable).
+///
+/// # Errors
+///
+/// Returns [`DescriptorError::DimensionMismatch`] for incompatible shapes.
+pub fn restricted_equivalence(
+    sys: &DescriptorSystem,
+    q: &Matrix,
+    z: &Matrix,
+) -> Result<DescriptorSystem, DescriptorError> {
+    let n = sys.order();
+    if q.shape() != (n, n) || z.shape() != (n, n) {
+        return Err(DescriptorError::dimension_mismatch(format!(
+            "r.s.e. transforms must be {n}x{n}, got Q {:?} and Z {:?}",
+            q.shape(),
+            z.shape()
+        )));
+    }
+    let qt = q.transpose();
+    DescriptorSystem::new(
+        &(&qt * sys.e()) * z,
+        &(&qt * sys.a()) * z,
+        &qt * sys.b(),
+        sys.c() * z,
+        sys.d().clone(),
+    )
+}
+
+/// Applies a *rectangular* projection `(LᵀEL R, LᵀAR, LᵀB, CR, D)` with left
+/// projector `L` (`n x k`) and right projector `R` (`n x k`), producing a
+/// reduced system of order `k`.  This is the operation used by the paper's
+/// impulse-mode removal step (eq. (17)); it preserves the transfer function
+/// only when the removed directions are simultaneously unobservable and
+/// uncontrollable.
+///
+/// # Errors
+///
+/// Returns [`DescriptorError::DimensionMismatch`] for incompatible shapes.
+pub fn project(
+    sys: &DescriptorSystem,
+    left: &Matrix,
+    right: &Matrix,
+) -> Result<DescriptorSystem, DescriptorError> {
+    let n = sys.order();
+    if left.rows() != n || right.rows() != n || left.cols() != right.cols() {
+        return Err(DescriptorError::dimension_mismatch(format!(
+            "projection matrices must be {n}xk with equal k, got {:?} and {:?}",
+            left.shape(),
+            right.shape()
+        )));
+    }
+    let lt = left.transpose();
+    DescriptorSystem::new(
+        &(&lt * sys.e()) * right,
+        &(&lt * sys.a()) * right,
+        &lt * sys.b(),
+        sys.c() * right,
+        sys.d().clone(),
+    )
+}
+
+/// The SVD coordinate form of a descriptor system (paper eq. (7)).
+#[derive(Debug, Clone)]
+pub struct SvdCoordinates {
+    /// The transformed system `(UᵀEV, UᵀAV, UᵀB, CV, D)` where
+    /// `UᵀEV = diag(Σ_r, 0)`.
+    pub system: DescriptorSystem,
+    /// Left orthogonal factor `U`.
+    pub u: Matrix,
+    /// Right orthogonal factor `V`.
+    pub v: Matrix,
+    /// Numerical rank `r` of `E`.
+    pub rank_e: usize,
+}
+
+impl SvdCoordinates {
+    /// The `A₂₂` block (rows/columns beyond `rank_e`) of the transformed `A`.
+    pub fn a22(&self) -> Matrix {
+        let n = self.system.order();
+        self.system.a().block(self.rank_e, n, self.rank_e, n)
+    }
+
+    /// The `B₂` block (rows beyond `rank_e`) of the transformed `B`.
+    pub fn b2(&self) -> Matrix {
+        let n = self.system.order();
+        self.system.b().block(self.rank_e, n, 0, self.system.num_inputs())
+    }
+
+    /// The `C₂` block (columns beyond `rank_e`) of the transformed `C`.
+    pub fn c2(&self) -> Matrix {
+        let n = self.system.order();
+        self.system
+            .c()
+            .block(0, self.system.num_outputs(), self.rank_e, n)
+    }
+}
+
+/// Transforms a descriptor system to SVD coordinates: orthogonal `U`, `V` with
+/// `UᵀEV = [[Σ_r, 0], [0, 0]]`.
+///
+/// # Errors
+///
+/// Propagates SVD failures.
+pub fn to_svd_coordinates(
+    sys: &DescriptorSystem,
+    rel_tol: f64,
+) -> Result<SvdCoordinates, DescriptorError> {
+    let n = sys.order();
+    let d = svd(sys.e())?;
+    let r = d.rank(rel_tol);
+    // Build full orthogonal U and V.  The Jacobi SVD leaves the U columns of
+    // zero singular values as zero vectors, so complete the leading r columns
+    // to a full orthonormal basis; V of a square matrix is already orthogonal.
+    let u = ds_linalg::subspace::complete_basis(&d.u.block(0, n, 0, r), n)?;
+    let v = if d.v.cols() == n {
+        d.v.clone()
+    } else {
+        ds_linalg::subspace::complete_basis(&d.v.block(0, n, 0, r), n)?
+    };
+    let system = restricted_equivalence(sys, &u, &v)?;
+    Ok(SvdCoordinates {
+        system,
+        u,
+        v,
+        rank_e: r,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::{default_probe_points, max_deviation};
+
+    fn sample_system() -> DescriptorSystem {
+        // Mixed dynamic + algebraic states.
+        let e = Matrix::from_rows(&[
+            &[2.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0],
+        ]);
+        let a = Matrix::from_rows(&[
+            &[-1.0, 0.5, 0.0],
+            &[0.0, -2.0, 1.0],
+            &[1.0, 0.0, -1.0],
+        ]);
+        let b = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0]]);
+        let c = Matrix::from_rows(&[&[1.0, 1.0, 0.0]]);
+        let d = Matrix::filled(1, 1, 0.1);
+        DescriptorSystem::new(e, a, b, c, d).unwrap()
+    }
+
+    #[test]
+    fn rse_with_orthogonal_matrices_preserves_transfer_function() {
+        let sys = sample_system();
+        // A deterministic orthogonal matrix from QR of a fixed matrix.
+        let raw = Matrix::from_fn(3, 3, |i, j| ((i * 3 + j * 5) % 7) as f64 - 3.0);
+        let q = ds_linalg::decomp::qr::factor_full(&raw).q;
+        let raw2 = Matrix::from_fn(3, 3, |i, j| ((i * 5 + j * 2) % 5) as f64 - 2.0);
+        let z = ds_linalg::decomp::qr::factor_full(&raw2).q;
+        let transformed = restricted_equivalence(&sys, &q, &z).unwrap();
+        let dev = max_deviation(&sys, &transformed, &default_probe_points()).unwrap();
+        assert!(dev < 1e-10, "transfer function changed by {dev}");
+    }
+
+    #[test]
+    fn rse_rejects_wrong_dimensions() {
+        let sys = sample_system();
+        assert!(restricted_equivalence(&sys, &Matrix::identity(2), &Matrix::identity(3)).is_err());
+    }
+
+    #[test]
+    fn svd_coordinates_zero_trailing_e_block() {
+        let sys = sample_system();
+        let coords = to_svd_coordinates(&sys, 1e-12).unwrap();
+        assert_eq!(coords.rank_e, 2);
+        let n = sys.order();
+        let e_t = coords.system.e();
+        // Trailing block of E is zero.
+        for i in coords.rank_e..n {
+            for j in 0..n {
+                assert!(e_t[(i, j)].abs() < 1e-12);
+                assert!(e_t[(j, i)].abs() < 1e-12);
+            }
+        }
+        // Leading block nonsingular.
+        let e11 = e_t.block(0, coords.rank_e, 0, coords.rank_e);
+        assert_eq!(
+            ds_linalg::subspace::rank(&e11, 1e-12).unwrap(),
+            coords.rank_e
+        );
+        // Transfer function preserved.
+        let dev = max_deviation(&sys, &coords.system, &default_probe_points()).unwrap();
+        assert!(dev < 1e-10);
+    }
+
+    #[test]
+    fn svd_coordinate_blocks_have_expected_shapes() {
+        let sys = sample_system();
+        let coords = to_svd_coordinates(&sys, 1e-12).unwrap();
+        assert_eq!(coords.a22().shape(), (1, 1));
+        assert_eq!(coords.b2().shape(), (1, 1));
+        assert_eq!(coords.c2().shape(), (1, 1));
+    }
+
+    #[test]
+    fn projection_with_identity_is_identity() {
+        let sys = sample_system();
+        let projected = project(&sys, &Matrix::identity(3), &Matrix::identity(3)).unwrap();
+        assert_eq!(&projected, &sys);
+        // Wrong shapes rejected.
+        assert!(project(&sys, &Matrix::zeros(3, 2), &Matrix::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn projection_reduces_order() {
+        let sys = sample_system();
+        let l = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]);
+        let reduced = project(&sys, &l, &l).unwrap();
+        assert_eq!(reduced.order(), 2);
+        assert_eq!(reduced.num_inputs(), 1);
+    }
+
+    #[test]
+    fn svd_coordinates_of_identity_e_is_full_rank() {
+        let sys = DescriptorSystem::new(
+            Matrix::identity(2),
+            Matrix::diag(&[-1.0, -2.0]),
+            Matrix::column(&[1.0, 1.0]),
+            Matrix::row_vector(&[1.0, 0.0]),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        let coords = to_svd_coordinates(&sys, 1e-12).unwrap();
+        assert_eq!(coords.rank_e, 2);
+    }
+}

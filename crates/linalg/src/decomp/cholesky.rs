@@ -1,0 +1,167 @@
+//! Cholesky factorization of symmetric positive definite matrices.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input and
+/// [`LinalgError::NotPositiveDefinite`] when a non-positive pivot is
+/// encountered.
+pub fn factor(a: &Matrix) -> Result<Matrix, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            operation: "cholesky::factor",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        l[(j, j)] = d.sqrt();
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / l[(j, j)];
+        }
+    }
+    Ok(l)
+}
+
+/// Returns `true` when the symmetric matrix `a` is positive definite.
+pub fn is_positive_definite(a: &Matrix) -> bool {
+    factor(a).is_ok()
+}
+
+/// Returns `true` when the symmetric matrix `a` is positive semidefinite to
+/// within the absolute tolerance `tol` (checked by shifting the diagonal).
+pub fn is_positive_semidefinite(a: &Matrix, tol: f64) -> bool {
+    if !a.is_square() {
+        return false;
+    }
+    let n = a.rows();
+    let shift = tol.max(f64::EPSILON * a.norm_max().max(1.0) * n as f64);
+    let shifted = a.try_add(&Matrix::identity(n).scale(shift));
+    match shifted {
+        Ok(s) => factor(&s).is_ok(),
+        Err(_) => false,
+    }
+}
+
+/// Solves `A X = B` for symmetric positive definite `A` using Cholesky.
+///
+/// # Errors
+///
+/// Propagates the errors of [`factor`]; additionally returns
+/// [`LinalgError::ShapeMismatch`] when `b` has the wrong row count.
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let l = factor(a)?;
+    let n = l.rows();
+    if b.rows() != n {
+        return Err(LinalgError::ShapeMismatch {
+            operation: "cholesky::solve",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let nrhs = b.cols();
+    // Forward solve L y = b.
+    let mut y = Matrix::zeros(n, nrhs);
+    for j in 0..nrhs {
+        for i in 0..n {
+            let mut s = b[(i, j)];
+            for k in 0..i {
+                s -= l[(i, k)] * y[(k, j)];
+            }
+            y[(i, j)] = s / l[(i, i)];
+        }
+    }
+    // Backward solve Lᵀ x = y.
+    let mut x = Matrix::zeros(n, nrhs);
+    for j in 0..nrhs {
+        for i in (0..n).rev() {
+            let mut s = y[(i, j)];
+            for k in (i + 1)..n {
+                s -= l[(k, i)] * x[(k, j)];
+            }
+            x[(i, j)] = s / l[(i, i)];
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize) -> Matrix {
+        // B Bᵀ + n I is symmetric positive definite.
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 3) % 7) as f64 * 0.25 - 0.5);
+        let bbt = &b * &b.transpose();
+        &bbt + &Matrix::identity(n).scale(n as f64)
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd(6);
+        let l = factor(&a).unwrap();
+        assert!((&l * &l.transpose()).approx_eq(&a, 1e-10));
+        // L is lower triangular.
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            factor(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+        assert!(!is_positive_definite(&a));
+        assert!(!is_positive_semidefinite(&a, 1e-10));
+    }
+
+    #[test]
+    fn semidefinite_accepted_with_tolerance() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]); // eigenvalues 2, 0
+        assert!(is_positive_semidefinite(&a, 1e-9));
+        assert!(!is_positive_definite(&a));
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = spd(5);
+        let b = Matrix::from_fn(5, 2, |i, j| (i + j) as f64);
+        let x = solve(&a, &b).unwrap();
+        assert!((&(&a * &x) - &b).norm_fro() < 1e-9);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            factor(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_is_its_own_factor() {
+        let l = factor(&Matrix::identity(4)).unwrap();
+        assert!(l.approx_eq(&Matrix::identity(4), 1e-15));
+    }
+}

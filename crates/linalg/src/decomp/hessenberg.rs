@@ -1,0 +1,151 @@
+//! Orthogonal reduction to upper Hessenberg form.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Result of the Hessenberg reduction `Qᵀ A Q = H`.
+#[derive(Debug, Clone)]
+pub struct Hessenberg {
+    /// Orthogonal transformation matrix.
+    pub q: Matrix,
+    /// Upper Hessenberg matrix (zero below the first subdiagonal).
+    pub h: Matrix,
+}
+
+/// Reduces a square matrix to upper Hessenberg form by Householder similarity
+/// transformations.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input.
+pub fn reduce(a: &Matrix) -> Result<Hessenberg, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            operation: "hessenberg::reduce",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    let mut h = a.clone();
+    let mut q = Matrix::identity(n);
+    if n <= 2 {
+        return Ok(Hessenberg { q, h });
+    }
+    for k in 0..(n - 2) {
+        // Householder vector annihilating H[k+2.., k].
+        let mut norm_x = 0.0;
+        for i in (k + 1)..n {
+            norm_x += h[(i, k)] * h[(i, k)];
+        }
+        norm_x = norm_x.sqrt();
+        if norm_x == 0.0 {
+            continue;
+        }
+        let alpha = if h[(k + 1, k)] >= 0.0 { -norm_x } else { norm_x };
+        let mut v = vec![0.0; n - k - 1];
+        v[0] = h[(k + 1, k)] - alpha;
+        for i in (k + 2)..n {
+            v[i - k - 1] = h[(i, k)];
+        }
+        let vnorm_sq: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm_sq <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let beta = 2.0 / vnorm_sq;
+        // H ← P H (rows k+1..n, all columns)
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in (k + 1)..n {
+                dot += v[i - k - 1] * h[(i, j)];
+            }
+            let s = beta * dot;
+            for i in (k + 1)..n {
+                h[(i, j)] -= s * v[i - k - 1];
+            }
+        }
+        // H ← H P (columns k+1..n, all rows)
+        for i in 0..n {
+            let mut dot = 0.0;
+            for j in (k + 1)..n {
+                dot += h[(i, j)] * v[j - k - 1];
+            }
+            let s = beta * dot;
+            for j in (k + 1)..n {
+                h[(i, j)] -= s * v[j - k - 1];
+            }
+        }
+        // Q ← Q P (columns k+1..n, all rows)
+        for i in 0..n {
+            let mut dot = 0.0;
+            for j in (k + 1)..n {
+                dot += q[(i, j)] * v[j - k - 1];
+            }
+            let s = beta * dot;
+            for j in (k + 1)..n {
+                q[(i, j)] -= s * v[j - k - 1];
+            }
+        }
+    }
+    // Clean the entries that are structurally zero.
+    for i in 2..n {
+        for j in 0..(i - 1) {
+            h[(i, j)] = 0.0;
+        }
+    }
+    Ok(Hessenberg { q, h })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            ((i * 13 + j * 7) % 11) as f64 * 0.37 - 1.5 + if i == j { 2.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn similarity_is_preserved() {
+        let a = sample(7);
+        let hess = reduce(&a).unwrap();
+        // Qᵀ A Q = H  ⇔  A = Q H Qᵀ
+        let recon = &(&hess.q * &hess.h) * &hess.q.transpose();
+        assert!(recon.approx_eq(&a, 1e-11));
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = sample(6);
+        let hess = reduce(&a).unwrap();
+        let qtq = hess.q.transpose_matmul(&hess.q).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(6), 1e-12));
+    }
+
+    #[test]
+    fn result_is_hessenberg() {
+        let a = sample(8);
+        let hess = reduce(&a).unwrap();
+        for i in 2..8 {
+            for j in 0..(i - 1) {
+                assert_eq!(hess.h[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn small_matrices_pass_through() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let hess = reduce(&a).unwrap();
+        assert!(hess.h.approx_eq(&a, 1e-15));
+        assert!(hess.q.approx_eq(&Matrix::identity(2), 1e-15));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matches!(
+            reduce(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

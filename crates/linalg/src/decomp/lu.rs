@@ -1,0 +1,295 @@
+//! LU factorization with partial pivoting and the solvers built on it.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// LU factorization `P A = L U` with partial (row) pivoting.
+///
+/// `L` is unit lower triangular and `U` upper triangular; both are packed into
+/// [`Lu::lu`]. The permutation is stored as a row-index vector.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed `L` (strictly lower part, unit diagonal implied) and `U` (upper part).
+    pub lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of the input.
+    pub perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), used for the determinant.
+    pub perm_sign: f64,
+    /// `true` when a (numerically) zero pivot was encountered.
+    pub singular: bool,
+}
+
+/// Computes the LU factorization of a square matrix.
+///
+/// The factorization always completes (singularity is reported through
+/// [`Lu::singular`]), so rank-deficient matrices can still be inspected.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] if `a` is not square.
+pub fn factor(a: &Matrix) -> Result<Lu, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            operation: "lu::factor",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut perm_sign = 1.0;
+    let mut singular = false;
+    let scale = a.norm_max().max(1.0);
+    let tol = f64::EPSILON * scale * (n as f64);
+
+    for k in 0..n {
+        // Partial pivoting: find the largest entry in column k at or below row k.
+        let mut p = k;
+        let mut max_val = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            if lu[(i, k)].abs() > max_val {
+                max_val = lu[(i, k)].abs();
+                p = i;
+            }
+        }
+        if p != k {
+            lu.swap_rows(p, k);
+            perm.swap(p, k);
+            perm_sign = -perm_sign;
+        }
+        let pivot = lu[(k, k)];
+        if pivot.abs() <= tol {
+            singular = true;
+            continue;
+        }
+        for i in (k + 1)..n {
+            let factor = lu[(i, k)] / pivot;
+            lu[(i, k)] = factor;
+            for j in (k + 1)..n {
+                let delta = factor * lu[(k, j)];
+                lu[(i, j)] -= delta;
+            }
+        }
+    }
+    Ok(Lu {
+        lu,
+        perm,
+        perm_sign,
+        singular,
+    })
+}
+
+impl Lu {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Solves `A X = B` for `X` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] when the factorization flagged a zero
+    /// pivot, and [`LinalgError::ShapeMismatch`] when `b` has the wrong row count.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if self.singular {
+            return Err(LinalgError::Singular {
+                operation: "lu::solve",
+            });
+        }
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "lu::solve",
+                left: self.lu.shape(),
+                right: b.shape(),
+            });
+        }
+        let nrhs = b.cols();
+        // Apply permutation to B.
+        let mut x = Matrix::zeros(n, nrhs);
+        for i in 0..n {
+            for j in 0..nrhs {
+                x[(i, j)] = b[(self.perm[i], j)];
+            }
+        }
+        // Forward substitution with unit lower triangular L.
+        for i in 0..n {
+            for k in 0..i {
+                let lik = self.lu[(i, k)];
+                if lik != 0.0 {
+                    for j in 0..nrhs {
+                        let delta = lik * x[(k, j)];
+                        x[(i, j)] -= delta;
+                    }
+                }
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let uik = self.lu[(i, k)];
+                if uik != 0.0 {
+                    for j in 0..nrhs {
+                        let delta = uik * x[(k, j)];
+                        x[(i, j)] -= delta;
+                    }
+                }
+            }
+            let uii = self.lu[(i, i)];
+            for j in 0..nrhs {
+                x[(i, j)] /= uii;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Inverse of the factored matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] when the matrix is singular.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve(&Matrix::identity(self.dim()))
+    }
+}
+
+/// One-shot solve of `A X = B`.
+///
+/// # Errors
+///
+/// Propagates the errors of [`factor`] and [`Lu::solve`].
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    factor(a)?.solve(b)
+}
+
+/// One-shot matrix inverse.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] when `a` is singular and
+/// [`LinalgError::NotSquare`] when it is not square.
+pub fn inverse(a: &Matrix) -> Result<Matrix, LinalgError> {
+    factor(a)?.inverse()
+}
+
+/// One-shot determinant.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] when `a` is not square.
+pub fn det(a: &Matrix) -> Result<f64, LinalgError> {
+    Ok(factor(a)?.det())
+}
+
+/// Solves `X A = B`, i.e. `X = B A⁻¹`, without forming the inverse.
+///
+/// # Errors
+///
+/// Propagates the errors of [`solve`].
+pub fn solve_transposed(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    // X A = B  ⇔  Aᵀ Xᵀ = Bᵀ
+    let xt = solve(&a.transpose(), &b.transpose())?;
+    Ok(xt.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_small_system() {
+        let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+        let b = Matrix::column(&[10.0, 12.0]);
+        let x = solve(&a, &b).unwrap();
+        let residual = &(&a * &x) - &b;
+        assert!(residual.norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_matches_formula() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((det(&a).unwrap() - (-2.0)).abs() < 1e-12);
+        let id = Matrix::identity(5);
+        assert!((det(&id).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let inv = inverse(&a).unwrap();
+        assert!((&a * &inv).approx_eq(&Matrix::identity(3), 1e-12));
+        assert!((&inv * &a).approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let f = factor(&a).unwrap();
+        assert!(f.singular);
+        assert!(matches!(
+            f.solve(&Matrix::identity(2)),
+            Err(LinalgError::Singular { .. })
+        ));
+        assert!(det(&a).unwrap().abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            factor(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[9.0, 1.0], &[8.0, 0.0]]);
+        let x = solve(&a, &b).unwrap();
+        assert!((&(&a * &x) - &b).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn solve_transposed_right_division() {
+        let a = Matrix::from_rows(&[&[2.0, 0.5], &[-1.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let x = solve_transposed(&a, &b).unwrap();
+        assert!((&(&x * &a) - &b).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &Matrix::column(&[2.0, 3.0])).unwrap();
+        assert!((x[(0, 0)] - 3.0).abs() < 1e-14);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn larger_random_like_system() {
+        let n = 12;
+        // Deterministic well-conditioned matrix: diagonally dominant.
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                10.0 + i as f64
+            } else {
+                ((i * 7 + j * 3) % 5) as f64 * 0.3 - 0.6
+            }
+        });
+        let x_true = Matrix::from_fn(n, 2, |i, j| (i + j) as f64 * 0.5 - 1.0);
+        let b = &a * &x_true;
+        let x = solve(&a, &b).unwrap();
+        assert!((&x - &x_true).norm_fro() < 1e-10);
+    }
+}

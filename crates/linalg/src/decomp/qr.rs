@@ -1,0 +1,280 @@
+//! Householder QR factorization and least-squares solves.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// The result of a Householder QR factorization `A = Q R`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthogonal factor. Thin (`m x min(m,n)`) or full (`m x m`) depending on
+    /// the constructor used.
+    pub q: Matrix,
+    /// Upper-triangular (or upper-trapezoidal) factor.
+    pub r: Matrix,
+}
+
+/// Computes the *full* QR factorization: `q` is `m x m` orthogonal and `r` is
+/// `m x n` upper trapezoidal.
+pub fn factor_full(a: &Matrix) -> Qr {
+    let (m, n) = a.shape();
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+    for k in 0..n.min(m.saturating_sub(1)) {
+        // Householder vector for column k, rows k..m.
+        let mut norm_x = 0.0;
+        for i in k..m {
+            norm_x += r[(i, k)] * r[(i, k)];
+        }
+        norm_x = norm_x.sqrt();
+        if norm_x == 0.0 {
+            continue;
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm_x } else { norm_x };
+        let mut v = vec![0.0; m - k];
+        v[0] = r[(k, k)] - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let vnorm_sq: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm_sq <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let beta = 2.0 / vnorm_sq;
+        // Apply H = I - beta v vᵀ to R (rows k..m, all columns).
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r[(i, j)];
+            }
+            let s = beta * dot;
+            for i in k..m {
+                r[(i, j)] -= s * v[i - k];
+            }
+        }
+        // Accumulate into Q: Q = Q * H (apply H on the right, i.e. to columns k..m of Q).
+        for i in 0..m {
+            let mut dot = 0.0;
+            for j in k..m {
+                dot += q[(i, j)] * v[j - k];
+            }
+            let s = beta * dot;
+            for j in k..m {
+                q[(i, j)] -= s * v[j - k];
+            }
+        }
+    }
+    // Zero out the numerically-negligible strictly lower part of R.
+    for i in 1..m {
+        for j in 0..i.min(n) {
+            r[(i, j)] = 0.0;
+        }
+    }
+    // Normalize signs so that R has a non-negative diagonal; this makes the
+    // factorization unique for full-rank input (and QR of I equal to (I, I)).
+    for k in 0..m.min(n) {
+        if r[(k, k)] < 0.0 {
+            for j in 0..n {
+                r[(k, j)] = -r[(k, j)];
+            }
+            for i in 0..m {
+                q[(i, k)] = -q[(i, k)];
+            }
+        }
+    }
+    Qr { q, r }
+}
+
+/// Computes the *thin* QR factorization: `q` is `m x min(m,n)` with orthonormal
+/// columns and `r` is `min(m,n) x n`.
+pub fn factor_thin(a: &Matrix) -> Qr {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let full = factor_full(a);
+    Qr {
+        q: full.q.block(0, m, 0, k),
+        r: full.r.block(0, k, 0, n),
+    }
+}
+
+/// Solves the least-squares problem `min ||A x - b||₂` for full-column-rank `A`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when the row counts differ and
+/// [`LinalgError::Singular`] when `A` is (numerically) rank deficient.
+pub fn least_squares(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let (m, n) = a.shape();
+    if b.rows() != m {
+        return Err(LinalgError::ShapeMismatch {
+            operation: "qr::least_squares",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    if m < n {
+        return Err(LinalgError::invalid_input(
+            "least_squares requires at least as many rows as columns",
+        ));
+    }
+    let qr = factor_thin(a);
+    let tol = f64::EPSILON * a.norm_max().max(1.0) * (m.max(n) as f64);
+    for i in 0..n {
+        if qr.r[(i, i)].abs() <= tol {
+            return Err(LinalgError::Singular {
+                operation: "qr::least_squares",
+            });
+        }
+    }
+    let rhs = qr.q.transpose_matmul(b)?;
+    // Back substitution R x = Qᵀ b.
+    let nrhs = rhs.cols();
+    let mut x = Matrix::zeros(n, nrhs);
+    for j in 0..nrhs {
+        for i in (0..n).rev() {
+            let mut s = rhs[(i, j)];
+            for k in (i + 1)..n {
+                s -= qr.r[(i, k)] * x[(k, j)];
+            }
+            x[(i, j)] = s / qr.r[(i, i)];
+        }
+    }
+    Ok(x)
+}
+
+/// Orthonormalizes the columns of `a` (modified Gram–Schmidt with
+/// reorthogonalization), dropping columns that are numerically dependent.
+///
+/// Returns a matrix with orthonormal columns spanning the column space of `a`.
+pub fn orthonormalize_columns(a: &Matrix, tol: f64) -> Matrix {
+    let (m, n) = a.shape();
+    let mut basis: Vec<Matrix> = Vec::new();
+    let scale = a.norm_max().max(1.0);
+    for j in 0..n {
+        let mut v = a.col(j);
+        // Two passes of Gram–Schmidt for numerical robustness.
+        for _ in 0..2 {
+            for q in &basis {
+                let coeff = q.dot(&v).expect("dimension match");
+                v = &v - &q.scale(coeff);
+            }
+        }
+        let norm = v.norm_fro();
+        if norm > tol * scale {
+            basis.push(v.scale(1.0 / norm));
+        }
+    }
+    if basis.is_empty() {
+        return Matrix::zeros(m, 0);
+    }
+    let refs: Vec<&Matrix> = basis.iter().collect();
+    Matrix::hstack(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthogonal(q: &Matrix, tol: f64) {
+        let qtq = q.transpose_matmul(q).unwrap();
+        assert!(
+            qtq.approx_eq(&Matrix::identity(q.cols()), tol),
+            "QᵀQ deviates from identity by {}",
+            (&qtq - &Matrix::identity(q.cols())).norm_max()
+        );
+    }
+
+    #[test]
+    fn full_qr_reconstructs() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 10.0],
+            &[1.0, -1.0, 2.0],
+        ]);
+        let qr = factor_full(&a);
+        assert_eq!(qr.q.shape(), (4, 4));
+        assert_eq!(qr.r.shape(), (4, 3));
+        assert_orthogonal(&qr.q, 1e-12);
+        let recon = &qr.q * &qr.r;
+        assert!(recon.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn thin_qr_reconstructs() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[0.0, 2.0]]);
+        let qr = factor_thin(&a);
+        assert_eq!(qr.q.shape(), (3, 2));
+        assert_eq!(qr.r.shape(), (2, 2));
+        assert_orthogonal(&qr.q, 1e-12);
+        assert!((&qr.q * &qr.r).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(5, 4, |i, j| ((i + 1) * (j + 2)) as f64 + (i as f64) * 0.1);
+        let qr = factor_full(&a);
+        for i in 0..5 {
+            for j in 0..i.min(4) {
+                assert!(qr.r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_exact_for_square() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::column(&[5.0, 10.0]);
+        let x = least_squares(&a, &b).unwrap();
+        assert!((&(&a * &x) - &b).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_overdetermined() {
+        // Fit y = 2 t + 1 exactly representable.
+        let t: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let a = Matrix::from_fn(6, 2, |i, j| if j == 0 { t[i] } else { 1.0 });
+        let b = Matrix::from_fn(6, 1, |i, _| 2.0 * t[i] + 1.0);
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_rank_deficient_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let b = Matrix::column(&[1.0, 2.0, 3.0]);
+        assert!(matches!(
+            least_squares(&a, &b),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn orthonormalize_drops_dependent_columns() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[1.0, 2.0, 1.0],
+        ]);
+        let q = orthonormalize_columns(&a, 1e-10);
+        assert_eq!(q.cols(), 2);
+        assert_orthogonal(&q, 1e-12);
+    }
+
+    #[test]
+    fn orthonormalize_empty_input() {
+        let a = Matrix::zeros(3, 0);
+        let q = orthonormalize_columns(&a, 1e-10);
+        assert_eq!(q.shape(), (3, 0));
+        let z = Matrix::zeros(3, 2);
+        let qz = orthonormalize_columns(&z, 1e-10);
+        assert_eq!(qz.cols(), 0);
+    }
+
+    #[test]
+    fn qr_of_identity_is_identity() {
+        let qr = factor_full(&Matrix::identity(4));
+        assert!(qr.q.approx_eq(&Matrix::identity(4), 1e-14));
+        assert!(qr.r.approx_eq(&Matrix::identity(4), 1e-14));
+    }
+}

@@ -1,0 +1,367 @@
+//! Real Schur decomposition via the Francis implicit double-shift QR iteration.
+
+use crate::decomp::hessenberg;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Real Schur decomposition `Qᵀ A Q = T` with `Q` orthogonal and `T`
+/// quasi-upper-triangular (1x1 and 2x2 blocks on the diagonal; 2x2 blocks carry
+/// complex-conjugate eigenvalue pairs or, occasionally, unsplit real pairs).
+#[derive(Debug, Clone)]
+pub struct RealSchur {
+    /// Orthogonal transformation matrix.
+    pub q: Matrix,
+    /// Quasi-upper-triangular Schur form.
+    pub t: Matrix,
+}
+
+/// Computes the real Schur decomposition of a square matrix.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input and
+/// [`LinalgError::ConvergenceFailure`] if the QR iteration does not converge
+/// within `60 * n` iterations (extremely unusual for real data thanks to the
+/// exceptional-shift strategy).
+pub fn real_schur(a: &Matrix) -> Result<RealSchur, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            operation: "schur::real_schur",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(RealSchur {
+            q: Matrix::zeros(0, 0),
+            t: Matrix::zeros(0, 0),
+        });
+    }
+    if n == 1 {
+        return Ok(RealSchur {
+            q: Matrix::identity(1),
+            t: a.clone(),
+        });
+    }
+    let hess = hessenberg::reduce(a)?;
+    let mut h = hess.h;
+    let mut q = hess.q;
+    let norm = h.norm_fro().max(f64::MIN_POSITIVE);
+    let eps = f64::EPSILON;
+
+    let mut hi = n - 1; // active block ends at row/column `hi` (inclusive)
+    let mut total_iter = 0usize;
+    let max_iter = 60 * n;
+    let mut block_iter = 0usize;
+
+    'outer: loop {
+        // Deflate negligible subdiagonal entries.
+        for i in 1..=hi {
+            let s = h[(i - 1, i - 1)].abs() + h[(i, i)].abs();
+            let s = if s == 0.0 { norm } else { s };
+            if h[(i, i - 1)].abs() <= eps * s {
+                h[(i, i - 1)] = 0.0;
+            }
+        }
+        // Find the active block [lo, hi].
+        let mut lo = hi;
+        while lo > 0 && h[(lo, lo - 1)] != 0.0 {
+            lo -= 1;
+        }
+        if lo == hi {
+            // 1x1 block converged.
+            if hi == 0 {
+                break 'outer;
+            }
+            hi -= 1;
+            block_iter = 0;
+            continue;
+        }
+        if lo + 1 == hi {
+            // 2x2 block converged (complex pair or unsplit real pair).
+            if hi <= 1 {
+                break 'outer;
+            }
+            hi -= 2;
+            block_iter = 0;
+            continue;
+        }
+
+        total_iter += 1;
+        block_iter += 1;
+        if total_iter > max_iter {
+            return Err(LinalgError::ConvergenceFailure {
+                operation: "schur::real_schur",
+                iterations: total_iter,
+            });
+        }
+
+        // Double-shift from the trailing 2x2 block; exceptional shift
+        // occasionally to break potential cycles.
+        let (s, t) = if block_iter % 11 == 0 {
+            let ex = h[(hi, hi - 1)].abs() + h[(hi - 1, hi - 2)].abs();
+            (1.5 * ex, 0.5625 * ex * ex)
+        } else {
+            let a11 = h[(hi - 1, hi - 1)];
+            let a12 = h[(hi - 1, hi)];
+            let a21 = h[(hi, hi - 1)];
+            let a22 = h[(hi, hi)];
+            (a11 + a22, a11 * a22 - a12 * a21)
+        };
+
+        // First column of (H - aI)(H - bI) restricted to the active block.
+        let h11 = h[(lo, lo)];
+        let h12 = h[(lo, lo + 1)];
+        let h21 = h[(lo + 1, lo)];
+        let h22 = h[(lo + 1, lo + 1)];
+        let h32 = h[(lo + 2, lo + 1)];
+        let mut x = h11 * h11 + h12 * h21 - s * h11 + t;
+        let mut y = h21 * (h11 + h22 - s);
+        let mut z = h21 * h32;
+
+        // Bulge chasing.
+        for k in lo..=(hi - 2) {
+            let (v, beta) = householder3(x, y, z);
+            if beta != 0.0 {
+                let col_start = if k > lo { k - 1 } else { lo };
+                // Apply P from the left to rows k..k+2.
+                for j in col_start..n {
+                    let dot = v[0] * h[(k, j)] + v[1] * h[(k + 1, j)] + v[2] * h[(k + 2, j)];
+                    let sfac = beta * dot;
+                    h[(k, j)] -= sfac * v[0];
+                    h[(k + 1, j)] -= sfac * v[1];
+                    h[(k + 2, j)] -= sfac * v[2];
+                }
+                // Apply P from the right to columns k..k+2.
+                let row_end = (k + 3).min(hi);
+                for i in 0..=row_end {
+                    let dot = v[0] * h[(i, k)] + v[1] * h[(i, k + 1)] + v[2] * h[(i, k + 2)];
+                    let sfac = beta * dot;
+                    h[(i, k)] -= sfac * v[0];
+                    h[(i, k + 1)] -= sfac * v[1];
+                    h[(i, k + 2)] -= sfac * v[2];
+                }
+                // Accumulate into Q.
+                for i in 0..n {
+                    let dot = v[0] * q[(i, k)] + v[1] * q[(i, k + 1)] + v[2] * q[(i, k + 2)];
+                    let sfac = beta * dot;
+                    q[(i, k)] -= sfac * v[0];
+                    q[(i, k + 1)] -= sfac * v[1];
+                    q[(i, k + 2)] -= sfac * v[2];
+                }
+            }
+            x = h[(k + 1, k)];
+            y = h[(k + 2, k)];
+            if k + 3 <= hi {
+                z = h[(k + 3, k)];
+            } else {
+                z = 0.0;
+            }
+        }
+
+        // Final 2x1 reflector.
+        let (v, beta) = householder2(x, y);
+        if beta != 0.0 {
+            let k = hi - 1;
+            for j in (hi - 2)..n {
+                let dot = v[0] * h[(k, j)] + v[1] * h[(k + 1, j)];
+                let sfac = beta * dot;
+                h[(k, j)] -= sfac * v[0];
+                h[(k + 1, j)] -= sfac * v[1];
+            }
+            for i in 0..=hi {
+                let dot = v[0] * h[(i, k)] + v[1] * h[(i, k + 1)];
+                let sfac = beta * dot;
+                h[(i, k)] -= sfac * v[0];
+                h[(i, k + 1)] -= sfac * v[1];
+            }
+            for i in 0..n {
+                let dot = v[0] * q[(i, k)] + v[1] * q[(i, k + 1)];
+                let sfac = beta * dot;
+                q[(i, k)] -= sfac * v[0];
+                q[(i, k + 1)] -= sfac * v[1];
+            }
+        }
+    }
+
+    // Enforce the quasi-triangular sparsity pattern.
+    for i in 1..n {
+        let s = h[(i - 1, i - 1)].abs() + h[(i, i)].abs();
+        let s = if s == 0.0 { norm } else { s };
+        if h[(i, i - 1)].abs() <= eps * s {
+            h[(i, i - 1)] = 0.0;
+        }
+    }
+    for i in 2..n {
+        for j in 0..(i - 1) {
+            h[(i, j)] = 0.0;
+        }
+    }
+    Ok(RealSchur { q, t: h })
+}
+
+/// Householder reflector for a 3-vector: returns `(v, beta)` such that
+/// `(I - beta v vᵀ) [x, y, z]ᵀ = [±‖·‖, 0, 0]ᵀ`.
+fn householder3(x: f64, y: f64, z: f64) -> ([f64; 3], f64) {
+    let norm = (x * x + y * y + z * z).sqrt();
+    if norm == 0.0 {
+        return ([0.0; 3], 0.0);
+    }
+    let alpha = if x >= 0.0 { -norm } else { norm };
+    let v0 = x - alpha;
+    let v = [v0, y, z];
+    let vnorm_sq = v0 * v0 + y * y + z * z;
+    if vnorm_sq <= f64::MIN_POSITIVE {
+        return ([0.0; 3], 0.0);
+    }
+    (v, 2.0 / vnorm_sq)
+}
+
+/// Householder reflector for a 2-vector.
+fn householder2(x: f64, y: f64) -> ([f64; 2], f64) {
+    let norm = (x * x + y * y).sqrt();
+    if norm == 0.0 {
+        return ([0.0; 2], 0.0);
+    }
+    let alpha = if x >= 0.0 { -norm } else { norm };
+    let v0 = x - alpha;
+    let v = [v0, y];
+    let vnorm_sq = v0 * v0 + y * y;
+    if vnorm_sq <= f64::MIN_POSITIVE {
+        return ([0.0; 2], 0.0);
+    }
+    (v, 2.0 / vnorm_sq)
+}
+
+impl RealSchur {
+    /// Returns the list of diagonal block boundaries of the quasi-triangular
+    /// factor: each entry is `(start, size)` with `size ∈ {1, 2}`.
+    pub fn diagonal_blocks(&self) -> Vec<(usize, usize)> {
+        let n = self.t.rows();
+        let mut blocks = Vec::new();
+        let mut i = 0;
+        while i < n {
+            if i + 1 < n && self.t[(i + 1, i)] != 0.0 {
+                blocks.push((i, 2));
+                i += 2;
+            } else {
+                blocks.push((i, 1));
+                i += 1;
+            }
+        }
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen;
+
+    fn check_schur(a: &Matrix, tol: f64) -> RealSchur {
+        let s = real_schur(a).unwrap();
+        let n = a.rows();
+        // Orthogonality
+        let qtq = s.q.transpose_matmul(&s.q).unwrap();
+        assert!(
+            qtq.approx_eq(&Matrix::identity(n), tol),
+            "Q not orthogonal: {}",
+            (&qtq - &Matrix::identity(n)).norm_max()
+        );
+        // Similarity
+        let recon = &(&s.q * &s.t) * &s.q.transpose();
+        assert!(
+            recon.approx_eq(a, tol * a.norm_fro().max(1.0)),
+            "similarity violated by {}",
+            (&recon - a).norm_max()
+        );
+        // Quasi-triangular: zero below first subdiagonal
+        for i in 2..n {
+            for j in 0..(i - 1) {
+                assert_eq!(s.t[(i, j)], 0.0);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn schur_of_symmetric_matrix_is_diagonalish() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let s = check_schur(&a, 1e-10);
+        let evals = eigen::eigenvalues_from_schur(&s.t);
+        let mut re: Vec<f64> = evals.iter().map(|z| z.re).collect();
+        re.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Known eigenvalues of this tridiagonal matrix
+        let sum: f64 = re.iter().sum();
+        assert!((sum - 9.0).abs() < 1e-9);
+        assert!(evals.iter().all(|z| z.im.abs() < 1e-9));
+    }
+
+    #[test]
+    fn schur_of_rotationlike_matrix_has_complex_pair() {
+        let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
+        let s = check_schur(&a, 1e-12);
+        let evals = eigen::eigenvalues_from_schur(&s.t);
+        assert_eq!(evals.len(), 2);
+        assert!(evals.iter().all(|z| z.re.abs() < 1e-12));
+        assert!(evals.iter().any(|z| (z.im - 1.0).abs() < 1e-12));
+        assert!(evals.iter().any(|z| (z.im + 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn schur_of_defective_jordan_block() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 2.0, 1.0], &[0.0, 0.0, 2.0]]);
+        let s = check_schur(&a, 1e-9);
+        let evals = eigen::eigenvalues_from_schur(&s.t);
+        for z in evals {
+            assert!((z.re - 2.0).abs() < 1e-5, "eigenvalue {z:?}");
+            assert!(z.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn schur_of_moderate_random_matrix() {
+        let n = 20;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let v = ((i * 31 + j * 17 + 3) % 23) as f64 / 23.0 - 0.5;
+            v + if i == j { 0.3 } else { 0.0 }
+        });
+        let s = check_schur(&a, 1e-8);
+        // Eigenvalue sum equals trace.
+        let evals = eigen::eigenvalues_from_schur(&s.t);
+        let sum_re: f64 = evals.iter().map(|z| z.re).sum();
+        let sum_im: f64 = evals.iter().map(|z| z.im).sum();
+        assert!((sum_re - a.trace()).abs() < 1e-7);
+        assert!(sum_im.abs() < 1e-7);
+    }
+
+    #[test]
+    fn diagonal_blocks_partition_dimension() {
+        let a = Matrix::from_rows(&[
+            &[0.0, -2.0, 0.1, 0.0],
+            &[2.0, 0.0, 0.0, 0.3],
+            &[0.0, 0.0, -1.0, 0.5],
+            &[0.0, 0.0, 0.0, -3.0],
+        ]);
+        let s = real_schur(&a).unwrap();
+        let blocks = s.diagonal_blocks();
+        let total: usize = blocks.iter().map(|&(_, sz)| sz).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let s0 = real_schur(&Matrix::zeros(0, 0)).unwrap();
+        assert_eq!(s0.t.shape(), (0, 0));
+        let s1 = real_schur(&Matrix::filled(1, 1, 5.0)).unwrap();
+        assert_eq!(s1.t[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matches!(
+            real_schur(&Matrix::zeros(3, 2)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

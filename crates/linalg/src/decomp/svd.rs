@@ -1,0 +1,281 @@
+//! Singular value decomposition via the one-sided Jacobi method.
+//!
+//! The one-sided Jacobi algorithm is simple, numerically robust and accurate for
+//! the moderate dimensions this workspace handles (a few hundred); it avoids the
+//! deflation bookkeeping of bidiagonal QR at the cost of a small constant factor.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Singular value decomposition `A = U Σ Vᵀ`.
+///
+/// * `u` is `m x k` with `k = min(m, n)`; columns associated with nonzero
+///   singular values are orthonormal, columns associated with (numerically)
+///   zero singular values are zero vectors.
+/// * `s` holds the singular values in non-increasing order.
+/// * `v` is `n x n` orthogonal when `m >= n`, and `n x k` (orthonormal columns)
+///   when `m < n`; in both cases `A ≈ U diag(s) Vᵀ` on the leading `k` columns.
+///
+/// For subspace computations use the helpers in [`crate::subspace`], which
+/// handle the rank decisions and orientation consistently.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (`m x min(m, n)`).
+    pub u: Matrix,
+    /// Singular values, non-increasing.
+    pub s: Vec<f64>,
+    /// Right singular vectors.
+    pub v: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the singular value decomposition of `a`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ConvergenceFailure`] if the Jacobi sweeps fail to
+/// converge (does not happen for finite input in practice).
+pub fn svd(a: &Matrix) -> Result<Svd, LinalgError> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Ok(Svd {
+            u: Matrix::zeros(m, m.min(n)),
+            s: vec![],
+            v: Matrix::zeros(n, if m >= n { n } else { m.min(n) }),
+        });
+    }
+    if m < n {
+        // Work on the transpose and swap the factors: Aᵀ = U Σ Vᵀ  ⇒  A = V Σ Uᵀ.
+        let t = svd(&a.transpose())?;
+        return Ok(Svd {
+            u: t.v.block(0, m, 0, t.s.len().min(m)),
+            s: t.s,
+            v: t.u,
+        });
+    }
+
+    // One-sided Jacobi on the columns of W (m x n, m >= n).
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let eps = f64::EPSILON;
+    // Columns whose norm has dropped below this are treated as exactly zero;
+    // without the floor, pairs of negligible columns keep rotating forever.
+    let negligible = (eps * a.norm_fro().max(f64::MIN_POSITIVE)).powi(2);
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n.saturating_sub(1) {
+            for q in (p + 1)..n {
+                // Column inner products.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    app += wp * wp;
+                    aqq += wq * wq;
+                    apq += wp * wq;
+                }
+                if app <= negligible || aqq <= negligible {
+                    continue;
+                }
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                rotated = true;
+                let zeta = (aqq - app) / (2.0 * apq);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Rotate columns p and q of W and V.
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    w[(i, p)] = c * wp - s * wq;
+                    w[(i, q)] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if !rotated {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(LinalgError::ConvergenceFailure {
+            operation: "svd::svd",
+            iterations: MAX_SWEEPS,
+        });
+    }
+
+    // Extract singular values and left vectors.
+    let mut sigma: Vec<f64> = Vec::with_capacity(n);
+    let mut u = Matrix::zeros(m, n);
+    for j in 0..n {
+        let mut norm = 0.0;
+        for i in 0..m {
+            norm += w[(i, j)] * w[(i, j)];
+        }
+        let norm = norm.sqrt();
+        sigma.push(norm);
+        if norm > 0.0 {
+            for i in 0..m {
+                u[(i, j)] = w[(i, j)] / norm;
+            }
+        }
+    }
+
+    // Sort in non-increasing order of singular values.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    let s_sorted: Vec<f64> = order.iter().map(|&i| sigma[i]).collect();
+    let u_sorted = u.select_columns(&order);
+    let v_sorted = v.select_columns(&order);
+
+    Ok(Svd {
+        u: u_sorted,
+        s: s_sorted,
+        v: v_sorted,
+    })
+}
+
+impl Svd {
+    /// Numerical rank using the tolerance `tol * max(s)` (or an absolute floor
+    /// scaled by machine epsilon if all singular values are tiny).
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        if self.s.is_empty() {
+            return 0;
+        }
+        let smax = self.s[0];
+        if smax == 0.0 {
+            return 0;
+        }
+        let threshold = smax * rel_tol.max(f64::EPSILON);
+        self.s.iter().filter(|&&x| x > threshold).count()
+    }
+
+    /// Reconstructs `U diag(s) Vᵀ` (for testing / diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.s.len();
+        let mut us = self.u.clone();
+        for j in 0..k {
+            for i in 0..us.rows() {
+                us[(i, j)] *= self.s[j];
+            }
+        }
+        let vk = self.v.block(0, self.v.rows(), 0, k);
+        &us * &vk.transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_svd(a: &Matrix, tol: f64) -> Svd {
+        let d = svd(a).unwrap();
+        let recon = d.reconstruct();
+        assert!(
+            recon.approx_eq(a, tol),
+            "reconstruction error {}",
+            (&recon - a).norm_max()
+        );
+        // Non-increasing singular values.
+        for w in d.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-14);
+        }
+        d
+    }
+
+    #[test]
+    fn svd_of_tall_matrix() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 2.0],
+            &[3.0, 0.0],
+            &[0.0, -1.0],
+        ]);
+        let d = check_svd(&a, 1e-12);
+        assert_eq!(d.s.len(), 2);
+        assert!((d.s[0] - 10.0_f64.sqrt()).abs() < 1e-12);
+        assert!((d.s[1] - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svd_of_wide_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let d = check_svd(&a, 1e-11);
+        assert_eq!(d.s.len(), 2);
+        assert_eq!(d.u.shape(), (2, 2));
+    }
+
+    #[test]
+    fn rank_detection() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[2.0, 4.0, 6.0],
+            &[0.0, 0.0, 1.0],
+        ]);
+        let d = svd(&a).unwrap();
+        assert_eq!(d.rank(1e-10), 2);
+        let z = svd(&Matrix::zeros(3, 3)).unwrap();
+        assert_eq!(z.rank(1e-10), 0);
+    }
+
+    #[test]
+    fn orthogonality_of_factors() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i * 7 + j * 5) % 9) as f64 - 4.0);
+        let d = check_svd(&a, 1e-11);
+        let r = d.rank(1e-12);
+        // The leading r columns of U and V are orthonormal.
+        let ur = d.u.block(0, 6, 0, r);
+        let vr = d.v.block(0, 4, 0, r);
+        assert!(ur
+            .transpose_matmul(&ur)
+            .unwrap()
+            .approx_eq(&Matrix::identity(r), 1e-11));
+        assert!(vr
+            .transpose_matmul(&vr)
+            .unwrap()
+            .approx_eq(&Matrix::identity(r), 1e-11));
+    }
+
+    #[test]
+    fn singular_values_match_eigenvalues_of_gram_matrix() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 0.0], &[0.0, 1.0]]);
+        let d = check_svd(&a, 1e-13);
+        assert!((d.s[0] - 2.0).abs() < 1e-13);
+        assert!((d.s[1] - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn identity_has_unit_singular_values() {
+        let d = check_svd(&Matrix::identity(5), 1e-13);
+        assert!(d.s.iter().all(|&x| (x - 1.0).abs() < 1e-13));
+    }
+
+    #[test]
+    fn empty_matrix_is_handled() {
+        let d = svd(&Matrix::zeros(0, 3)).unwrap();
+        assert!(d.s.is_empty());
+        let d2 = svd(&Matrix::zeros(3, 0)).unwrap();
+        assert!(d2.s.is_empty());
+    }
+
+    #[test]
+    fn moderate_size_accuracy() {
+        let n = 25;
+        let a = Matrix::from_fn(n, n, |i, j| ((i + 2 * j) % 13) as f64 * 0.3 - 1.7);
+        check_svd(&a, 1e-9);
+    }
+}

@@ -1,0 +1,238 @@
+//! Eigendecomposition of symmetric matrices via the cyclic Jacobi method.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Eigendecomposition of a symmetric matrix: `A = V diag(values) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in non-decreasing order.
+    pub values: Vec<f64>,
+    /// Orthogonal matrix of eigenvectors (columns), ordered like `values`.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// The input is symmetrized (`(A + Aᵀ)/2`) before the iteration, so slightly
+/// non-symmetric input caused by round-off is accepted.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input and
+/// [`LinalgError::ConvergenceFailure`] if the sweeps do not converge.
+pub fn eigen_symmetric(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            operation: "symmetric::eigen_symmetric",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(SymmetricEigen {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+    let mut m = a.symmetric_part();
+    let mut v = Matrix::identity(n);
+    let eps = f64::EPSILON;
+    let norm = m.norm_fro().max(f64::MIN_POSITIVE);
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        // Sum of squares of off-diagonal entries.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= eps * norm * (n as f64) {
+            converged = true;
+            break;
+        }
+        for p in 0..n.saturating_sub(1) {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= eps * norm {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Update rows/columns p and q of M (symmetric rotation).
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if !converged {
+        return Err(LinalgError::ConvergenceFailure {
+            operation: "symmetric::eigen_symmetric",
+            iterations: MAX_SWEEPS,
+        });
+    }
+    let mut values: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap());
+    values = order.iter().map(|&i| values[i]).collect();
+    let vectors = v.select_columns(&order);
+    Ok(SymmetricEigen { values, vectors })
+}
+
+/// Returns the smallest eigenvalue of a symmetric matrix.
+///
+/// # Errors
+///
+/// Propagates the errors of [`eigen_symmetric`].
+pub fn min_eigenvalue(a: &Matrix) -> Result<f64, LinalgError> {
+    let e = eigen_symmetric(a)?;
+    Ok(e.values.first().copied().unwrap_or(0.0))
+}
+
+/// Checks positive semidefiniteness of a symmetric matrix by its spectrum.
+///
+/// The tolerance is interpreted as an absolute allowance for slightly negative
+/// eigenvalues (scaled rounding noise).
+///
+/// # Errors
+///
+/// Propagates the errors of [`eigen_symmetric`].
+pub fn is_positive_semidefinite(a: &Matrix, tol: f64) -> Result<bool, LinalgError> {
+    if a.rows() == 0 {
+        return Ok(true);
+    }
+    let min = min_eigenvalue(&a.symmetric_part())?;
+    Ok(min >= -tol.abs())
+}
+
+/// Projects a symmetric matrix onto the cone of positive semidefinite matrices
+/// by clipping negative eigenvalues at zero.
+///
+/// # Errors
+///
+/// Propagates the errors of [`eigen_symmetric`].
+pub fn project_psd(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let e = eigen_symmetric(a)?;
+    let n = a.rows();
+    let mut out = Matrix::zeros(n, n);
+    for (k, &lambda) in e.values.iter().enumerate() {
+        if lambda <= 0.0 {
+            continue;
+        }
+        let vk = e.vectors.col(k);
+        let outer = &vk * &vk.transpose();
+        out = &out + &outer.scale(lambda);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = Matrix::diag(&[3.0, -1.0, 2.0]);
+        let e = eigen_symmetric(&a).unwrap();
+        assert_eq!(e.values.len(), 3);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
+        let e = eigen_symmetric(&a).unwrap();
+        let d = Matrix::diag(&e.values);
+        let recon = &(&e.vectors * &d) * &e.vectors.transpose();
+        assert!(recon.approx_eq(&a, 1e-10));
+        // Eigenvectors orthogonal.
+        let vtv = e.vectors.transpose_matmul(&e.vectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-11));
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = eigen_symmetric(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psd_checks() {
+        let psd = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        assert!(is_positive_semidefinite(&psd, 1e-12).unwrap());
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(!is_positive_semidefinite(&indef, 1e-12).unwrap());
+        let zero = Matrix::zeros(3, 3);
+        assert!(is_positive_semidefinite(&zero, 1e-12).unwrap());
+    }
+
+    #[test]
+    fn min_eigenvalue_of_negative_definite() {
+        let a = Matrix::diag(&[-5.0, -1.0]);
+        assert!((min_eigenvalue(&a).unwrap() + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_onto_psd_cone() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -2.0]]);
+        let p = project_psd(&a).unwrap();
+        assert!(p.approx_eq(&Matrix::diag(&[1.0, 0.0]), 1e-12));
+        // Projection of a PSD matrix is itself.
+        let b = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        assert!(project_psd(&b).unwrap().approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn handles_empty_matrix() {
+        let e = eigen_symmetric(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+        assert!(is_positive_semidefinite(&Matrix::zeros(0, 0), 0.0).unwrap());
+    }
+
+    #[test]
+    fn moderate_size_spectrum_sums_to_trace() {
+        let n = 20;
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 11) % 17) as f64 * 0.2 - 1.6);
+        let a = &b + &b.transpose();
+        let e = eigen_symmetric(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matches!(
+            eigen_symmetric(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

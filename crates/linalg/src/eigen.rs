@@ -1,0 +1,193 @@
+//! Eigenvalue computations for general (unsymmetric) real matrices.
+
+use crate::decomp::schur::{self, RealSchur};
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::scalar::Complex;
+
+/// Computes all eigenvalues of a square real matrix.
+///
+/// The eigenvalues of a real matrix come in complex-conjugate pairs; they are
+/// returned in the order induced by the real Schur form.
+///
+/// # Errors
+///
+/// Propagates the errors of [`schur::real_schur`].
+///
+/// ```
+/// # use ds_linalg::{Matrix, eigen};
+/// # fn main() -> Result<(), ds_linalg::LinalgError> {
+/// let rotation = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
+/// let eig = eigen::eigenvalues(&rotation)?;
+/// assert!(eig.iter().all(|z| z.re.abs() < 1e-12 && (z.im.abs() - 1.0).abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>, LinalgError> {
+    let s = schur::real_schur(a)?;
+    Ok(eigenvalues_from_schur(&s.t))
+}
+
+/// Extracts eigenvalues from a quasi-upper-triangular (real Schur) matrix.
+pub fn eigenvalues_from_schur(t: &Matrix) -> Vec<Complex> {
+    let n = t.rows();
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < n {
+        if i + 1 < n && t[(i + 1, i)] != 0.0 {
+            let (l1, l2) = eig_2x2(t[(i, i)], t[(i, i + 1)], t[(i + 1, i)], t[(i + 1, i + 1)]);
+            out.push(l1);
+            out.push(l2);
+            i += 2;
+        } else {
+            out.push(Complex::from_real(t[(i, i)]));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Eigenvalues of the 2x2 matrix `[[a, b], [c, d]]`.
+pub fn eig_2x2(a: f64, b: f64, c: f64, d: f64) -> (Complex, Complex) {
+    let trace = a + d;
+    let det = a * d - b * c;
+    let half = trace / 2.0;
+    let disc = half * half - det;
+    if disc >= 0.0 {
+        let root = disc.sqrt();
+        (
+            Complex::from_real(half + root),
+            Complex::from_real(half - root),
+        )
+    } else {
+        let root = (-disc).sqrt();
+        (Complex::new(half, root), Complex::new(half, -root))
+    }
+}
+
+/// Spectral abscissa: the largest real part among the eigenvalues.
+///
+/// # Errors
+///
+/// Propagates the errors of [`eigenvalues`].
+pub fn spectral_abscissa(a: &Matrix) -> Result<f64, LinalgError> {
+    let eig = eigenvalues(a)?;
+    Ok(eig
+        .iter()
+        .map(|z| z.re)
+        .fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Spectral radius: the largest modulus among the eigenvalues.
+///
+/// # Errors
+///
+/// Propagates the errors of [`eigenvalues`].
+pub fn spectral_radius(a: &Matrix) -> Result<f64, LinalgError> {
+    let eig = eigenvalues(a)?;
+    Ok(eig.iter().map(|z| z.abs()).fold(0.0, f64::max))
+}
+
+/// Returns `true` when every eigenvalue has a strictly negative real part
+/// (Hurwitz stability), using `tol` as the allowed margin around zero.
+///
+/// # Errors
+///
+/// Propagates the errors of [`eigenvalues`].
+pub fn is_hurwitz(a: &Matrix, tol: f64) -> Result<bool, LinalgError> {
+    Ok(spectral_abscissa(a)? < -tol.abs() || a.rows() == 0)
+}
+
+/// Returns the eigenvalues whose real part is within `tol` of zero
+/// (i.e. numerically on the imaginary axis).
+///
+/// # Errors
+///
+/// Propagates the errors of [`eigenvalues`].
+pub fn imaginary_axis_eigenvalues(a: &Matrix, tol: f64) -> Result<Vec<Complex>, LinalgError> {
+    let eig = eigenvalues(a)?;
+    Ok(eig.into_iter().filter(|z| z.re.abs() <= tol).collect())
+}
+
+/// Re-exported Schur result type for callers that need the factors.
+pub type Schur = RealSchur;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real_parts(v: &[Complex]) -> Vec<f64> {
+        let mut r: Vec<f64> = v.iter().map(|z| z.re).collect();
+        r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        r
+    }
+
+    #[test]
+    fn eigenvalues_of_triangular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 5.0, -3.0], &[0.0, -2.0, 4.0], &[0.0, 0.0, 7.0]]);
+        let e = eigenvalues(&a).unwrap();
+        let re = sorted_real_parts(&e);
+        assert!((re[0] + 2.0).abs() < 1e-10);
+        assert!((re[1] - 1.0).abs() < 1e-10);
+        assert!((re[2] - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn complex_pair_from_rotation_scaling() {
+        // Eigenvalues 2 ± 3i.
+        let a = Matrix::from_rows(&[&[2.0, 3.0], &[-3.0, 2.0]]);
+        let e = eigenvalues(&a).unwrap();
+        assert!(e.iter().all(|z| (z.re - 2.0).abs() < 1e-10));
+        assert!(e.iter().any(|z| (z.im - 3.0).abs() < 1e-10));
+        assert!(e.iter().any(|z| (z.im + 3.0).abs() < 1e-10));
+    }
+
+    #[test]
+    fn eig_2x2_real_and_complex() {
+        let (l1, l2) = eig_2x2(3.0, 0.0, 0.0, -1.0);
+        assert!((l1.re - 3.0).abs() < 1e-14 && l1.im == 0.0);
+        assert!((l2.re + 1.0).abs() < 1e-14);
+        let (c1, c2) = eig_2x2(0.0, 1.0, -1.0, 0.0);
+        assert!((c1.im - 1.0).abs() < 1e-14);
+        assert!((c2.im + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn stability_predicates() {
+        let stable = Matrix::from_rows(&[&[-1.0, 10.0], &[0.0, -0.5]]);
+        assert!(is_hurwitz(&stable, 1e-12).unwrap());
+        let unstable = Matrix::from_rows(&[&[0.1, 0.0], &[0.0, -2.0]]);
+        assert!(!is_hurwitz(&unstable, 1e-12).unwrap());
+        assert!((spectral_abscissa(&unstable).unwrap() - 0.1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn spectral_radius_of_scaled_rotation() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[-2.0, 0.0]]);
+        assert!((spectral_radius(&a).unwrap() - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn imaginary_axis_detection() {
+        let a = Matrix::block_diag(&[
+            &Matrix::from_rows(&[&[0.0, 4.0], &[-4.0, 0.0]]), // ±4i
+            &Matrix::from_rows(&[&[-1.0]]),
+        ]);
+        let on_axis = imaginary_axis_eigenvalues(&a, 1e-8).unwrap();
+        assert_eq!(on_axis.len(), 2);
+        assert!(on_axis.iter().all(|z| (z.im.abs() - 4.0).abs() < 1e-8));
+    }
+
+    #[test]
+    fn trace_and_determinant_consistency() {
+        let a = Matrix::from_fn(8, 8, |i, j| ((i * 5 + j * 9) % 7) as f64 * 0.4 - 1.0);
+        let e = eigenvalues(&a).unwrap();
+        let sum_re: f64 = e.iter().map(|z| z.re).sum();
+        assert!((sum_re - a.trace()).abs() < 1e-8);
+        // Product of eigenvalues equals determinant (compare moduli of products).
+        let det = crate::decomp::lu::det(&a).unwrap();
+        let prod = e.iter().fold(Complex::from_real(1.0), |acc, &z| acc * z);
+        assert!((prod.re - det).abs() < 1e-6 * det.abs().max(1.0));
+        assert!(prod.im.abs() < 1e-6 * det.abs().max(1.0));
+    }
+}

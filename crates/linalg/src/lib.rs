@@ -1,0 +1,64 @@
+//! # ds-linalg
+//!
+//! Dense numerical linear algebra substrate for the descriptor-system passivity
+//! suite.  Everything is implemented from scratch in safe Rust on top of a single
+//! row-major [`Matrix`] type: no BLAS/LAPACK bindings are used.
+//!
+//! The crate provides exactly the kernels the DAC 2006 passivity test needs:
+//!
+//! * factorizations: [`decomp::lu`], [`decomp::qr`], [`decomp::cholesky`],
+//!   [`decomp::hessenberg`], [`decomp::schur`] (Francis double-shift real Schur),
+//!   [`decomp::svd`] (one-sided Jacobi), [`decomp::symmetric`] (cyclic Jacobi),
+//! * eigenvalues of general and symmetric matrices ([`eigen`]),
+//! * SVD-based subspace arithmetic — null spaces, ranges, intersections,
+//!   complements ([`subspace`]),
+//! * the matrix sign function for invariant-subspace splitting ([`sign`]),
+//! * Lyapunov/Sylvester solvers via Bartels–Stewart ([`lyapunov`]),
+//! * Moore–Penrose pseudo-inverse ([`pinv`]).
+//!
+//! # Example
+//!
+//! ```
+//! # use ds_linalg::prelude::*;
+//! # fn main() -> Result<(), ds_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+//! let eig = ds_linalg::eigen::eigenvalues(&a)?;
+//! assert_eq!(eig.len(), 2);
+//! let x = ds_linalg::decomp::lu::solve(&a, &Matrix::identity(2))?;
+//! assert!((&(&a * &x) - &Matrix::identity(2)).norm_fro() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decomp;
+pub mod eigen;
+pub mod error;
+pub mod lyapunov;
+pub mod matrix;
+pub mod pinv;
+pub mod scalar;
+pub mod sign;
+pub mod subspace;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use scalar::Complex;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::matrix::Matrix;
+    pub use crate::scalar::Complex;
+    pub use crate::error::LinalgError;
+}
+
+/// Default relative tolerance used across the crate when none is supplied.
+///
+/// Rank decisions, convergence thresholds and structural checks scale this by
+/// the relevant matrix norm and dimension.
+pub const DEFAULT_RELATIVE_TOLERANCE: f64 = 1e-10;
+
+/// Machine epsilon for `f64`, re-exported for convenience.
+pub const EPS: f64 = f64::EPSILON;

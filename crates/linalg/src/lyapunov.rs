@@ -1,0 +1,216 @@
+//! Sylvester and Lyapunov equation solvers (Bartels–Stewart).
+
+use crate::decomp::lu;
+use crate::decomp::schur;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Solves the Sylvester equation `A X + X B = C`.
+///
+/// Uses the Bartels–Stewart algorithm: real Schur forms of `A` and `B`, then
+/// block back-substitution on the quasi-triangular factors.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] for inconsistent dimensions.
+/// * [`LinalgError::Singular`] when `A` and `−B` share an eigenvalue (the
+///   equation is then singular).
+/// * Propagates Schur convergence failures.
+pub fn solve_sylvester(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    let m = b.rows();
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            operation: "lyapunov::solve_sylvester (A)",
+            shape: a.shape(),
+        });
+    }
+    if !b.is_square() {
+        return Err(LinalgError::NotSquare {
+            operation: "lyapunov::solve_sylvester (B)",
+            shape: b.shape(),
+        });
+    }
+    if c.shape() != (n, m) {
+        return Err(LinalgError::ShapeMismatch {
+            operation: "lyapunov::solve_sylvester",
+            left: (n, m),
+            right: c.shape(),
+        });
+    }
+    if n == 0 || m == 0 {
+        return Ok(Matrix::zeros(n, m));
+    }
+
+    // A = U T Uᵀ, B = V S Vᵀ with T, S quasi-upper-triangular.
+    let sa = schur::real_schur(a)?;
+    let sb = schur::real_schur(b)?;
+    let t = &sa.t;
+    let s = &sb.t;
+    // Transform the right-hand side: F = Uᵀ C V.
+    let f = &sa.q.transpose_matmul(c)? * &sb.q;
+
+    // Solve T Y + Y S = F by processing the columns of Y in blocks determined
+    // by the quasi-triangular structure of S (left to right) and, within each
+    // column block, the rows of Y in blocks of T (bottom to top).
+    let t_blocks = sa.diagonal_blocks();
+    let s_blocks = sb.diagonal_blocks();
+    let mut y = Matrix::zeros(n, m);
+
+    for &(cj, cw) in &s_blocks {
+        for &(ri, rh) in t_blocks.iter().rev() {
+            // Right-hand side for this block:
+            // F_block - T[ri, ri+rh..n] * Y[ri+rh..n, cols] - Y[rows, 0..cj] * S[0..cj, cols]
+            let mut rhs = f.block(ri, ri + rh, cj, cj + cw);
+            if ri + rh < n {
+                let t_right = t.block(ri, ri + rh, ri + rh, n);
+                let y_below = y.block(ri + rh, n, cj, cj + cw);
+                rhs = &rhs - &(&t_right * &y_below);
+            }
+            if cj > 0 {
+                let y_left = y.block(ri, ri + rh, 0, cj);
+                let s_above = s.block(0, cj, cj, cj + cw);
+                rhs = &rhs - &(&y_left * &s_above);
+            }
+            // Solve the small equation T_ii Y_b + Y_b S_jj = rhs via the
+            // Kronecker system (at most 4x4).
+            let t_ii = t.block(ri, ri + rh, ri, ri + rh);
+            let s_jj = s.block(cj, cj + cw, cj, cj + cw);
+            let y_block = solve_small_sylvester(&t_ii, &s_jj, &rhs)?;
+            y.set_block(ri, cj, &y_block);
+        }
+    }
+
+    // X = U Y Vᵀ.
+    Ok(&(&sa.q * &y) * &sb.q.transpose())
+}
+
+/// Solves the small Sylvester equation `P Y + Y Q = R` (dimensions at most 2x2)
+/// through its Kronecker-product linear system.
+fn solve_small_sylvester(p: &Matrix, q: &Matrix, r: &Matrix) -> Result<Matrix, LinalgError> {
+    let np = p.rows();
+    let nq = q.rows();
+    let dim = np * nq;
+    // Unknowns ordered as vec(Y) column-major: y[(i, j)] ↦ index j*np + i.
+    let mut k = Matrix::zeros(dim, dim);
+    for j in 0..nq {
+        for i in 0..np {
+            let row = j * np + i;
+            // (P Y)[i, j] = Σ_k P[i, k] Y[k, j]
+            for kk in 0..np {
+                k[(row, j * np + kk)] += p[(i, kk)];
+            }
+            // (Y Q)[i, j] = Σ_k Y[i, k] Q[k, j]
+            for kk in 0..nq {
+                k[(row, kk * np + i)] += q[(kk, j)];
+            }
+        }
+    }
+    let mut rhs = Matrix::zeros(dim, 1);
+    for j in 0..nq {
+        for i in 0..np {
+            rhs[(j * np + i, 0)] = r[(i, j)];
+        }
+    }
+    let sol = lu::solve(&k, &rhs).map_err(|_| LinalgError::Singular {
+        operation: "lyapunov::solve_sylvester (A and -B share an eigenvalue)",
+    })?;
+    let mut y = Matrix::zeros(np, nq);
+    for j in 0..nq {
+        for i in 0..np {
+            y[(i, j)] = sol[(j * np + i, 0)];
+        }
+    }
+    Ok(y)
+}
+
+/// Solves the continuous-time Lyapunov equation `A X + X Aᵀ + Q = 0`.
+///
+/// # Errors
+///
+/// Propagates the errors of [`solve_sylvester`].
+pub fn solve_lyapunov(a: &Matrix, q: &Matrix) -> Result<Matrix, LinalgError> {
+    solve_sylvester(a, &a.transpose(), &q.scale(-1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sylvester_residual_small() {
+        let a = Matrix::from_rows(&[&[-2.0, 1.0], &[0.0, -3.0]]);
+        let b = Matrix::from_rows(&[&[-1.0, 0.5, 0.0], &[0.0, -4.0, 1.0], &[0.2, 0.0, -2.0]]);
+        let c = Matrix::from_fn(2, 3, |i, j| (i + j) as f64 + 1.0);
+        let x = solve_sylvester(&a, &b, &c).unwrap();
+        let residual = &(&(&a * &x) + &(&x * &b)) - &c;
+        assert!(residual.norm_fro() < 1e-10);
+    }
+
+    #[test]
+    fn sylvester_with_complex_eigenvalues() {
+        let a = Matrix::from_rows(&[&[-1.0, 2.0], &[-2.0, -1.0]]); // -1 ± 2i
+        let b = Matrix::from_rows(&[&[-0.5, 1.0], &[-1.0, -0.5]]); // -0.5 ± i
+        let c = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = solve_sylvester(&a, &b, &c).unwrap();
+        let residual = &(&(&a * &x) + &(&x * &b)) - &c;
+        assert!(residual.norm_fro() < 1e-10);
+    }
+
+    #[test]
+    fn lyapunov_solution_is_symmetric_for_symmetric_q() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.3, 0.0], &[0.0, -2.0, 0.4], &[0.1, 0.0, -3.0]]);
+        let q = Matrix::identity(3);
+        let x = solve_lyapunov(&a, &q).unwrap();
+        let residual = &(&(&a * &x) + &(&x * &a.transpose())) + &q;
+        assert!(residual.norm_fro() < 1e-10);
+        assert!(x.is_symmetric(1e-8));
+    }
+
+    #[test]
+    fn lyapunov_gramian_is_positive_definite_for_stable_a() {
+        // Controllability-Gramian-style equation: A P + P Aᵀ + B Bᵀ = 0.
+        let a = Matrix::from_rows(&[&[-1.0, 1.0], &[0.0, -2.0]]);
+        let b = Matrix::column(&[1.0, 1.0]);
+        let q = &b * &b.transpose();
+        let p = solve_lyapunov(&a, &q).unwrap();
+        assert!(crate::decomp::cholesky::is_positive_definite(&p.symmetric_part()));
+    }
+
+    #[test]
+    fn singular_equation_rejected() {
+        // A and -B share eigenvalue 1.
+        let a = Matrix::diag(&[1.0, 2.0]);
+        let b = Matrix::diag(&[-1.0, -5.0]);
+        let c = Matrix::identity(2);
+        assert!(solve_sylvester(&a, &b, &c).is_err());
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(3);
+        let c = Matrix::zeros(3, 2);
+        assert!(matches!(
+            solve_sylvester(&a, &b, &c),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn moderate_size_equation() {
+        let n = 15;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                -2.0 - i as f64 * 0.1
+            } else {
+                0.05 * ((i + j) % 3) as f64
+            }
+        });
+        let q = Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.1 });
+        let q = q.symmetric_part();
+        let x = solve_lyapunov(&a, &q).unwrap();
+        let residual = &(&(&a * &x) + &(&x * &a.transpose())) + &q;
+        assert!(residual.norm_fro() < 1e-8 * q.norm_fro().max(1.0));
+    }
+}

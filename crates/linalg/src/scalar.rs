@@ -1,0 +1,225 @@
+//! A minimal complex scalar type used to report eigenvalues.
+//!
+//! The crate performs all matrix arithmetic over `f64`; complex numbers only
+//! appear as *results* (eigenvalues of real matrices come in conjugate pairs).
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// ```
+/// use ds_linalg::Complex;
+/// let z = Complex::new(3.0, 4.0);
+/// assert!((z.abs() - 5.0).abs() < 1e-15);
+/// assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from its real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// The imaginary unit `i`.
+    pub fn i() -> Self {
+        Complex { re: 0.0, im: 1.0 }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Modulus (absolute value), computed with `hypot` to avoid overflow.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus.
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// Returns an infinite value if `self` is zero, mirroring `1.0 / 0.0`.
+    pub fn recip(self) -> Self {
+        let d = self.abs_sq();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Complex square root (principal branch).
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).max(0.0).sqrt();
+        let im_mag = ((r - self.re) / 2.0).max(0.0).sqrt();
+        Complex {
+            re,
+            im: if self.im >= 0.0 { im_mag } else { -im_mag },
+        }
+    }
+
+    /// Returns `true` when the imaginary part is negligible relative to `tol`.
+    pub fn is_real(self, tol: f64) -> bool {
+        self.im.abs() <= tol
+    }
+
+    /// Returns `true` when the real part is negligible relative to `tol`,
+    /// i.e. the value lies (numerically) on the imaginary axis.
+    pub fn is_imaginary(self, tol: f64) -> bool {
+        self.re.abs() <= tol
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, factor: f64) -> Self {
+        Complex {
+            re: self.re * factor,
+            im: self.im * factor,
+        }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trip() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        let sum = a + b;
+        assert_eq!(sum, Complex::new(-2.0, 2.5));
+        let prod = a * b;
+        assert_eq!(prod, Complex::new(-3.0 - 1.0, 0.5 - 6.0));
+        let quotient = prod / b;
+        assert!((quotient - a).abs() < 1e-14);
+    }
+
+    #[test]
+    fn conj_and_abs() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, 4.0));
+        assert!((z.abs() - 5.0).abs() < 1e-15);
+        assert!((z.abs_sq() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_of_negative_real() {
+        let z = Complex::from_real(-4.0);
+        let r = z.sqrt();
+        assert!(r.re.abs() < 1e-15);
+        assert!((r.im - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex::new(2.5, -1.25);
+        let r = z.sqrt();
+        assert!((r * r - z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recip_multiplies_to_one() {
+        let z = Complex::new(0.3, -7.0);
+        let one = z * z.recip();
+        assert!((one - Complex::from_real(1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn realness_checks() {
+        assert!(Complex::new(1.0, 1e-14).is_real(1e-12));
+        assert!(!Complex::new(1.0, 1e-3).is_real(1e-12));
+        assert!(Complex::new(1e-14, 2.0).is_imaginary(1e-12));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn from_real_conversion() {
+        let z: Complex = 4.25.into();
+        assert_eq!(z, Complex::new(4.25, 0.0));
+    }
+}

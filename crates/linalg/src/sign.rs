@@ -1,0 +1,214 @@
+//! The matrix sign function and sign-based invariant subspaces.
+//!
+//! For a matrix `A` with no eigenvalues on the imaginary axis, the matrix sign
+//! function `sign(A)` has eigenvalues `±1` with the same invariant subspaces as
+//! `A`: the range of `(I - sign(A))/2` is the invariant subspace associated
+//! with the open left half-plane.  The DAC 2006 passivity test uses this to
+//! split the spectrum of the Hamiltonian matrix `A₄₄` (paper eq. (22)) without
+//! requiring ordered Schur forms.
+
+use crate::decomp::lu;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::subspace;
+
+/// Options controlling the Newton iteration for the matrix sign function.
+#[derive(Debug, Clone, Copy)]
+pub struct SignOptions {
+    /// Maximum number of Newton iterations.
+    pub max_iterations: usize,
+    /// Relative convergence tolerance on `‖Z_{k+1} − Z_k‖_F / ‖Z_{k+1}‖_F`.
+    pub tolerance: f64,
+}
+
+impl Default for SignOptions {
+    fn default() -> Self {
+        SignOptions {
+            max_iterations: 100,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+/// Computes the matrix sign function of `a` by the scaled Newton iteration
+/// `Z ← (c Z + (c Z)⁻¹) / 2` with determinantal scaling `c = |det Z|^{-1/n}`.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for rectangular input.
+/// * [`LinalgError::Singular`] if an iterate becomes singular — this happens
+///   exactly when `a` has an eigenvalue on (or numerically on) the imaginary
+///   axis, for which the sign function is undefined.
+/// * [`LinalgError::ConvergenceFailure`] if the iteration stalls.
+pub fn matrix_sign(a: &Matrix, options: &SignOptions) -> Result<Matrix, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            operation: "sign::matrix_sign",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Matrix::zeros(0, 0));
+    }
+    let mut z = a.clone();
+    for _ in 0..options.max_iterations {
+        let f = lu::factor(&z)?;
+        if f.singular {
+            return Err(LinalgError::Singular {
+                operation: "sign::matrix_sign (eigenvalue on the imaginary axis?)",
+            });
+        }
+        // Determinantal scaling accelerates convergence dramatically.
+        let det = f.det().abs();
+        let c = if det > 0.0 && det.is_finite() {
+            det.powf(-1.0 / n as f64)
+        } else {
+            1.0
+        };
+        let z_inv = f.inverse()?;
+        let next = &z.scale(c * 0.5) + &z_inv.scale(0.5 / c);
+        let diff = (&next - &z).norm_fro();
+        let scale = next.norm_fro().max(f64::MIN_POSITIVE);
+        z = next;
+        if diff <= options.tolerance * scale {
+            return Ok(z);
+        }
+    }
+    Err(LinalgError::ConvergenceFailure {
+        operation: "sign::matrix_sign",
+        iterations: options.max_iterations,
+    })
+}
+
+/// Result of a spectral split along the imaginary axis.
+#[derive(Debug, Clone)]
+pub struct SpectralSplit {
+    /// Orthonormal basis of the invariant subspace for eigenvalues with
+    /// negative real part (`n x n_stable`).
+    pub stable_basis: Matrix,
+    /// Orthonormal basis of the invariant subspace for eigenvalues with
+    /// positive real part (`n x n_unstable`).
+    pub unstable_basis: Matrix,
+}
+
+/// Splits `R^n` into the stable and antistable invariant subspaces of `a`
+/// using the matrix sign function.
+///
+/// # Errors
+///
+/// Propagates the errors of [`matrix_sign`]; in particular the split is
+/// rejected when `a` has eigenvalues on the imaginary axis.
+pub fn spectral_split(a: &Matrix, options: &SignOptions) -> Result<SpectralSplit, LinalgError> {
+    let n = a.rows();
+    let s = matrix_sign(a, options)?;
+    let identity = Matrix::identity(n);
+    let p_stable = (&identity - &s).scale(0.5);
+    let p_unstable = (&identity + &s).scale(0.5);
+    // The projectors have eigenvalues ≈ 0/1, so a generous relative tolerance
+    // cleanly separates the range.
+    let stable_basis = subspace::range_basis(&p_stable, 1e-6)?;
+    let unstable_basis = subspace::range_basis(&p_unstable, 1e-6)?;
+    if stable_basis.cols() + unstable_basis.cols() != n {
+        return Err(LinalgError::invalid_input(format!(
+            "spectral split dimensions {} + {} do not add up to {} (eigenvalues too close to the imaginary axis)",
+            stable_basis.cols(),
+            unstable_basis.cols(),
+            n
+        )));
+    }
+    Ok(SpectralSplit {
+        stable_basis,
+        unstable_basis,
+    })
+}
+
+/// Orthonormal basis of the stable (left-half-plane) invariant subspace of `a`.
+///
+/// # Errors
+///
+/// Propagates the errors of [`spectral_split`].
+pub fn stable_invariant_subspace(a: &Matrix, options: &SignOptions) -> Result<Matrix, LinalgError> {
+    Ok(spectral_split(a, options)?.stable_basis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen;
+
+    #[test]
+    fn sign_of_definite_diagonal() {
+        let a = Matrix::diag(&[-2.0, -0.5, 3.0]);
+        let s = matrix_sign(&a, &SignOptions::default()).unwrap();
+        assert!(s.approx_eq(&Matrix::diag(&[-1.0, -1.0, 1.0]), 1e-10));
+    }
+
+    #[test]
+    fn sign_is_involutory() {
+        let a = Matrix::from_rows(&[&[-3.0, 1.0, 0.5], &[0.0, 2.0, -1.0], &[0.0, 0.0, -1.0]]);
+        let s = matrix_sign(&a, &SignOptions::default()).unwrap();
+        assert!((&s * &s).approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn sign_commutes_with_argument() {
+        let a = Matrix::from_rows(&[&[-1.0, 2.0], &[0.5, -4.0]]);
+        let s = matrix_sign(&a, &SignOptions::default()).unwrap();
+        let as_ = &a * &s;
+        let sa = &s * &a;
+        assert!(as_.approx_eq(&sa, 1e-8));
+    }
+
+    #[test]
+    fn imaginary_axis_eigenvalue_is_rejected() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[-1.0, 0.0]]); // eigenvalues ±i
+        assert!(matrix_sign(&a, &SignOptions::default()).is_err());
+    }
+
+    #[test]
+    fn stable_subspace_of_block_diagonal() {
+        let a = Matrix::block_diag(&[
+            &Matrix::from_rows(&[&[-1.0, 1.0], &[0.0, -2.0]]),
+            &Matrix::from_rows(&[&[3.0]]),
+        ]);
+        let split = spectral_split(&a, &SignOptions::default()).unwrap();
+        assert_eq!(split.stable_basis.cols(), 2);
+        assert_eq!(split.unstable_basis.cols(), 1);
+        // Invariance: A * V_stable stays inside span(V_stable).
+        let av = &a * &split.stable_basis;
+        assert!(subspace::is_contained(&av, &split.stable_basis, 1e-8).unwrap());
+    }
+
+    #[test]
+    fn stable_subspace_matches_eigen_count() {
+        // Build a matrix with 3 stable and 2 unstable eigenvalues.
+        let d = Matrix::diag(&[-1.0, -2.0, -0.3, 0.7, 1.5]);
+        // Similarity transform with a well-conditioned matrix.
+        let t = Matrix::from_fn(5, 5, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                0.1 * ((i + 2 * j) % 3) as f64
+            }
+        });
+        let t_inv = lu::inverse(&t).unwrap();
+        let a = &(&t * &d) * &t_inv;
+        let basis = stable_invariant_subspace(&a, &SignOptions::default()).unwrap();
+        assert_eq!(basis.cols(), 3);
+        // Restriction of A to the subspace is Hurwitz.
+        let restricted = basis.transpose_matmul(&(&a * &basis)).unwrap();
+        assert!(eigen::is_hurwitz(&restricted, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let s = matrix_sign(&Matrix::zeros(0, 0), &SignOptions::default()).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matrix_sign(&Matrix::zeros(2, 3), &SignOptions::default()).is_err());
+    }
+}

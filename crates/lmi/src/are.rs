@@ -1,0 +1,284 @@
+//! The positive-real algebraic Riccati equation (paper eq. (5)) for regular
+//! state-space systems.
+//!
+//! Strict positive realness of a stable `G(s) = D + C (sI − A)⁻¹ B` with
+//! `R = D + Dᵀ ≻ 0` is equivalent to the existence of a stabilizing solution
+//! `X = Xᵀ ≻ 0` of
+//!
+//! ```text
+//! Aᵀ X + X A + (X B − Cᵀ) R⁻¹ (Bᵀ X − C) = 0.
+//! ```
+//!
+//! The stabilizing solution is obtained from the stable invariant subspace
+//! `[U₁; U₂]` of the Hamiltonian matrix `H = [[Ã, G], [−Q, −Ãᵀ]]` with
+//! `Ã = A − B R⁻¹ C`, `G = B R⁻¹ Bᵀ`, `Q = Cᵀ R⁻¹ C`, as `X = U₂ U₁⁻¹`.
+
+use crate::error::LmiError;
+use ds_descriptor::system::StateSpace;
+use ds_linalg::decomp::{lu, symmetric};
+use ds_linalg::sign::{self, SignOptions};
+use ds_linalg::Matrix;
+
+/// Outcome of the ARE-based Kalman–Yakubovich–Popov test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KypOutcome {
+    /// A stabilizing, symmetric, positive-semidefinite solution exists:
+    /// the system is (strictly) positive real.
+    PositiveReal {
+        /// The stabilizing Riccati solution.
+        solution: Matrix,
+    },
+    /// No stabilizing solution exists (Hamiltonian eigenvalues on the
+    /// imaginary axis or indefinite candidate solution): not strictly
+    /// positive real.
+    NotPositiveReal {
+        /// Diagnostic explanation.
+        reason: String,
+    },
+}
+
+impl KypOutcome {
+    /// `true` when the outcome certifies positive realness.
+    pub fn is_positive_real(&self) -> bool {
+        matches!(self, KypOutcome::PositiveReal { .. })
+    }
+}
+
+/// Solves the positive-real ARE for a stable, square state-space system.
+///
+/// # Errors
+///
+/// * [`LmiError::NotSquareSystem`] for non-square systems.
+/// * [`LmiError::SingularFeedthrough`] when `D + Dᵀ` is singular.
+/// * [`LmiError::NoStabilizingSolution`] when the Hamiltonian has
+///   imaginary-axis eigenvalues or the subspace basis is singular.
+pub fn solve_positive_real_are(ss: &StateSpace, tol: f64) -> Result<Matrix, LmiError> {
+    if ss.num_inputs() != ss.num_outputs() {
+        return Err(LmiError::NotSquareSystem {
+            inputs: ss.num_inputs(),
+            outputs: ss.num_outputs(),
+        });
+    }
+    let n = ss.order();
+    if n == 0 {
+        return Ok(Matrix::zeros(0, 0));
+    }
+    let r = &ss.d.clone() + &ss.d.transpose();
+    let r_min = symmetric::min_eigenvalue(&r)?;
+    if r_min <= tol.abs() * r.norm_fro().max(1.0) {
+        return Err(LmiError::SingularFeedthrough);
+    }
+    let r_inv = lu::inverse(&r)?;
+    let br = ss.b.matmul(&r_inv)?;
+    let a_tilde = &ss.a - &br.matmul(&ss.c)?;
+    let g = br.matmul(&ss.b.transpose())?;
+    let q = ss.c.transpose_matmul(&r_inv.matmul(&ss.c)?)?;
+    let hamiltonian = Matrix::from_blocks_2x2(
+        &a_tilde,
+        &g,
+        &q.scale(-1.0),
+        &a_tilde.transpose().scale(-1.0),
+    );
+    let split = sign::spectral_split(&hamiltonian, &SignOptions::default()).map_err(|e| {
+        LmiError::NoStabilizingSolution {
+            details: format!("spectral split failed: {e}"),
+        }
+    })?;
+    if split.stable_basis.cols() != n {
+        return Err(LmiError::NoStabilizingSolution {
+            details: format!(
+                "stable invariant subspace has dimension {} instead of {n} \
+                 (imaginary-axis Hamiltonian eigenvalues)",
+                split.stable_basis.cols()
+            ),
+        });
+    }
+    let u1 = split.stable_basis.block(0, n, 0, n);
+    let u2 = split.stable_basis.block(n, 2 * n, 0, n);
+    let u1_factor = lu::factor(&u1)?;
+    if u1_factor.singular {
+        return Err(LmiError::NoStabilizingSolution {
+            details: "the leading block of the stable invariant subspace is singular".into(),
+        });
+    }
+    // X = U2 U1⁻¹, computed as the solution of U1ᵀ Xᵀ = U2ᵀ.
+    let x_t = lu::solve(&u1.transpose(), &u2.transpose())?;
+    let x = x_t.transpose();
+    // Symmetrize (the exact solution is symmetric; round-off breaks it mildly).
+    Ok(x.symmetric_part())
+}
+
+/// Runs the full KYP test: solve the ARE and check symmetry / positive
+/// semidefiniteness of the solution.
+///
+/// # Errors
+///
+/// Propagates structural errors ([`LmiError::NotSquareSystem`],
+/// [`LmiError::SingularFeedthrough`]) and numerical failures; a missing
+/// stabilizing solution is reported as [`KypOutcome::NotPositiveReal`], not an
+/// error.
+pub fn kyp_test(ss: &StateSpace, tol: f64) -> Result<KypOutcome, LmiError> {
+    if ss.order() > 0 && !ss.is_stable(0.0)? {
+        return Ok(KypOutcome::NotPositiveReal {
+            reason: "system has poles in the closed right half-plane".into(),
+        });
+    }
+    match solve_positive_real_are(ss, tol) {
+        Ok(x) => {
+            let min_eig = if x.rows() > 0 {
+                symmetric::min_eigenvalue(&x)?
+            } else {
+                0.0
+            };
+            let scale = x.norm_fro().max(1.0);
+            if min_eig >= -tol.abs() * scale {
+                Ok(KypOutcome::PositiveReal { solution: x })
+            } else {
+                Ok(KypOutcome::NotPositiveReal {
+                    reason: format!("Riccati solution is indefinite (λ_min = {min_eig:.3e})"),
+                })
+            }
+        }
+        Err(LmiError::NoStabilizingSolution { details }) => {
+            Ok(KypOutcome::NotPositiveReal { reason: details })
+        }
+        Err(other) => Err(other),
+    }
+}
+
+/// Residual of the positive-real ARE for a candidate solution, used by tests
+/// and diagnostics.
+///
+/// # Errors
+///
+/// Propagates shape/numerical failures.
+pub fn are_residual(ss: &StateSpace, x: &Matrix) -> Result<f64, LmiError> {
+    let r = &ss.d.clone() + &ss.d.transpose();
+    let r_inv = lu::inverse(&r)?;
+    let xb_c = &ss.b.transpose_matmul(x)?.transpose() - &ss.c.transpose();
+    let term = &xb_c.matmul(&r_inv)? * &xb_c.transpose();
+    let residual = &(&ss.a.transpose_matmul(x)? + &x.matmul(&ss.a)?) + &term;
+    Ok(residual.norm_fro())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// G(s) = (s + 2)/(s + 1): strictly positive real.
+    fn spr() -> StateSpace {
+        StateSpace::new(
+            Matrix::filled(1, 1, -1.0),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::filled(1, 1, 1.0),
+        )
+        .unwrap()
+    }
+
+    /// G(s) = 0.05 + 1/(s+1): strictly positive real with a small feedthrough,
+    /// exercising the near-singular `D + Dᵀ` regime of the ARE route.
+    fn small_feedthrough() -> StateSpace {
+        StateSpace::new(
+            Matrix::filled(1, 1, -1.0),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::filled(1, 1, 0.05),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spr_system_has_psd_solution() {
+        let x = solve_positive_real_are(&spr(), 1e-10).unwrap();
+        assert!(x.is_symmetric(1e-9));
+        assert!(x[(0, 0)] > 0.0);
+        assert!(are_residual(&spr(), &x).unwrap() < 1e-8);
+        assert!(kyp_test(&spr(), 1e-9).unwrap().is_positive_real());
+    }
+
+    #[test]
+    fn known_scalar_solution() {
+        // For A=-1, B=1, C=1, D=1: R=2, Ã = A − BR⁻¹C = −1.5, G = 0.5, Q = 0.5.
+        // ARE: 2(−1)x + ... solve numerically and check residual only.
+        let x = solve_positive_real_are(&spr(), 1e-10).unwrap();
+        let res = are_residual(&spr(), &x).unwrap();
+        assert!(res < 1e-9, "residual {res}");
+    }
+
+    #[test]
+    fn small_feedthrough_system_is_positive_real() {
+        // G(s) = 0.05 + 1/(s+1) is strictly PR (Re G > 0 everywhere),
+        // so the KYP test should accept it.
+        let outcome = kyp_test(&small_feedthrough(), 1e-9).unwrap();
+        assert!(outcome.is_positive_real());
+    }
+
+    #[test]
+    fn non_positive_real_detected() {
+        // G(s) = 0.1 + (−s + 1)/(s² + 0.6 s + 1) dips negative at ω ≈ 1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[-1.0, -0.6]]);
+        let b = Matrix::column(&[0.0, 1.0]);
+        let c = Matrix::row_vector(&[1.0, -1.0]);
+        let d = Matrix::filled(1, 1, 0.1);
+        let ss = StateSpace::new(a, b, c, d).unwrap();
+        let outcome = kyp_test(&ss, 1e-9).unwrap();
+        assert!(!outcome.is_positive_real());
+    }
+
+    #[test]
+    fn unstable_system_rejected() {
+        let ss = StateSpace::new(
+            Matrix::filled(1, 1, 0.5),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::filled(1, 1, 1.0),
+        )
+        .unwrap();
+        assert!(!kyp_test(&ss, 1e-9).unwrap().is_positive_real());
+    }
+
+    #[test]
+    fn singular_feedthrough_reported() {
+        let ss = StateSpace::new(
+            Matrix::filled(1, 1, -1.0),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        assert!(matches!(
+            solve_positive_real_are(&ss, 1e-10),
+            Err(LmiError::SingularFeedthrough)
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let ss = StateSpace::new(
+            Matrix::filled(1, 1, -1.0),
+            Matrix::from_rows(&[&[1.0, 0.5]]),
+            Matrix::filled(1, 1, 1.0),
+            Matrix::from_rows(&[&[1.0, 1.0]]),
+        )
+        .unwrap();
+        assert!(matches!(
+            solve_positive_real_are(&ss, 1e-10),
+            Err(LmiError::NotSquareSystem { .. })
+        ));
+    }
+
+    #[test]
+    fn mimo_positive_real_system() {
+        let a = Matrix::diag(&[-1.0, -2.0, -3.0]);
+        let b = Matrix::from_fn(3, 2, |i, j| ((i + j) % 2) as f64 + 0.5);
+        let c = b.transpose();
+        let d = Matrix::identity(2).scale(1.5);
+        let ss = StateSpace::new(a, b, c, d).unwrap();
+        let outcome = kyp_test(&ss, 1e-9).unwrap();
+        assert!(outcome.is_positive_real());
+        if let KypOutcome::PositiveReal { solution } = outcome {
+            assert!(are_residual(&ss, &solution).unwrap() < 1e-7);
+        }
+    }
+}

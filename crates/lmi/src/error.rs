@@ -1,0 +1,92 @@
+//! Error type for the LMI / ARE routines.
+
+use ds_descriptor::DescriptorError;
+use ds_linalg::LinalgError;
+use std::fmt;
+
+/// Error returned by the LMI and ARE solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LmiError {
+    /// The Riccati equation has no stabilizing solution (eigenvalues of the
+    /// associated Hamiltonian matrix lie on the imaginary axis, or the
+    /// invariant-subspace basis is singular).
+    NoStabilizingSolution {
+        /// Explanation of the failure.
+        details: String,
+    },
+    /// `D + Dᵀ` is singular, so the Riccati formulation is not applicable.
+    SingularFeedthrough,
+    /// The requested operation needs a square (equal inputs/outputs) system.
+    NotSquareSystem {
+        /// Number of inputs.
+        inputs: usize,
+        /// Number of outputs.
+        outputs: usize,
+    },
+    /// A numerical kernel failed underneath.
+    Numerical(LinalgError),
+    /// A descriptor-system operation failed underneath.
+    Descriptor(DescriptorError),
+}
+
+impl fmt::Display for LmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LmiError::NoStabilizingSolution { details } => {
+                write!(f, "no stabilizing Riccati solution: {details}")
+            }
+            LmiError::SingularFeedthrough => {
+                write!(f, "D + Dᵀ is singular; the Riccati formulation does not apply")
+            }
+            LmiError::NotSquareSystem { inputs, outputs } => write!(
+                f,
+                "operation requires a square system, got {inputs} inputs and {outputs} outputs"
+            ),
+            LmiError::Numerical(e) => write!(f, "numerical kernel failed: {e}"),
+            LmiError::Descriptor(e) => write!(f, "descriptor operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LmiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LmiError::Numerical(e) => Some(e),
+            LmiError::Descriptor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for LmiError {
+    fn from(e: LinalgError) -> Self {
+        LmiError::Numerical(e)
+    }
+}
+
+impl From<DescriptorError> for LmiError {
+    fn from(e: DescriptorError) -> Self {
+        LmiError::Descriptor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(LmiError::SingularFeedthrough.to_string().contains("singular"));
+        assert!(LmiError::NoStabilizingSolution {
+            details: "imaginary-axis eigenvalues".into()
+        }
+        .to_string()
+        .contains("imaginary-axis"));
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<LmiError>();
+    }
+}

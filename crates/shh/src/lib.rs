@@ -1,0 +1,41 @@
+//! # ds-shh
+//!
+//! Skew-Hamiltonian/Hamiltonian (SHH) matrix-pencil substrate for the DAC 2006
+//! descriptor-system passivity test.
+//!
+//! With `J = [[0, I], [−I, 0]]`, a matrix `H` is *Hamiltonian* when `(JH)ᵀ = JH`
+//! and `W` is *skew-Hamiltonian* when `(JW)ᵀ = −JW`.  The paper builds the
+//! pencil `(E_Φ, A_Φ)` of `Φ(s) = G(s) + G~(s)` so that `E_Φ` is
+//! skew-Hamiltonian and `A_Φ` is Hamiltonian (eq. (10)), and then only ever
+//! applies structure-preserving (orthogonal-symplectic or symplectic-adjoint)
+//! transformations.  This crate provides:
+//!
+//! * structure predicates and the `J` matrix ([`structure`]),
+//! * the Van-Loan-style PVL block-triangularization of skew-Hamiltonian
+//!   matrices by orthogonal-symplectic similarity ([`pvl`]) — the dense
+//!   equivalent of the isotropic Arnoldi process referenced by the paper,
+//! * construction of the Φ-system / SHH pencil from a descriptor system
+//!   ([`pencil`]),
+//! * stable/antistable invariant-subspace splitting of Hamiltonian matrices and
+//!   the orthogonal-symplectic basis built from it ([`stable_subspace`]),
+//! * the Hamiltonian-eigenvalue positive-realness test for proper systems
+//!   ([`positive_real`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod pencil;
+pub mod positive_real;
+pub mod pvl;
+pub mod stable_subspace;
+pub mod structure;
+
+pub use error::ShhError;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::error::ShhError;
+    pub use crate::pencil::PhiSystem;
+    pub use crate::positive_real::PositiveRealVerdict;
+}

@@ -1,0 +1,218 @@
+//! Construction of the Φ-system `Φ(s) = G(s) + G~(s)` and its SHH pencil
+//! (paper eq. (10)).
+
+use crate::error::ShhError;
+use crate::structure;
+use ds_descriptor::DescriptorSystem;
+use ds_linalg::Matrix;
+
+/// The descriptor realization of `Φ(s) = G(s) + G~(s)` together with the
+/// structured pencil blocks.
+///
+/// With the paper's construction,
+///
+/// ```text
+/// E_Φ = diag(E, Eᵀ)          (skew-Hamiltonian)
+/// A_Φ = diag(A, −Aᵀ)         (Hamiltonian)
+/// B_Φ = J C_Φᵀ = [B; −Cᵀ]
+/// C_Φ = [C  Bᵀ]
+/// D_Φ = D + Dᵀ
+/// ```
+///
+/// so `(E_Φ, A_Φ)` is a skew-Hamiltonian/Hamiltonian pencil and the input map is
+/// tied to the output map through `J`.
+#[derive(Debug, Clone)]
+pub struct PhiSystem {
+    /// The realization of `Φ(s)` as a descriptor system of order `2n`.
+    pub system: DescriptorSystem,
+    /// Half dimension `n` (the order of the original system).
+    pub half: usize,
+}
+
+impl PhiSystem {
+    /// The skew-Hamiltonian descriptor matrix `E_Φ`.
+    pub fn e_phi(&self) -> &Matrix {
+        self.system.e()
+    }
+
+    /// The Hamiltonian state matrix `A_Φ`.
+    pub fn a_phi(&self) -> &Matrix {
+        self.system.a()
+    }
+
+    /// The output matrix `C_Φ = [C  Bᵀ]`.
+    pub fn c_phi(&self) -> &Matrix {
+        self.system.c()
+    }
+
+    /// The symmetric feedthrough `D_Φ = D + Dᵀ`.
+    pub fn d_phi(&self) -> &Matrix {
+        self.system.d()
+    }
+
+    /// Verifies the SHH structure of the pencil to within `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structure-predicate failures.
+    pub fn verify_structure(&self, tol: f64) -> Result<bool, ShhError> {
+        let scale = self.system.scale();
+        Ok(structure::is_skew_hamiltonian(self.e_phi(), tol * scale)?
+            && structure::is_hamiltonian(self.a_phi(), tol * scale)?
+            && self.d_phi().is_symmetric(tol * scale))
+    }
+}
+
+/// Builds the Φ-system `Φ(s) = G(s) + G~(s)` for a square descriptor system.
+///
+/// # Errors
+///
+/// Returns [`ShhError::NotSquareSystem`] when the system has a different number
+/// of inputs and outputs (passivity is only defined for square systems).
+pub fn build_phi(sys: &DescriptorSystem) -> Result<PhiSystem, ShhError> {
+    if !sys.is_square_system() {
+        return Err(ShhError::NotSquareSystem {
+            inputs: sys.num_inputs(),
+            outputs: sys.num_outputs(),
+        });
+    }
+    let e = sys.e();
+    let a = sys.a();
+    let b = sys.b();
+    let c = sys.c();
+    let d = sys.d();
+
+    let e_phi = Matrix::block_diag(&[e, &e.transpose()]);
+    let a_phi = Matrix::block_diag(&[a, &a.transpose().scale(-1.0)]);
+    let b_phi = Matrix::vstack(&[b, &c.transpose().scale(-1.0)]);
+    let c_phi = Matrix::hstack(&[c, &b.transpose()]);
+    let d_phi = d + &d.transpose();
+
+    let system = DescriptorSystem::new(e_phi, a_phi, b_phi, c_phi, d_phi)?;
+    Ok(PhiSystem {
+        system,
+        half: sys.order(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_descriptor::transfer;
+    use ds_linalg::Complex;
+
+    fn rc_system() -> DescriptorSystem {
+        // G(s) = 1/(s+1) + 0.5
+        let e = Matrix::diag(&[1.0, 0.0]);
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[0.5]]);
+        let c = Matrix::from_rows(&[&[1.0, 1.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::zeros(1, 1)).unwrap()
+    }
+
+    fn series_rl() -> DescriptorSystem {
+        let e = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let c = Matrix::from_rows(&[&[-3.0, 0.0]]);
+        DescriptorSystem::new(e, a, b, c, Matrix::filled(1, 1, 2.0)).unwrap()
+    }
+
+    #[test]
+    fn phi_has_shh_structure() {
+        let phi = build_phi(&rc_system()).unwrap();
+        assert!(phi.verify_structure(1e-12).unwrap());
+        assert_eq!(phi.system.order(), 4);
+        assert_eq!(phi.half, 2);
+    }
+
+    #[test]
+    fn phi_transfer_equals_g_plus_adjoint() {
+        let sys = rc_system();
+        let phi = build_phi(&sys).unwrap();
+        let explicit_sum = sys.parallel_sum(&sys.adjoint()).unwrap();
+        let dev = transfer::max_deviation(
+            &phi.system,
+            &explicit_sum,
+            &transfer::default_probe_points(),
+        )
+        .unwrap();
+        assert!(dev < 1e-10, "Φ deviates from G + G~ by {dev}");
+    }
+
+    #[test]
+    fn phi_on_imaginary_axis_is_hermitian_with_value_2_re_g() {
+        let sys = rc_system();
+        let phi = build_phi(&sys).unwrap();
+        for &w in &[0.0, 0.5, 2.0, 30.0] {
+            let g = transfer::evaluate_jomega(&sys, w).unwrap();
+            let p = transfer::evaluate_jomega(&phi.system, w).unwrap();
+            // Scalar case: Φ(jω) = 2 Re G(jω).
+            assert!((p.re[(0, 0)] - 2.0 * g.re[(0, 0)]).abs() < 1e-10);
+            assert!(p.im[(0, 0)].abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn phi_of_impulsive_system_is_impulse_free_in_transfer() {
+        // G(s) = 2 + 3s is impulsive; Φ(s) = G(s) + G(−s) = 4 (the s-terms cancel).
+        let sys = series_rl();
+        let phi = build_phi(&sys).unwrap();
+        for &w in &[0.1, 1.0, 10.0, 1000.0] {
+            let p = transfer::evaluate_jomega(&phi.system, w).unwrap();
+            assert!(
+                (p.re[(0, 0)] - 4.0).abs() < 1e-7,
+                "Φ(j{w}) = {} expected 4",
+                p.re[(0, 0)]
+            );
+            assert!(p.im[(0, 0)].abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn phi_b_is_j_times_c_transpose() {
+        let sys = rc_system();
+        let phi = build_phi(&sys).unwrap();
+        let jct = structure::j_mul(&phi.c_phi().transpose()).unwrap();
+        assert!(phi.system.b().approx_eq(&jct, 1e-14));
+    }
+
+    #[test]
+    fn non_square_system_rejected() {
+        let sys = DescriptorSystem::new(
+            Matrix::identity(2),
+            Matrix::diag(&[-1.0, -2.0]),
+            Matrix::zeros(2, 2),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(1, 2),
+        )
+        .unwrap();
+        assert!(matches!(
+            build_phi(&sys),
+            Err(ShhError::NotSquareSystem { .. })
+        ));
+    }
+
+    #[test]
+    fn phi_of_mimo_system() {
+        // 2-port resistive + capacitive network.
+        let e = Matrix::diag(&[1.0, 0.0]);
+        let a = Matrix::diag(&[-2.0, -1.0]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let c = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let d = Matrix::diag(&[0.1, 0.2]);
+        let sys = DescriptorSystem::new(e, a, b, c, d).unwrap();
+        let phi = build_phi(&sys).unwrap();
+        assert!(phi.verify_structure(1e-12).unwrap());
+        assert_eq!(phi.system.num_inputs(), 2);
+        assert_eq!(phi.system.num_outputs(), 2);
+        let probe = Complex::new(0.0, 1.3);
+        let g = transfer::evaluate(&sys, probe).unwrap();
+        let p = transfer::evaluate(&phi.system, probe).unwrap();
+        // Φ(jω) = G(jω) + G(jω)ᴴ.
+        let expected_re = &g.re + &g.re.transpose();
+        let expected_im = &g.im - &g.im.transpose();
+        assert!(p.re.approx_eq(&expected_re, 1e-10));
+        assert!(p.im.approx_eq(&expected_im, 1e-10));
+    }
+}

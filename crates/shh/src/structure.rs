@@ -1,0 +1,230 @@
+//! Hamiltonian / skew-Hamiltonian / symplectic structure predicates.
+
+use crate::error::ShhError;
+use ds_linalg::Matrix;
+
+/// Builds the canonical symplectic form matrix `J = [[0, I_n], [−I_n, 0]]`
+/// of size `2n x 2n`.
+pub fn j_matrix(n: usize) -> Matrix {
+    let mut j = Matrix::zeros(2 * n, 2 * n);
+    for i in 0..n {
+        j[(i, n + i)] = 1.0;
+        j[(n + i, i)] = -1.0;
+    }
+    j
+}
+
+/// Multiplies `J * m` without forming `J` (row blocks are swapped with a sign).
+///
+/// # Errors
+///
+/// Returns [`ShhError::BadDimension`] when `m` does not have an even number of
+/// rows.
+pub fn j_mul(m: &Matrix) -> Result<Matrix, ShhError> {
+    let rows = m.rows();
+    if rows % 2 != 0 {
+        return Err(ShhError::BadDimension { shape: m.shape() });
+    }
+    let n = rows / 2;
+    let top = m.block(0, n, 0, m.cols());
+    let bottom = m.block(n, rows, 0, m.cols());
+    Ok(Matrix::vstack(&[&bottom, &top.scale(-1.0)]))
+}
+
+/// Multiplies `Jᵀ * m = −J * m`.
+///
+/// # Errors
+///
+/// Returns [`ShhError::BadDimension`] when `m` does not have an even number of
+/// rows.
+pub fn jt_mul(m: &Matrix) -> Result<Matrix, ShhError> {
+    Ok(j_mul(m)?.scale(-1.0))
+}
+
+fn check_even_square(m: &Matrix) -> Result<usize, ShhError> {
+    if !m.is_square() || m.rows() % 2 != 0 {
+        return Err(ShhError::BadDimension { shape: m.shape() });
+    }
+    Ok(m.rows() / 2)
+}
+
+/// Returns `true` when `h` is Hamiltonian: `(J h)ᵀ = J h`.
+///
+/// # Errors
+///
+/// Returns [`ShhError::BadDimension`] for matrices that are not even-dimensional
+/// and square.
+pub fn is_hamiltonian(h: &Matrix, tol: f64) -> Result<bool, ShhError> {
+    check_even_square(h)?;
+    let jh = j_mul(h)?;
+    Ok(jh.is_symmetric(tol))
+}
+
+/// Returns `true` when `w` is skew-Hamiltonian: `(J w)ᵀ = −J w`.
+///
+/// # Errors
+///
+/// Returns [`ShhError::BadDimension`] for matrices that are not even-dimensional
+/// and square.
+pub fn is_skew_hamiltonian(w: &Matrix, tol: f64) -> Result<bool, ShhError> {
+    check_even_square(w)?;
+    let jw = j_mul(w)?;
+    Ok(jw.is_skew_symmetric(tol))
+}
+
+/// Returns `true` when `s` is symplectic: `sᵀ J s = J`.
+///
+/// # Errors
+///
+/// Returns [`ShhError::BadDimension`] for matrices that are not even-dimensional
+/// and square.
+pub fn is_symplectic(s: &Matrix, tol: f64) -> Result<bool, ShhError> {
+    let n = check_even_square(s)?;
+    let j = j_matrix(n);
+    let stjs = &(&s.transpose() * &j) * s;
+    Ok(stjs.approx_eq(&j, tol))
+}
+
+/// Returns `true` when `s` is orthogonal symplectic: `sᵀ s = I` and
+/// `sᵀ J s = J`.
+///
+/// # Errors
+///
+/// Returns [`ShhError::BadDimension`] for matrices that are not even-dimensional
+/// and square.
+pub fn is_orthogonal_symplectic(s: &Matrix, tol: f64) -> Result<bool, ShhError> {
+    let n = check_even_square(s)?;
+    let sts = s.transpose_matmul(s)?;
+    if !sts.approx_eq(&Matrix::identity(2 * n), tol) {
+        return Ok(false);
+    }
+    is_symplectic(s, tol)
+}
+
+/// Builds a Hamiltonian matrix `[[A, G], [Q, −Aᵀ]]` from its blocks,
+/// symmetrizing `G` and `Q`.
+///
+/// # Errors
+///
+/// Returns [`ShhError::BadDimension`] for inconsistent block dimensions.
+pub fn hamiltonian_from_blocks(a: &Matrix, g: &Matrix, q: &Matrix) -> Result<Matrix, ShhError> {
+    let n = a.rows();
+    if !a.is_square() || g.shape() != (n, n) || q.shape() != (n, n) {
+        return Err(ShhError::BadDimension { shape: a.shape() });
+    }
+    let g_sym = g.symmetric_part();
+    let q_sym = q.symmetric_part();
+    Ok(Matrix::from_blocks_2x2(
+        a,
+        &g_sym,
+        &q_sym,
+        &a.transpose().scale(-1.0),
+    ))
+}
+
+/// Builds a skew-Hamiltonian matrix `[[A, G], [Q, Aᵀ]]` from its blocks,
+/// skew-symmetrizing `G` and `Q`.
+///
+/// # Errors
+///
+/// Returns [`ShhError::BadDimension`] for inconsistent block dimensions.
+pub fn skew_hamiltonian_from_blocks(
+    a: &Matrix,
+    g: &Matrix,
+    q: &Matrix,
+) -> Result<Matrix, ShhError> {
+    let n = a.rows();
+    if !a.is_square() || g.shape() != (n, n) || q.shape() != (n, n) {
+        return Err(ShhError::BadDimension { shape: a.shape() });
+    }
+    let g_skew = g.skew_part();
+    let q_skew = q.skew_part();
+    Ok(Matrix::from_blocks_2x2(a, &g_skew, &q_skew, &a.transpose()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn j_matrix_properties() {
+        let j = j_matrix(3);
+        assert!(j.is_skew_symmetric(0.0));
+        // J² = −I
+        let j2 = &j * &j;
+        assert!(j2.approx_eq(&Matrix::identity(6).scale(-1.0), 1e-15));
+        assert!(is_orthogonal_symplectic(&j, 1e-14).unwrap());
+    }
+
+    #[test]
+    fn j_mul_matches_explicit_product() {
+        let j = j_matrix(2);
+        let m = Matrix::from_fn(4, 3, |i, jj| (i * 3 + jj) as f64);
+        assert!(j_mul(&m).unwrap().approx_eq(&(&j * &m), 1e-15));
+        assert!(jt_mul(&m).unwrap().approx_eq(&(&j.transpose() * &m), 1e-15));
+        assert!(j_mul(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn hamiltonian_predicate() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let g = Matrix::from_rows(&[&[1.0, 0.5], &[0.5, 2.0]]);
+        let q = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, -1.0]]);
+        let h = hamiltonian_from_blocks(&a, &g, &q).unwrap();
+        assert!(is_hamiltonian(&h, 1e-14).unwrap());
+        assert!(!is_skew_hamiltonian(&h, 1e-10).unwrap());
+    }
+
+    #[test]
+    fn skew_hamiltonian_predicate() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let g = Matrix::from_rows(&[&[0.0, 1.5], &[-1.5, 0.0]]);
+        let q = Matrix::from_rows(&[&[0.0, -0.3], &[0.3, 0.0]]);
+        let w = skew_hamiltonian_from_blocks(&a, &g, &q).unwrap();
+        assert!(is_skew_hamiltonian(&w, 1e-14).unwrap());
+        assert!(!is_hamiltonian(&w, 1e-10).unwrap());
+    }
+
+    #[test]
+    fn identity_is_skew_hamiltonian_not_hamiltonian() {
+        let id = Matrix::identity(4);
+        assert!(is_skew_hamiltonian(&id, 1e-14).unwrap());
+        assert!(!is_hamiltonian(&id, 1e-10).unwrap());
+        // J itself is Hamiltonian.
+        assert!(is_hamiltonian(&j_matrix(2), 1e-14).unwrap());
+    }
+
+    #[test]
+    fn symplectic_checks() {
+        assert!(is_symplectic(&Matrix::identity(4), 1e-14).unwrap());
+        // diag(2, 2, 0.5, 0.5) is symplectic but not orthogonal.
+        let s = Matrix::diag(&[2.0, 2.0, 0.5, 0.5]);
+        assert!(is_symplectic(&s, 1e-14).unwrap());
+        assert!(!is_orthogonal_symplectic(&s, 1e-10).unwrap());
+        // A generic diagonal is not symplectic.
+        assert!(!is_symplectic(&Matrix::diag(&[2.0, 1.0, 1.0, 1.0]), 1e-10).unwrap());
+    }
+
+    #[test]
+    fn odd_dimension_rejected() {
+        assert!(is_hamiltonian(&Matrix::identity(3), 1e-12).is_err());
+        assert!(is_skew_hamiltonian(&Matrix::identity(3), 1e-12).is_err());
+        assert!(is_symplectic(&Matrix::identity(3), 1e-12).is_err());
+    }
+
+    #[test]
+    fn hamiltonian_eigenvalue_symmetry() {
+        // Eigenvalues of a Hamiltonian matrix come in ±λ pairs.
+        let a = Matrix::from_rows(&[&[-1.0, 0.4], &[0.2, -2.0]]);
+        let g = Matrix::identity(2);
+        let q = Matrix::identity(2).scale(0.5);
+        let h = hamiltonian_from_blocks(&a, &g, &q).unwrap();
+        let eig = ds_linalg::eigen::eigenvalues(&h).unwrap();
+        for z in &eig {
+            let has_mirror = eig
+                .iter()
+                .any(|w| (w.re + z.re).abs() < 1e-8 && (w.im.abs() - z.im.abs()).abs() < 1e-8);
+            assert!(has_mirror, "eigenvalue {z:?} has no mirror image");
+        }
+    }
+}

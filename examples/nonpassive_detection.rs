@@ -1,0 +1,23 @@
+//! Detection of non-passive models: a ladder with a negative series resistance
+//! (violation at DC / finite frequency) and a macromodel with a negative port
+//! inductance (violation at infinity, non-PSD `M₁`).
+//!
+//! Run with `cargo run --example nonpassive_detection`.
+
+use ds_circuits::generators;
+use ds_passivity::fast::{check_passivity, FastTestOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for model in [
+        generators::nonpassive_ladder(10)?,
+        generators::negative_m1_model(10)?,
+        generators::rlc_ladder_with_impulsive(10)?, // passive control case
+    ] {
+        let report = check_passivity(&model.system, &FastTestOptions::default())?;
+        println!(
+            "{:<40} expected passive = {:<5} verdict = {}",
+            model.name, model.expected_passive, report.verdict
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: build a small RLC circuit model with MNA, run the proposed
+//! SHH-pencil passivity test and print the report.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ds_circuits::mna;
+use ds_circuits::netlist::{Netlist, Port};
+use ds_passivity::fast::{check_passivity, FastTestOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-node circuit: a series R-L branch connects the port node 1 to
+    // node 2 and an R ∥ C tank loads node 2.
+    let mut netlist = Netlist::new(2);
+    netlist
+        .resistor(1, 2, 2.0)
+        .inductor(1, 2, 0.5)
+        .capacitor(2, 0, 1.0)
+        .resistor(2, 0, 10.0)
+        .port(Port::to_ground(1));
+    let system = mna::stamp(&netlist)?;
+    println!(
+        "MNA descriptor model: order {}, rank(E) = {}",
+        system.order(),
+        system.rank_e(1e-12)?
+    );
+
+    let report = check_passivity(&system, &FastTestOptions::default())?;
+    println!("{report}");
+    println!("verdict: {}", report.verdict);
+    if let Some(m1) = &report.m1 {
+        println!("residue matrix M1 = {:.6}", m1[(0, 0)]);
+    }
+    if let Some(proper) = &report.proper_part {
+        println!(
+            "stable proper part: order {}, stable = {}",
+            proper.order(),
+            proper.is_stable(1e-10)?
+        );
+    }
+    Ok(())
+}

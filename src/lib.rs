@@ -1,0 +1,81 @@
+//! # ds-passivity-suite
+//!
+//! Umbrella crate for the DAC 2006 descriptor-system passivity-test
+//! reproduction: it re-exports the individual crates and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! The individual pieces live in:
+//!
+//! * [`linalg`] (`ds-linalg`) — dense linear-algebra kernels,
+//! * [`descriptor`] (`ds-descriptor`) — descriptor systems, transforms,
+//!   impulse tests, Weierstrass decomposition,
+//! * [`shh`] (`ds-shh`) — skew-Hamiltonian/Hamiltonian pencils and
+//!   structure-preserving transformations,
+//! * [`circuits`] (`ds-circuits`) — RLC/MNA workload generators,
+//! * [`lmi`] (`ds-lmi`) — the LMI / Riccati substrate,
+//! * [`passivity`] (`ds-passivity`) — the paper's fast test and the two
+//!   baselines.
+//!
+//! ```
+//! use ds_passivity_suite::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = ds_passivity_suite::circuits::generators::rlc_ladder_with_impulsive(10)?;
+//! let report = check_passivity(&model.system, &FastTestOptions::default())?;
+//! assert!(report.verdict.is_passive());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ds_circuits as circuits;
+pub use ds_descriptor as descriptor;
+pub use ds_linalg as linalg;
+pub use ds_lmi as lmi;
+pub use ds_passivity as passivity;
+pub use ds_shh as shh;
+
+/// The most common imports for users of the suite.
+pub mod prelude {
+    pub use ds_descriptor::prelude::*;
+    pub use ds_linalg::prelude::*;
+    pub use ds_passivity::fast::{check_passivity, FastTestOptions};
+    pub use ds_passivity::prelude::*;
+}
+
+/// Runs the proposed test and the Weierstrass baseline on the same system and
+/// returns both reports — a convenience used by the examples and integration
+/// tests to cross-check results.
+///
+/// # Errors
+///
+/// Propagates structural failures from either test.
+pub fn cross_check(
+    sys: &ds_descriptor::DescriptorSystem,
+) -> Result<
+    (ds_passivity::PassivityReport, ds_passivity::PassivityReport),
+    ds_passivity::PassivityError,
+> {
+    let fast =
+        ds_passivity::fast::check_passivity(sys, &ds_passivity::fast::FastTestOptions::default())?;
+    let weierstrass = ds_passivity::weierstrass_test::check_passivity_weierstrass(
+        sys,
+        &ds_passivity::weierstrass_test::WeierstrassTestOptions::default(),
+    )?;
+    Ok((fast, weierstrass))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_check_on_a_small_passive_circuit() {
+        let model = circuits::generators::rc_ladder(4, 1.0, 1.0).unwrap();
+        let (fast, weierstrass) = cross_check(&model.system).unwrap();
+        assert!(fast.verdict.is_passive());
+        assert!(weierstrass.verdict.is_passive());
+    }
+}

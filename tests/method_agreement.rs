@@ -1,0 +1,109 @@
+//! EXP-V1: the three passivity tests must agree (and match the construction
+//! ground truth) on the circuit-model families used throughout the paper.
+
+use ds_circuits::generators::{self, CircuitModel};
+use ds_lmi::positive_real_lmi::LmiOptions;
+use ds_passivity::fast::{check_passivity, FastTestOptions};
+use ds_passivity::lmi_test::{check_passivity_lmi, LmiTestOptions};
+use ds_passivity::weierstrass_test::{check_passivity_weierstrass, WeierstrassTestOptions};
+
+fn passive_models() -> Vec<CircuitModel> {
+    vec![
+        generators::rc_ladder(6, 1.0, 1.0).unwrap(),
+        generators::rlc_ladder(4, 1.0, 0.5, 1.0).unwrap(),
+        generators::rlc_ladder_with_impulsive(10).unwrap(),
+        generators::rlc_ladder_with_impulsive(16).unwrap(),
+        generators::rc_grid(3, 3).unwrap(),
+    ]
+}
+
+fn nonpassive_models() -> Vec<CircuitModel> {
+    vec![
+        generators::nonpassive_ladder(8).unwrap(),
+        generators::negative_m1_model(8).unwrap(),
+    ]
+}
+
+#[test]
+fn proposed_and_weierstrass_agree_on_passive_models() {
+    for model in passive_models() {
+        let fast = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
+        let weier =
+            check_passivity_weierstrass(&model.system, &WeierstrassTestOptions::default()).unwrap();
+        assert!(
+            fast.verdict.is_passive(),
+            "{}: proposed says {}",
+            model.name,
+            fast.verdict
+        );
+        assert!(
+            weier.verdict.is_passive(),
+            "{}: weierstrass says {}",
+            model.name,
+            weier.verdict
+        );
+    }
+}
+
+#[test]
+fn proposed_and_weierstrass_agree_on_nonpassive_models() {
+    for model in nonpassive_models() {
+        let fast = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
+        let weier =
+            check_passivity_weierstrass(&model.system, &WeierstrassTestOptions::default()).unwrap();
+        assert!(
+            !fast.verdict.is_passive(),
+            "{}: proposed wrongly accepts",
+            model.name
+        );
+        assert!(
+            !weier.verdict.is_passive(),
+            "{}: weierstrass wrongly accepts",
+            model.name
+        );
+    }
+}
+
+#[test]
+fn lmi_baseline_agrees_on_small_models() {
+    // The LMI baseline is only exercised at small orders (it is the expensive
+    // method the paper's Table 1 shows blowing up).
+    let passive = generators::rc_ladder(4, 1.0, 1.0).unwrap();
+    let report = check_passivity_lmi(
+        &passive.system,
+        &LmiTestOptions {
+            lmi: LmiOptions::default(),
+        },
+    )
+    .unwrap();
+    assert!(report.verdict.is_passive());
+
+    let nonpassive = generators::nonpassive_ladder(6).unwrap();
+    let report = check_passivity_lmi(
+        &nonpassive.system,
+        &LmiTestOptions {
+            lmi: LmiOptions {
+                max_iterations: 1500,
+                ..LmiOptions::default()
+            },
+        },
+    )
+    .unwrap();
+    assert!(!report.verdict.is_passive());
+}
+
+#[test]
+fn m1_agrees_between_methods_on_impulsive_model() {
+    let model = generators::rlc_ladder_with_impulsive(12).unwrap();
+    let fast = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
+    let weier =
+        check_passivity_weierstrass(&model.system, &WeierstrassTestOptions::default()).unwrap();
+    let m1_fast = fast.m1.unwrap();
+    let m1_weier = weier.m1.unwrap();
+    assert!(
+        (m1_fast[(0, 0)] - m1_weier[(0, 0)]).abs() < 1e-6 * m1_fast[(0, 0)].abs().max(1.0),
+        "M1 mismatch: {} vs {}",
+        m1_fast[(0, 0)],
+        m1_weier[(0, 0)]
+    );
+}

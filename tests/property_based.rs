@@ -1,0 +1,79 @@
+//! Property-based tests: randomized passive descriptor systems must always be
+//! accepted by the proposed test, randomized non-passive ones must be rejected,
+//! and randomized ladder parameters must never break the reduction pipeline.
+
+use ds_circuits::generators;
+use ds_circuits::random::{
+    random_nonpassive_descriptor, random_passive_descriptor, RandomPassiveOptions,
+};
+use ds_passivity::fast::{check_passivity, FastTestOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_passive_systems_are_accepted(
+        seed in 0u64..500,
+        dynamic in 2usize..7,
+        nondynamic in 0usize..3,
+        impulsive in proptest::bool::ANY,
+    ) {
+        let options = RandomPassiveOptions {
+            dynamic_states: dynamic,
+            nondynamic_states: nondynamic,
+            ports: 1,
+            with_impulsive_part: impulsive,
+            feedthrough: 0.4,
+        };
+        let sys = random_passive_descriptor(&options, seed).unwrap();
+        let report = check_passivity(&sys, &FastTestOptions::default()).unwrap();
+        prop_assert!(
+            report.verdict.is_passive(),
+            "seed {} rejected: {}", seed, report.verdict
+        );
+    }
+
+    #[test]
+    fn random_nonpassive_systems_are_rejected(seed in 0u64..200) {
+        let sys = random_nonpassive_descriptor(&RandomPassiveOptions::default(), seed).unwrap();
+        // The construction makes non-passivity overwhelmingly likely but not
+        // certain; cross-check against a dense frequency sweep of the Popov
+        // function and only require rejection when a violation truly exists.
+        let mut violated = false;
+        for &w in &[0.0, 0.1, 0.3, 0.7, 1.5, 3.0, 7.0, 20.0, 100.0] {
+            let g = ds_descriptor::transfer::evaluate_jomega(&sys, w).unwrap();
+            if g.popov_min_eigenvalue().unwrap() < -1e-7 {
+                violated = true;
+                break;
+            }
+        }
+        let report = check_passivity(&sys, &FastTestOptions::default()).unwrap();
+        if violated {
+            prop_assert!(!report.verdict.is_passive(), "seed {} accepted a non-passive system", seed);
+        }
+    }
+
+    #[test]
+    fn ladder_generators_always_yield_testable_models(
+        sections in 1usize..6,
+        r in 0.1f64..10.0,
+        l in 0.01f64..2.0,
+        c in 0.1f64..5.0,
+    ) {
+        let model = generators::rlc_ladder(sections, r, l, c).unwrap();
+        prop_assert!(model.system.is_regular(1e-10).unwrap());
+        let report = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
+        prop_assert!(report.verdict.is_passive());
+    }
+}
+
+#[test]
+fn impulsive_orders_sweep() {
+    for order in (6..=24).step_by(2) {
+        let model = generators::rlc_ladder_with_impulsive(order).unwrap();
+        let report = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
+        assert!(report.verdict.is_passive(), "order {order}: {}", report.verdict);
+        assert!(report.diagnostics.removed_impulse_states > 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The structure-preserving reductions of the proposed test must preserve the
+//! transfer function `Φ(s) = G(s) + G~(s)` at every stage, and the final
+//! regularized pencil must carry the advertised Hamiltonian structure.
+
+use ds_circuits::generators;
+use ds_descriptor::transfer;
+use ds_passivity::{proper, reduction};
+use ds_shh::pencil::build_phi;
+use ds_shh::structure;
+
+fn phi_invariance_for(system: &ds_descriptor::DescriptorSystem) {
+    let phi = build_phi(system).unwrap();
+    let cancelled = reduction::cancel_impulsive_modes(&phi, 1e-9).unwrap();
+    let nondynamic = reduction::remove_nondynamic_modes(&cancelled.reduced, 1e-9).unwrap();
+    assert!(nondynamic.impulse_free, "passive model must reduce cleanly");
+    let restored = reduction::restore_shh(&nondynamic.reduced).unwrap();
+
+    for &w in &[0.0, 0.3, 2.0, 25.0] {
+        let reference = transfer::evaluate_jomega(&phi.system, w).unwrap();
+        for (stage, sys) in [
+            ("impulse cancellation", &cancelled.reduced),
+            ("nondynamic removal", &nondynamic.reduced),
+            ("SHH restoration", &restored.system),
+        ] {
+            if sys.order() == 0 {
+                continue;
+            }
+            let value = transfer::evaluate_jomega(sys, w).unwrap();
+            let dev = reference.sub(&value).norm_max();
+            assert!(
+                dev < 1e-7 * (1.0 + reference.norm_max()),
+                "Φ changed by {dev} after {stage} at ω = {w}"
+            );
+        }
+    }
+
+    // Structural guarantees along the chain.
+    let scale = phi.system.scale();
+    assert!(cancelled.reduced.e().is_skew_symmetric(1e-8 * scale));
+    assert!(cancelled.reduced.a().is_symmetric(1e-8 * scale));
+    if restored.system.order() > 0 {
+        assert!(structure::is_skew_hamiltonian(restored.system.e(), 1e-8 * scale).unwrap());
+        assert!(structure::is_hamiltonian(restored.system.a(), 1e-8 * scale).unwrap());
+        let regular = proper::regularize(&restored.system, 1e-9).unwrap();
+        assert!(
+            structure::is_hamiltonian(&regular.a44, 1e-6 * regular.a44.norm_fro().max(1.0))
+                .unwrap()
+        );
+    }
+}
+
+#[test]
+fn phi_invariance_on_proper_ladder() {
+    let model = generators::rc_ladder(5, 1.0, 1.0).unwrap();
+    phi_invariance_for(&model.system);
+}
+
+#[test]
+fn phi_invariance_on_impulsive_ladder() {
+    let model = generators::rlc_ladder_with_impulsive(12).unwrap();
+    phi_invariance_for(&model.system);
+}
+
+#[test]
+fn phi_invariance_on_two_port_grid() {
+    let model = generators::rc_grid(3, 3).unwrap();
+    phi_invariance_for(&model.system);
+}
+
+#[test]
+fn phi_invariance_on_rlc_ladder() {
+    let model = generators::rlc_ladder(4, 0.5, 0.3, 2.0).unwrap();
+    phi_invariance_for(&model.system);
+}
