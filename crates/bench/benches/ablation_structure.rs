@@ -1,14 +1,14 @@
 //! EXP-A1: ablation of the design choices called out in DESIGN.md.
 //!
-//! * `full_test`       — the proposed test as published (no precondition checks,
-//!                        matching the paper's assumptions).
+//! * `full_test` — the proposed test as published (no precondition checks,
+//!   matching the paper's assumptions).
 //! * `with_preconditions` — the proposed test plus explicit regularity and
-//!                        stability verification (the extra O(n³) cost a
-//!                        defensive implementation would pay).
+//!   stability verification (the extra O(n³) cost a defensive implementation
+//!   would pay).
 //! * `proper_part_only` — the paper's "sidetrack": extracting the stable proper
-//!                        part through the structured SHH route without the
-//!                        final positive-realness test.
-//! * `m1_extraction`   — the grade-1/2 chain computation of eq. (24)–(25) alone.
+//!   part through the structured SHH route without the final positive-realness
+//!   test.
+//! * `m1_extraction` — the grade-1/2 chain computation of eq. (24)–(25) alone.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ds_bench::table1_model;
@@ -41,11 +41,9 @@ fn bench_ablation(c: &mut Criterion) {
             |b, sys| {
                 b.iter(|| {
                     let phi = build_phi(sys).expect("phi");
-                    let cancelled =
-                        reduction::cancel_impulsive_modes(&phi, 1e-9).expect("cancel");
-                    let nondynamic =
-                        reduction::remove_nondynamic_modes(&cancelled.reduced, 1e-9)
-                            .expect("nondynamic");
+                    let cancelled = reduction::cancel_impulsive_modes(&phi, 1e-9).expect("cancel");
+                    let nondynamic = reduction::remove_nondynamic_modes(&cancelled.reduced, 1e-9)
+                        .expect("nondynamic");
                     let restored = reduction::restore_shh(&nondynamic.reduced).expect("restore");
                     proper::extract_proper_part(&restored.system, 1e-9).expect("proper part")
                 })

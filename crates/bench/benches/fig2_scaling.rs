@@ -11,17 +11,13 @@ fn bench_scaling(c: &mut Criterion) {
     for &order in &[20usize, 60, 100, 140] {
         let model = table1_model(order).expect("workload generator");
         group.throughput(Throughput::Elements(order as u64));
-        group.bench_with_input(
-            BenchmarkId::new("proposed", order),
-            &model,
-            |b, model| b.iter(|| run_method(Method::Proposed, model).expect("proposed test")),
-        );
+        group.bench_with_input(BenchmarkId::new("proposed", order), &model, |b, model| {
+            b.iter(|| run_method(Method::Proposed, model).expect("proposed test"))
+        });
         group.bench_with_input(
             BenchmarkId::new("weierstrass", order),
             &model,
-            |b, model| {
-                b.iter(|| run_method(Method::Weierstrass, model).expect("weierstrass test"))
-            },
+            |b, model| b.iter(|| run_method(Method::Weierstrass, model).expect("weierstrass test")),
         );
     }
     group.finish();

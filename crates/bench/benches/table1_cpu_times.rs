@@ -11,17 +11,13 @@ fn bench_table1(c: &mut Criterion) {
     group.sample_size(10);
     for &order in &[20usize, 40, 60, 100] {
         let model = table1_model(order).expect("workload generator");
-        group.bench_with_input(
-            BenchmarkId::new("proposed", order),
-            &model,
-            |b, model| b.iter(|| run_method(Method::Proposed, model).expect("proposed test")),
-        );
+        group.bench_with_input(BenchmarkId::new("proposed", order), &model, |b, model| {
+            b.iter(|| run_method(Method::Proposed, model).expect("proposed test"))
+        });
         group.bench_with_input(
             BenchmarkId::new("weierstrass", order),
             &model,
-            |b, model| {
-                b.iter(|| run_method(Method::Weierstrass, model).expect("weierstrass test"))
-            },
+            |b, model| b.iter(|| run_method(Method::Weierstrass, model).expect("weierstrass test")),
         );
         if order <= 20 {
             group.bench_with_input(BenchmarkId::new("lmi", order), &model, |b, model| {

@@ -18,8 +18,8 @@ fn main() {
     println!("# Table 1 — CPU times (s) for different passivity tests");
     println!("# workload: rlc_ladder_with_impulsive(order), passive with impulsive modes");
     println!(
-        "{:>8} {:>14} {:>14} {:>14}  {}",
-        "order", "LMI", "proposed", "weierstrass", "verdicts"
+        "{:>8} {:>14} {:>14} {:>14}  verdicts",
+        "order", "LMI", "proposed", "weierstrass"
     );
     for order in orders {
         let model = match table1_model(order) {
@@ -38,7 +38,8 @@ fn main() {
         let weierstrass = time_method(Method::Weierstrass, &model).ok();
         let verdicts = format!(
             "lmi:{} shh:{} wst:{}",
-            lmi.as_ref().map_or("-".into(), |r| r.verdict_correct.to_string()),
+            lmi.as_ref()
+                .map_or("-".into(), |r| r.verdict_correct.to_string()),
             proposed
                 .as_ref()
                 .map_or("-".into(), |r| r.verdict_correct.to_string()),
@@ -55,5 +56,7 @@ fn main() {
             verdicts
         );
     }
-    println!("# 'n/a' for the LMI column beyond order {LMI_MAX_ORDER} mirrors the paper's NIL entries");
+    println!(
+        "# 'n/a' for the LMI column beyond order {LMI_MAX_ORDER} mirrors the paper's NIL entries"
+    );
 }

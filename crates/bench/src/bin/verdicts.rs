@@ -21,7 +21,11 @@ fn main() {
         generators::nonpassive_ladder(10).unwrap(),
         generators::negative_m1_model(10).unwrap(),
     ] {
-        cases.push((model.name.clone(), model.system.clone(), model.expected_passive));
+        cases.push((
+            model.name.clone(),
+            model.system.clone(),
+            model.expected_passive,
+        ));
     }
     for seed in 0..3 {
         let opts = RandomPassiveOptions {

@@ -67,10 +67,7 @@ impl Method {
 /// # Errors
 ///
 /// Propagates structural test failures.
-pub fn run_method(
-    method: Method,
-    model: &CircuitModel,
-) -> Result<PassivityReport, PassivityError> {
+pub fn run_method(method: Method, model: &CircuitModel) -> Result<PassivityReport, PassivityError> {
     match method {
         Method::Proposed => check_passivity(&model.system, &FastTestOptions::default()),
         Method::Weierstrass => {
@@ -142,7 +139,11 @@ mod tests {
         let model = table1_model(20).unwrap();
         for method in [Method::Proposed, Method::Weierstrass, Method::Lmi] {
             let run = time_method(method, &model).unwrap();
-            assert!(run.verdict_correct, "{} gave the wrong verdict", method.name());
+            assert!(
+                run.verdict_correct,
+                "{} gave the wrong verdict",
+                method.name()
+            );
             assert_eq!(run.order, 20);
         }
     }

@@ -106,7 +106,7 @@ pub fn rlc_ladder(sections: usize, r: f64, l: f64, c: f64) -> Result<CircuitMode
 /// Returns [`CircuitError::UnrealizableOrder`] for orders below 6 or odd
 /// orders; propagates stamping failures.
 pub fn rlc_ladder_with_impulsive(order: usize) -> Result<CircuitModel, CircuitError> {
-    if order < 6 || order % 2 != 0 {
+    if order < 6 || !order.is_multiple_of(2) {
         return Err(CircuitError::UnrealizableOrder {
             requested: order,
             details: "rlc_ladder_with_impulsive needs an even order ≥ 6".into(),
@@ -206,7 +206,7 @@ pub fn rc_grid(rows: usize, cols: usize) -> Result<CircuitModel, CircuitError> {
 ///
 /// Same as [`rlc_ladder_with_impulsive`].
 pub fn nonpassive_ladder(order: usize) -> Result<CircuitModel, CircuitError> {
-    if order < 6 || order % 2 != 0 {
+    if order < 6 || !order.is_multiple_of(2) {
         return Err(CircuitError::UnrealizableOrder {
             requested: order,
             details: "nonpassive_ladder needs an even order ≥ 6".into(),

@@ -52,8 +52,7 @@ impl Default for RandomPassiveOptions {
 
 fn random_orthogonal(n: usize, rng: &mut StdRng) -> Matrix {
     let raw = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
-    let q = qr::factor_full(&raw).q;
-    q
+    qr::factor_full(&raw).q
 }
 
 /// Generates a random passive descriptor system.
@@ -240,8 +239,7 @@ mod tests {
     fn random_nonpassive_violates_popov_somewhere() {
         let mut violations = 0;
         for seed in 0..6 {
-            let sys =
-                random_nonpassive_descriptor(&RandomPassiveOptions::default(), seed).unwrap();
+            let sys = random_nonpassive_descriptor(&RandomPassiveOptions::default(), seed).unwrap();
             let violated = [0.0, 0.2, 0.5, 1.0, 2.0, 5.0, 20.0].iter().any(|&w| {
                 transfer::evaluate_jomega(&sys, w)
                     .map(|g| g.popov_min_eigenvalue().unwrap() < -1e-6)

@@ -57,8 +57,9 @@ pub enum EnforcementOutcome {
     },
     /// Passivity was restored by adding `resistance · I` to the feedthrough.
     Enforced {
-        /// The perturbed, now passive, descriptor system.
-        system: DescriptorSystem,
+        /// The perturbed, now passive, descriptor system (boxed: a full
+        /// system is much larger than the other variants' payloads).
+        system: Box<DescriptorSystem>,
         /// The series resistance added at every port (the size of the
         /// perturbation of `D`).
         resistance: f64,
@@ -82,10 +83,7 @@ impl EnforcementOutcome {
 
 /// Measures the worst Popov-function violation over the option's frequency
 /// grid (0 when the sampled Popov function is PSD everywhere).
-fn sampled_violation(
-    sys: &DescriptorSystem,
-    frequencies: &[f64],
-) -> Result<f64, PassivityError> {
+fn sampled_violation(sys: &DescriptorSystem, frequencies: &[f64]) -> Result<f64, PassivityError> {
     let mut worst: f64 = 0.0;
     for &w in frequencies {
         let value = match transfer::evaluate_jomega(sys, w) {
@@ -141,7 +139,6 @@ pub fn enforce_passivity(
             NonPassivityReason::ProperPartNotPositiveReal { min_eigenvalue, .. } => {
                 (-*min_eigenvalue).max(0.0)
             }
-            NonPassivityReason::LmiInfeasible { .. } | NonPassivityReason::ResidualImpulsiveModes => 0.0,
             _ => 0.0,
         };
         let resistance = 0.5 * sampled.max(witnessed).max(options.margin) + options.margin;
@@ -158,7 +155,7 @@ pub fn enforce_passivity(
         match &report.verdict {
             crate::report::PassivityVerdict::Passive { .. } => {
                 return Ok(EnforcementOutcome::Enforced {
-                    system: current,
+                    system: Box::new(current),
                     resistance: total_resistance,
                     report,
                 });

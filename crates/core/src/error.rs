@@ -116,7 +116,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(PassivityError::SingularPencil.to_string().contains("singular"));
+        assert!(PassivityError::SingularPencil
+            .to_string()
+            .contains("singular"));
         assert!(PassivityError::breakdown("stage 2 failed")
             .to_string()
             .contains("stage 2"));

@@ -178,8 +178,7 @@ pub fn check_passivity(
     // order ≥ 2 are present.
     let rank_e = sys.rank_e(tol)?;
     let nondynamic_total_phi = 2 * (sys.order() - rank_e);
-    let nondynamic_with_impulsive =
-        nondynamic_total_phi.saturating_sub(nondynamic.removed_states);
+    let nondynamic_with_impulsive = nondynamic_total_phi.saturating_sub(nondynamic.removed_states);
     diagnostics.nondynamic_removed_with_impulsive = nondynamic_with_impulsive;
     let impulsive_removed = cancelled
         .removed_states
@@ -408,25 +407,23 @@ mod tests {
     fn random_nonpassive_descriptors_fail() {
         let mut detected = 0;
         for seed in 0..4 {
-            let sys =
-                random_nonpassive_descriptor(&RandomPassiveOptions::default(), seed).unwrap();
+            let sys = random_nonpassive_descriptor(&RandomPassiveOptions::default(), seed).unwrap();
             let report = check_passivity(&sys, &opts()).unwrap();
             if !report.verdict.is_passive() {
                 detected += 1;
             }
         }
-        assert!(detected >= 3, "only {detected}/4 non-passive systems detected");
+        assert!(
+            detected >= 3,
+            "only {detected}/4 non-passive systems detected"
+        );
     }
 
     #[test]
     fn higher_order_markov_detected() {
         // G(s) = s² L (two chained integrators at infinity): not passive.
         // Realization: E = [[0,1,0],[0,0,1],[0,0,0]], A = I, B = e3, C = [l,0,0].
-        let e = Matrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[0.0, 0.0, 0.0],
-        ]);
+        let e = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 0.0]]);
         let a = Matrix::identity(3);
         let b = Matrix::column(&[0.0, 0.0, 1.0]);
         let c = Matrix::row_vector(&[-2.0, 0.0, 0.0]);
@@ -446,8 +443,7 @@ mod tests {
         let b = Matrix::from_rows(&[&[1.0], &[1.0]]);
         let c = Matrix::from_rows(&[&[1.0, 0.0]]);
         let sys = DescriptorSystem::new(e, a, b, c, Matrix::filled(1, 1, 1.0)).unwrap();
-        let report =
-            check_passivity(&sys, &FastTestOptions::with_precondition_checks()).unwrap();
+        let report = check_passivity(&sys, &FastTestOptions::with_precondition_checks()).unwrap();
         assert_eq!(
             report.verdict,
             PassivityVerdict::NotPassive {

@@ -136,7 +136,10 @@ pub fn regularize(sys: &DescriptorSystem, rel_tol: f64) -> Result<RegularizedPhi
 ///   (finite poles of `Φ` on the axis — excluded by the paper's stability
 ///   assumption).
 /// * Propagates Lyapunov-solver failures.
-pub fn extract_stable_part(phi: &RegularizedPhi, rel_tol: f64) -> Result<ProperPart, PassivityError> {
+pub fn extract_stable_part(
+    phi: &RegularizedPhi,
+    rel_tol: f64,
+) -> Result<ProperPart, PassivityError> {
     let n = phi.half;
     let m_in = phi.b44.cols();
     let m_out = phi.c44.rows();
@@ -272,8 +275,7 @@ mod tests {
         let a = Matrix::identity(2);
         let b = Matrix::from_rows(&[&[0.0], &[1.0]]);
         let c = Matrix::from_rows(&[&[-3.0, 0.0]]);
-        let sys =
-            DescriptorSystem::new(e, a, b, c, Matrix::filled(1, 1, 2.0)).unwrap();
+        let sys = DescriptorSystem::new(e, a, b, c, Matrix::filled(1, 1, 2.0)).unwrap();
         let restored = pipeline(&sys);
         assert_eq!(restored.order(), 0);
         let proper = extract_proper_part(&restored, 1e-10).unwrap();

@@ -235,7 +235,7 @@ pub struct ShhRestoration {
 /// cannot occur for genuine Φ-reductions) and propagates numerical failures.
 pub fn restore_shh(sys: &DescriptorSystem) -> Result<ShhRestoration, PassivityError> {
     let order = sys.order();
-    if order % 2 != 0 {
+    if !order.is_multiple_of(2) {
         return Err(PassivityError::breakdown(format!(
             "cannot restore SHH structure on an odd-dimensional system (order {order})"
         )));

@@ -40,10 +40,9 @@ pub enum NonPassivityReason {
 impl fmt::Display for NonPassivityReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NonPassivityReason::ResidualImpulsiveModes => write!(
-                f,
-                "G + G~ retains observable/controllable impulsive modes"
-            ),
+            NonPassivityReason::ResidualImpulsiveModes => {
+                write!(f, "G + G~ retains observable/controllable impulsive modes")
+            }
             NonPassivityReason::HigherOrderMarkovParameters => {
                 write!(f, "Markov parameters of order ≥ 2 are present")
             }
@@ -247,15 +246,18 @@ mod tests {
 
     #[test]
     fn timings_total() {
-        let mut t = StageTimings::default();
-        t.build_phi = Duration::from_millis(3);
-        t.spectral_split = Duration::from_millis(7);
+        let t = StageTimings {
+            build_phi: Duration::from_millis(3),
+            spectral_split: Duration::from_millis(7),
+            ..Default::default()
+        };
         assert_eq!(t.total(), Duration::from_millis(10));
     }
 
     #[test]
     fn report_display_mentions_method() {
-        let report = PassivityReport::new("shh-fast", PassivityVerdict::Passive { strictly: false });
+        let report =
+            PassivityReport::new("shh-fast", PassivityVerdict::Passive { strictly: false });
         let text = report.to_string();
         assert!(text.contains("shh-fast"));
         assert!(text.contains("passive"));

@@ -197,11 +197,7 @@ mod tests {
 
     #[test]
     fn quadratic_impedance_rejected_for_higher_markov() {
-        let e = Matrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[0.0, 0.0, 0.0],
-        ]);
+        let e = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 0.0]]);
         let a = Matrix::identity(3);
         let b = Matrix::column(&[0.0, 0.0, 1.0]);
         let c = Matrix::row_vector(&[-2.0, 0.0, 0.0]);

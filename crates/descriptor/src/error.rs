@@ -94,7 +94,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(DescriptorError::SingularPencil.to_string().contains("singular"));
+        assert!(DescriptorError::SingularPencil
+            .to_string()
+            .contains("singular"));
         assert!(DescriptorError::dimension_mismatch("E is 2x3")
             .to_string()
             .contains("E is 2x3"));

@@ -136,16 +136,8 @@ mod tests {
     fn index2() -> DescriptorSystem {
         // E = [[1,0,0],[0,0,1],[0,0,0]], A = I gives a Jordan block at infinity
         // of size 2 plus one finite mode at 1... make the finite mode stable:
-        let e = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[0.0, 0.0, 0.0],
-        ]);
-        let a = Matrix::from_rows(&[
-            &[-1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let e = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 0.0]]);
+        let a = Matrix::from_rows(&[&[-1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
         let b = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0]]);
         let c = Matrix::from_rows(&[&[1.0, 1.0, 0.0]]);
         DescriptorSystem::new(e, a, b, c, Matrix::zeros(1, 1)).unwrap()
@@ -198,11 +190,7 @@ mod tests {
     fn unobservable_impulsive_mode_detected() {
         // Same pencil as index2 but C does not see the impulsive chain and B
         // does not excite it.
-        let e = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[0.0, 0.0, 0.0],
-        ]);
+        let e = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 0.0]]);
         let a = Matrix::diag(&[-1.0, 1.0, 1.0]);
         let b = Matrix::from_rows(&[&[1.0], &[0.0], &[0.0]]);
         let c = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);

@@ -16,7 +16,11 @@ use ds_linalg::{subspace, Matrix};
 /// # Errors
 ///
 /// Propagates numerical failures.
-pub fn controllable_subspace(a: &Matrix, b: &Matrix, rel_tol: f64) -> Result<Matrix, DescriptorError> {
+pub fn controllable_subspace(
+    a: &Matrix,
+    b: &Matrix,
+    rel_tol: f64,
+) -> Result<Matrix, DescriptorError> {
     let n = a.rows();
     if n == 0 {
         return Ok(Matrix::zeros(0, 0));
@@ -41,7 +45,11 @@ pub fn controllable_subspace(a: &Matrix, b: &Matrix, rel_tol: f64) -> Result<Mat
 /// # Errors
 ///
 /// Propagates numerical failures.
-pub fn observable_subspace(a: &Matrix, c: &Matrix, rel_tol: f64) -> Result<Matrix, DescriptorError> {
+pub fn observable_subspace(
+    a: &Matrix,
+    c: &Matrix,
+    rel_tol: f64,
+) -> Result<Matrix, DescriptorError> {
     // Observability of (A, C) is controllability of (Aᵀ, Cᵀ).
     controllable_subspace(&a.transpose(), &c.transpose(), rel_tol)
 }

@@ -60,11 +60,7 @@ mod tests {
 
     fn stable_index1() -> DescriptorSystem {
         let e = Matrix::diag(&[1.0, 1.0, 0.0]);
-        let a = Matrix::from_rows(&[
-            &[-1.0, 0.2, 0.0],
-            &[0.0, -3.0, 1.0],
-            &[0.0, 0.0, -1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[-1.0, 0.2, 0.0], &[0.0, -3.0, 1.0], &[0.0, 0.0, -1.0]]);
         let b = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0]]);
         let c = Matrix::from_rows(&[&[1.0, 1.0, 0.0]]);
         DescriptorSystem::new(e, a, b, c, Matrix::zeros(1, 1)).unwrap()
@@ -80,16 +76,8 @@ mod tests {
 
     fn impulsive_stable() -> DescriptorSystem {
         // G(s) = sL + 1/(s+1): impulsive but with stable finite mode.
-        let e = Matrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, -1.0],
-        ]);
+        let e = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, -1.0]]);
         let b = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0]]);
         let c = Matrix::from_rows(&[&[-2.0, 0.0, 1.0]]);
         DescriptorSystem::new(e, a, b, c, Matrix::zeros(1, 1)).unwrap()

@@ -148,7 +148,7 @@ impl DescriptorSystem {
         if n == 0 {
             return Ok(true);
         }
-        for &s0 in &[1.0, -1.3, 2.718_281_828, -0.314_159_265, 7.389_056] {
+        for &s0 in &[1.0, -1.3, std::f64::consts::E, -0.314_159_265, 7.389_056] {
             let pencil = &self.e.scale(s0) - &self.a;
             if ds_linalg::subspace::rank(&pencil, rel_tol.max(1e-12))? == n {
                 return Ok(true);
@@ -175,7 +175,10 @@ impl DescriptorSystem {
     ///
     /// Returns [`DescriptorError::DimensionMismatch`] when the port dimensions
     /// differ.
-    pub fn parallel_sum(&self, other: &DescriptorSystem) -> Result<DescriptorSystem, DescriptorError> {
+    pub fn parallel_sum(
+        &self,
+        other: &DescriptorSystem,
+    ) -> Result<DescriptorSystem, DescriptorError> {
         if self.num_inputs() != other.num_inputs() || self.num_outputs() != other.num_outputs() {
             return Err(DescriptorError::dimension_mismatch(
                 "parallel_sum requires matching input/output dimensions",
@@ -297,7 +300,10 @@ mod tests {
             Matrix::zeros(1, 2),
             Matrix::zeros(1, 1),
         );
-        assert!(matches!(err, Err(DescriptorError::DimensionMismatch { .. })));
+        assert!(matches!(
+            err,
+            Err(DescriptorError::DimensionMismatch { .. })
+        ));
         let err_b = DescriptorSystem::new(
             Matrix::zeros(2, 2),
             Matrix::zeros(2, 2),

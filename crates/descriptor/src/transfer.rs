@@ -73,7 +73,12 @@ pub fn evaluate(sys: &DescriptorSystem, s: Complex) -> Result<TransferValue, Des
     let real_block = &e.scale(s.re) - a;
     let imag_block = e.scale(s.im);
     // Augmented real system.
-    let aug = Matrix::from_blocks_2x2(&real_block, &imag_block.scale(-1.0), &imag_block, &real_block);
+    let aug = Matrix::from_blocks_2x2(
+        &real_block,
+        &imag_block.scale(-1.0),
+        &imag_block,
+        &real_block,
+    );
     let rhs = Matrix::vstack(&[sys.b(), &Matrix::zeros(n, sys.num_inputs())]);
     let x = lu::solve(&aug, &rhs).map_err(|err| match err {
         ds_linalg::LinalgError::Singular { .. } => DescriptorError::SingularPencil,
@@ -92,7 +97,10 @@ pub fn evaluate(sys: &DescriptorSystem, s: Complex) -> Result<TransferValue, Des
 /// # Errors
 ///
 /// See [`evaluate`].
-pub fn evaluate_jomega(sys: &DescriptorSystem, omega: f64) -> Result<TransferValue, DescriptorError> {
+pub fn evaluate_jomega(
+    sys: &DescriptorSystem,
+    omega: f64,
+) -> Result<TransferValue, DescriptorError> {
     evaluate(sys, Complex::new(0.0, omega))
 }
 

@@ -100,7 +100,9 @@ impl SvdCoordinates {
     /// The `B₂` block (rows beyond `rank_e`) of the transformed `B`.
     pub fn b2(&self) -> Matrix {
         let n = self.system.order();
-        self.system.b().block(self.rank_e, n, 0, self.system.num_inputs())
+        self.system
+            .b()
+            .block(self.rank_e, n, 0, self.system.num_inputs())
     }
 
     /// The `C₂` block (columns beyond `rank_e`) of the transformed `C`.
@@ -150,16 +152,8 @@ mod tests {
 
     fn sample_system() -> DescriptorSystem {
         // Mixed dynamic + algebraic states.
-        let e = Matrix::from_rows(&[
-            &[2.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 0.0],
-        ]);
-        let a = Matrix::from_rows(&[
-            &[-1.0, 0.5, 0.0],
-            &[0.0, -2.0, 1.0],
-            &[1.0, 0.0, -1.0],
-        ]);
+        let e = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 0.0]]);
+        let a = Matrix::from_rows(&[&[-1.0, 0.5, 0.0], &[0.0, -2.0, 1.0], &[1.0, 0.0, -1.0]]);
         let b = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0]]);
         let c = Matrix::from_rows(&[&[1.0, 1.0, 0.0]]);
         let d = Matrix::filled(1, 1, 0.1);

@@ -37,7 +37,15 @@ impl Default for WeierstrassOptions {
     fn default() -> Self {
         WeierstrassOptions {
             rel_tol: 1e-9,
-            shift_candidates: vec![1.0, -1.618, 2.718_281_828, -0.577, 7.389, -13.2, 0.123],
+            shift_candidates: vec![
+                1.0,
+                -1.618,
+                std::f64::consts::E,
+                -0.577,
+                7.389,
+                -13.2,
+                0.123,
+            ],
         }
     }
 }
@@ -205,8 +213,14 @@ fn try_decompose_with_shift(
     // must vanish for true deflating subspaces).
     let scale = e_tilde.norm_max().max(a_tilde.norm_max()).max(1.0);
     let coupling_tol = 1e-6 * scale;
-    let e_off = e_tilde.block(q, n, 0, q).norm_max().max(e_tilde.block(0, q, q, n).norm_max());
-    let a_off = a_tilde.block(q, n, 0, q).norm_max().max(a_tilde.block(0, q, q, n).norm_max());
+    let e_off = e_tilde
+        .block(q, n, 0, q)
+        .norm_max()
+        .max(e_tilde.block(0, q, q, n).norm_max());
+    let a_off = a_tilde
+        .block(q, n, 0, q)
+        .norm_max()
+        .max(a_tilde.block(0, q, q, n).norm_max());
     if e_off > coupling_tol || a_off > coupling_tol {
         return Err(DescriptorError::invalid_input(format!(
             "deflating subspaces failed to decouple the pencil (residual {:.2e})",

@@ -128,10 +128,7 @@ mod tests {
     #[test]
     fn indefinite_rejected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
-        assert!(matches!(
-            factor(&a),
-            Err(LinalgError::NotPositiveDefinite)
-        ));
+        assert!(matches!(factor(&a), Err(LinalgError::NotPositiveDefinite)));
         assert!(!is_positive_definite(&a));
         assert!(!is_positive_semidefinite(&a, 1e-10));
     }

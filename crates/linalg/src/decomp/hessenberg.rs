@@ -41,7 +41,11 @@ pub fn reduce(a: &Matrix) -> Result<Hessenberg, LinalgError> {
         if norm_x == 0.0 {
             continue;
         }
-        let alpha = if h[(k + 1, k)] >= 0.0 { -norm_x } else { norm_x };
+        let alpha = if h[(k + 1, k)] >= 0.0 {
+            -norm_x
+        } else {
+            norm_x
+        };
         let mut v = vec![0.0; n - k - 1];
         v[0] = h[(k + 1, k)] - alpha;
         for i in (k + 2)..n {

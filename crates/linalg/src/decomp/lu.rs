@@ -246,10 +246,7 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(
-            factor(&a),
-            Err(LinalgError::NotSquare { .. })
-        ));
+        assert!(matches!(factor(&a), Err(LinalgError::NotSquare { .. })));
     }
 
     #[test]

@@ -251,11 +251,7 @@ mod tests {
 
     #[test]
     fn orthonormalize_drops_dependent_columns() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[1.0, 2.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 0.0, 1.0], &[1.0, 2.0, 1.0]]);
         let q = orthonormalize_columns(&a, 1e-10);
         assert_eq!(q.cols(), 2);
         assert_orthogonal(&q, 1e-12);

@@ -98,7 +98,7 @@ pub fn real_schur(a: &Matrix) -> Result<RealSchur, LinalgError> {
 
         // Double-shift from the trailing 2x2 block; exceptional shift
         // occasionally to break potential cycles.
-        let (s, t) = if block_iter % 11 == 0 {
+        let (s, t) = if block_iter.is_multiple_of(11) {
             let ex = h[(hi, hi - 1)].abs() + h[(hi - 1, hi - 2)].abs();
             (1.5 * ex, 0.5625 * ex * ex)
         } else {

@@ -199,12 +199,7 @@ mod tests {
 
     #[test]
     fn svd_of_tall_matrix() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 2.0],
-            &[3.0, 0.0],
-            &[0.0, -1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[3.0, 0.0], &[0.0, -1.0]]);
         let d = check_svd(&a, 1e-12);
         assert_eq!(d.s.len(), 2);
         assert!((d.s[0] - 10.0_f64.sqrt()).abs() < 1e-12);
@@ -221,11 +216,7 @@ mod tests {
 
     #[test]
     fn rank_detection() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[2.0, 4.0, 6.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], &[0.0, 0.0, 1.0]]);
         let d = svd(&a).unwrap();
         assert_eq!(d.rank(1e-10), 2);
         let z = svd(&Matrix::zeros(3, 3)).unwrap();

@@ -72,10 +72,7 @@ pub fn eig_2x2(a: f64, b: f64, c: f64, d: f64) -> (Complex, Complex) {
 /// Propagates the errors of [`eigenvalues`].
 pub fn spectral_abscissa(a: &Matrix) -> Result<f64, LinalgError> {
     let eig = eigenvalues(a)?;
-    Ok(eig
-        .iter()
-        .map(|z| z.re)
-        .fold(f64::NEG_INFINITY, f64::max))
+    Ok(eig.iter().map(|z| z.re).fold(f64::NEG_INFINITY, f64::max))
 }
 
 /// Spectral radius: the largest modulus among the eigenvalues.

@@ -49,9 +49,9 @@ pub use scalar::Complex;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
+    pub use crate::error::LinalgError;
     pub use crate::matrix::Matrix;
     pub use crate::scalar::Complex;
-    pub use crate::error::LinalgError;
 }
 
 /// Default relative tolerance used across the crate when none is supplied.

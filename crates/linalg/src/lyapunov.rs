@@ -174,7 +174,9 @@ mod tests {
         let b = Matrix::column(&[1.0, 1.0]);
         let q = &b * &b.transpose();
         let p = solve_lyapunov(&a, &q).unwrap();
-        assert!(crate::decomp::cholesky::is_positive_definite(&p.symmetric_part()));
+        assert!(crate::decomp::cholesky::is_positive_definite(
+            &p.symmetric_part()
+        ));
     }
 
     #[test]

@@ -376,7 +376,9 @@ impl Matrix {
 
     /// The main diagonal as a vector of values.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     // ------------------------------------------------------------------

@@ -140,6 +140,8 @@ impl Mul for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Multiplying by the reciprocal is the standard robust complex division.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

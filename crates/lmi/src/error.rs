@@ -36,7 +36,10 @@ impl fmt::Display for LmiError {
                 write!(f, "no stabilizing Riccati solution: {details}")
             }
             LmiError::SingularFeedthrough => {
-                write!(f, "D + Dᵀ is singular; the Riccati formulation does not apply")
+                write!(
+                    f,
+                    "D + Dᵀ is singular; the Riccati formulation does not apply"
+                )
             }
             LmiError::NotSquareSystem { inputs, outputs } => write!(
                 f,
@@ -76,7 +79,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(LmiError::SingularFeedthrough.to_string().contains("singular"));
+        assert!(LmiError::SingularFeedthrough
+            .to_string()
+            .contains("singular"));
         assert!(LmiError::NoStabilizingSolution {
             details: "imaginary-axis eigenvalues".into()
         }

@@ -142,8 +142,8 @@ impl DsPositiveRealLmi {
         // Negative part of sym(EᵀX): violation of EᵀX ⪰ 0.
         let sym_minus = symmetric::project_psd(&sym.scale(-1.0))?;
 
-        let objective =
-            0.5 * (f_plus.norm_fro().powi(2) + sym_minus.norm_fro().powi(2) + asym.norm_fro().powi(2));
+        let objective = 0.5
+            * (f_plus.norm_fro().powi(2) + sym_minus.norm_fro().powi(2) + asym.norm_fro().powi(2));
 
         // Gradient contributions (see the adjoint computations in the module
         // documentation of the repository's DESIGN notes):

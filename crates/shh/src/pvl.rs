@@ -49,7 +49,14 @@ impl PvlForm {
 
 /// Applies a symplectic Householder similarity `diag(P, P)` where
 /// `P = I − β v vᵀ` acts on the index range `lo..n` of each half.
-fn apply_symplectic_householder(w: &mut Matrix, z: &mut Matrix, n: usize, lo: usize, v: &[f64], beta: f64) {
+fn apply_symplectic_householder(
+    w: &mut Matrix,
+    z: &mut Matrix,
+    n: usize,
+    lo: usize,
+    v: &[f64],
+    beta: f64,
+) {
     if beta == 0.0 {
         return;
     }
@@ -159,7 +166,7 @@ fn householder(column: &[f64]) -> (Vec<f64>, f64) {
 /// * [`ShhError::StructureViolation`] when `w` is not (numerically)
 ///   skew-Hamiltonian.
 pub fn reduce(w: &Matrix, tol: f64) -> Result<PvlForm, ShhError> {
-    if !w.is_square() || w.rows() % 2 != 0 {
+    if !w.is_square() || !w.rows().is_multiple_of(2) {
         return Err(ShhError::BadDimension { shape: w.shape() });
     }
     let n = w.rows() / 2;

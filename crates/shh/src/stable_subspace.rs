@@ -38,7 +38,7 @@ pub struct HamiltonianSplit {
 /// * [`ShhError::ImaginaryAxisEigenvalues`] when the sign iteration detects
 ///   eigenvalues on the imaginary axis or the split is uneven.
 pub fn hamiltonian_split(a: &Matrix, tol: f64) -> Result<HamiltonianSplit, ShhError> {
-    if !a.is_square() || a.rows() % 2 != 0 {
+    if !a.is_square() || !a.rows().is_multiple_of(2) {
         return Err(ShhError::BadDimension { shape: a.shape() });
     }
     let n = a.rows() / 2;
@@ -150,7 +150,10 @@ mod tests {
         assert!(t.block(n, 2 * n, 0, n).norm_max() < 1e-7 * h.norm_fro());
         // Lower-right block is −Ãᵀ.
         let lower_right = t.block(n, 2 * n, n, 2 * n);
-        assert!(lower_right.approx_eq(&split.stable_block.transpose().scale(-1.0), 1e-6 * h.norm_fro()));
+        assert!(lower_right.approx_eq(
+            &split.stable_block.transpose().scale(-1.0),
+            1e-6 * h.norm_fro()
+        ));
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub fn j_matrix(n: usize) -> Matrix {
 /// rows.
 pub fn j_mul(m: &Matrix) -> Result<Matrix, ShhError> {
     let rows = m.rows();
-    if rows % 2 != 0 {
+    if !rows.is_multiple_of(2) {
         return Err(ShhError::BadDimension { shape: m.shape() });
     }
     let n = rows / 2;
@@ -42,7 +42,7 @@ pub fn jt_mul(m: &Matrix) -> Result<Matrix, ShhError> {
 }
 
 fn check_even_square(m: &Matrix) -> Result<usize, ShhError> {
-    if !m.is_square() || m.rows() % 2 != 0 {
+    if !m.is_square() || !m.rows().is_multiple_of(2) {
         return Err(ShhError::BadDimension { shape: m.shape() });
     }
     Ok(m.rows() / 2)

@@ -78,4 +78,41 @@ mod tests {
         assert!(fast.verdict.is_passive());
         assert!(weierstrass.verdict.is_passive());
     }
+
+    #[test]
+    fn cross_check_rejects_a_nonpassive_ladder() {
+        let model = circuits::generators::nonpassive_ladder(6).unwrap();
+        assert!(!model.expected_passive);
+        let (fast, weierstrass) = cross_check(&model.system).unwrap();
+        assert!(
+            !fast.verdict.is_passive(),
+            "fast test accepted: {}",
+            fast.verdict
+        );
+        assert!(
+            !weierstrass.verdict.is_passive(),
+            "weierstrass baseline accepted: {}",
+            weierstrass.verdict
+        );
+    }
+
+    #[test]
+    fn cross_check_rejects_a_violation_at_infinity() {
+        // Negative port inductance: the violation sits at ω = ∞ (non-PSD M₁),
+        // the case the paper's structured route detects without a frequency
+        // sweep.  Both methods must agree on rejection.
+        let model = circuits::generators::negative_m1_model(8).unwrap();
+        assert!(!model.expected_passive);
+        let (fast, weierstrass) = cross_check(&model.system).unwrap();
+        assert!(
+            !fast.verdict.is_passive(),
+            "fast test accepted: {}",
+            fast.verdict
+        );
+        assert!(
+            !weierstrass.verdict.is_passive(),
+            "weierstrass baseline accepted: {}",
+            weierstrass.verdict
+        );
+    }
 }

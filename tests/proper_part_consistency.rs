@@ -21,8 +21,7 @@ fn check_model(system: &ds_descriptor::DescriptorSystem) {
     for &w in &[0.0, 0.2, 1.0, 5.0, 50.0] {
         let g = transfer::evaluate_jomega(system, w).unwrap();
         let shh = transfer::evaluate_jomega(&shh_proper.to_descriptor(), w).unwrap();
-        let weier_value =
-            transfer::evaluate_jomega(&weier.proper.to_descriptor(), w).unwrap();
+        let weier_value = transfer::evaluate_jomega(&weier.proper.to_descriptor(), w).unwrap();
         let herm_g = &g.re + &g.re.transpose();
         let herm_shh = &shh.re + &shh.re.transpose();
         let herm_weier = &weier_value.re + &weier_value.re.transpose();

@@ -73,7 +73,11 @@ fn impulsive_orders_sweep() {
     for order in (6..=24).step_by(2) {
         let model = generators::rlc_ladder_with_impulsive(order).unwrap();
         let report = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
-        assert!(report.verdict.is_passive(), "order {order}: {}", report.verdict);
+        assert!(
+            report.verdict.is_passive(),
+            "order {order}: {}",
+            report.verdict
+        );
         assert!(report.diagnostics.removed_impulse_states > 0);
     }
 }

@@ -1,0 +1,257 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment of this repository has no crates-registry access, so
+//! this in-tree crate implements exactly the subset of the proptest API the
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]` inner
+//!   attribute and `arg in strategy` bindings,
+//! * [`test_runner::Config::with_cases`] (re-exported in the prelude as
+//!   `ProptestConfig`),
+//! * range strategies over `u64` / `usize` / `f64` and [`bool::ANY`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is no shrinking: each generated case is drawn
+//! from a deterministic per-test stream, and a failing case panics with the
+//! values that produced it.  That is sufficient for CI regression detection;
+//! the full crate can be swapped back in unchanged if registry access appears.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Strategies for generating values.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A source of generated values for one test-case argument.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value: std::fmt::Debug;
+        /// Draws one value from the strategy.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+
+        fn sample(&self, rng: &mut StdRng) -> u64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+/// Strategies over `bool`.
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Test-runner configuration and error types.
+pub mod test_runner {
+    /// Configuration for a [`proptest!`](crate::proptest) block.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` generated cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a generated case failed.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An explicit `prop_assert!` failure with its message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(message) => write!(f, "{message}"),
+            }
+        }
+    }
+}
+
+/// Deterministic per-test RNG construction used by the [`proptest!`] macro.
+pub fn deterministic_rng(test_name: &str, case: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name so every test gets its own stream, mixed with
+    // the case index so cases differ.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::rngs::StdRng::seed_from_u64(hash ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// Defines property tests: each `fn` runs `Config::cases` times with arguments
+/// freshly drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::deterministic_rng(stringify!($name), __case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    let __values = format!(
+                        concat!("(", $(concat!(stringify!($arg), " = {:?}, "),)* ")"),
+                        $($arg),*
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let ::std::result::Result::Err(__err) = __outcome {
+                        panic!(
+                            "proptest case {}/{} failed for {}: {}",
+                            __case + 1,
+                            __config.cases,
+                            __values,
+                            __err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the generated
+/// inputs on failure instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// The most common imports for proptest users.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_are_respected(x in 3u64..9, y in 0.5f64..1.5, n in 1usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.5..1.5).contains(&y));
+            prop_assert!((1..4).contains(&n), "n = {} out of range", n);
+        }
+
+        #[test]
+        fn bools_are_generated(b in crate::bool::ANY) {
+            prop_assert!(matches!(b, true | false));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_values() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x = {} is not > 100", x);
+            }
+        }
+        inner();
+    }
+}
