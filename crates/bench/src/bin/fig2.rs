@@ -1,49 +1,66 @@
 //! Regenerates **Figure 2** of the paper: CPU-time curves over model order for
 //! the three passivity tests (top pane: all methods, log scale; bottom pane:
 //! proposed vs Weierstrass, linear scale).  The output is CSV so it can be
-//! plotted directly.
+//! plotted directly.  Since PR 2 the sweep runs on the `ds-harness` engine.
 //!
-//! Run with `cargo run -p ds-bench --release --bin fig2 [--quick]`.
+//! Run with `cargo run -p ds-bench --release --bin fig2 [--quick] [--threads N]`.
 
-use ds_bench::{table1_model, time_method, Method, LMI_MAX_ORDER};
+use ds_bench::{threads_from_args, Method};
+use ds_harness::prelude::*;
+use std::collections::HashMap;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let threads = threads_from_args();
     let orders: Vec<usize> = if quick {
         vec![20, 40, 60, 80, 100]
     } else {
         vec![20, 40, 60, 80, 100, 140, 200, 280, 400]
     };
 
-    println!("# Figure 2 — CPU times for different passivity tests (CSV)");
-    println!("order,lmi_seconds,proposed_seconds,weierstrass_seconds");
-    for order in orders {
-        let model = match table1_model(order) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("order {order}: failed to build model: {e}");
-                continue;
-            }
-        };
-        let lmi = if order <= LMI_MAX_ORDER {
-            time_method(Method::Lmi, &model)
-                .ok()
-                .map(|r| r.elapsed.as_secs_f64())
+    let scenarios: Vec<Scenario> = orders
+        .iter()
+        .map(|&o| Scenario::new(FamilyKind::ImpulsiveLadder, o))
+        .collect();
+    let tasks = scenario_matrix(
+        &scenarios,
+        &[Method::Lmi, Method::Proposed, Method::Weierstrass],
+    );
+    let result = run_sweep(&SweepSpec {
+        tasks,
+        threads,
+        sample_violations: false,
+    });
+    let mut seconds: HashMap<(usize, &str), f64> = HashMap::new();
+    for record in &result.records {
+        if record.passive.is_some() {
+            seconds.insert((record.order, record.method), record.elapsed.as_secs_f64());
         } else {
-            None
+            eprintln!(
+                "order {} / {}: {} ({})",
+                record.order,
+                record.method,
+                record.status.name(),
+                record.reason
+            );
+        }
+    }
+
+    println!("# Figure 2 — CPU times for different passivity tests (CSV)");
+    println!("# engine: ds-harness, threads={}", result.threads);
+    println!("order,lmi_seconds,proposed_seconds,weierstrass_seconds");
+    for &order in &orders {
+        let fmt = |m: &str| {
+            seconds
+                .get(&(order, m))
+                .map_or(String::new(), |v| format!("{v:.6}"))
         };
-        let proposed = time_method(Method::Proposed, &model)
-            .ok()
-            .map(|r| r.elapsed.as_secs_f64());
-        let weierstrass = time_method(Method::Weierstrass, &model)
-            .ok()
-            .map(|r| r.elapsed.as_secs_f64());
         println!(
             "{},{},{},{}",
             order,
-            lmi.map_or("".to_string(), |v| format!("{v:.6}")),
-            proposed.map_or("".to_string(), |v| format!("{v:.6}")),
-            weierstrass.map_or("".to_string(), |v| format!("{v:.6}")),
+            fmt("lmi"),
+            fmt("proposed"),
+            fmt("weierstrass")
         );
     }
 }

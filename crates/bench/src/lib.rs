@@ -6,29 +6,25 @@
 //! * Criterion benches (`benches/`) give statistically solid timings for the
 //!   small and medium orders.
 //! * Binaries (`src/bin/`) sweep the full order range of the paper (20–400)
-//!   with single-shot wall-clock timings, print the same rows/series the paper
-//!   reports, and record verdicts (`table1`, `fig2`, `stage_profile`,
-//!   `verdicts`).
+//!   and print the same rows/series the paper reports (`table1`, `fig2`,
+//!   `stage_profile`, `verdicts`).  Since PR 2 they run on top of the
+//!   [`ds_harness`] parallel sweep engine, so the paper artifacts and the
+//!   production-scale sweeps share one code path; method dispatch
+//!   ([`Method`], [`run_method`], [`LMI_MAX_ORDER`]) moved to `ds-harness`
+//!   and is re-exported here for compatibility.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ds_circuits::generators::{self, CircuitModel};
 use ds_circuits::CircuitError;
-use ds_lmi::positive_real_lmi::LmiOptions;
-use ds_passivity::fast::{check_passivity, FastTestOptions};
-use ds_passivity::lmi_test::{check_passivity_lmi, LmiTestOptions};
-use ds_passivity::weierstrass_test::{check_passivity_weierstrass, WeierstrassTestOptions};
-use ds_passivity::{PassivityError, PassivityReport};
+use ds_passivity::PassivityError;
 use std::time::{Duration, Instant};
+
+pub use ds_harness::{run_method, Method, LMI_MAX_ORDER};
 
 /// The model orders used in the paper's Table 1.
 pub const TABLE1_ORDERS: &[usize] = &[20, 40, 60, 80, 100, 200, 400];
-
-/// Orders at which the LMI baseline is still practical; the paper reports the
-/// LMI test failing for orders of 70 and above ("NIL" due to memory), and the
-/// first-order solver used here becomes similarly impractical.
-pub const LMI_MAX_ORDER: usize = 60;
 
 /// Builds the Table-1 workload for a given order: a passive RLC ladder with
 /// impulsive modes (the port is fed through a series inductor).
@@ -38,48 +34,6 @@ pub const LMI_MAX_ORDER: usize = 60;
 /// Propagates generator errors (invalid orders).
 pub fn table1_model(order: usize) -> Result<CircuitModel, CircuitError> {
     generators::rlc_ladder_with_impulsive(order)
-}
-
-/// Which passivity test to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Method {
-    /// The paper's proposed SHH-pencil test.
-    Proposed,
-    /// The Weierstrass-decomposition baseline.
-    Weierstrass,
-    /// The extended-LMI baseline.
-    Lmi,
-}
-
-impl Method {
-    /// Human-readable name used in tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            Method::Proposed => "proposed",
-            Method::Weierstrass => "weierstrass",
-            Method::Lmi => "lmi",
-        }
-    }
-}
-
-/// Runs one passivity test on a model and returns the report.
-///
-/// # Errors
-///
-/// Propagates structural test failures.
-pub fn run_method(method: Method, model: &CircuitModel) -> Result<PassivityReport, PassivityError> {
-    match method {
-        Method::Proposed => check_passivity(&model.system, &FastTestOptions::default()),
-        Method::Weierstrass => {
-            check_passivity_weierstrass(&model.system, &WeierstrassTestOptions::default())
-        }
-        Method::Lmi => check_passivity_lmi(
-            &model.system,
-            &LmiTestOptions {
-                lmi: LmiOptions::default(),
-            },
-        ),
-    }
 }
 
 /// A single timed run of one method on one model.
@@ -117,6 +71,28 @@ pub fn format_seconds(value: Option<Duration>) -> String {
     match value {
         Some(d) => format!("{:.4}", d.as_secs_f64()),
         None => "n/a".to_string(),
+    }
+}
+
+/// Parses the shared `--threads N` flag of the sweep-backed binaries
+/// (defaults to 1: single-shot timings, like the paper's measurements).
+/// A present-but-invalid value aborts instead of silently running serially —
+/// a benchmark on the wrong thread count measures the wrong thing.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(position) = args.iter().position(|a| a == "--threads") else {
+        return 1;
+    };
+    match args.get(position + 1).map(|v| v.parse::<usize>()) {
+        Some(Ok(threads)) => threads,
+        Some(Err(e)) => {
+            eprintln!("--threads: invalid value {:?}: {e}", args[position + 1]);
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("--threads needs a value");
+            std::process::exit(2);
+        }
     }
 }
 

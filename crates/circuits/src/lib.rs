@@ -32,6 +32,7 @@
 pub mod error;
 pub mod generators;
 pub mod mna;
+pub mod multiport;
 pub mod netlist;
 pub mod random;
 

@@ -1,0 +1,480 @@
+//! Multiport and near-boundary scenario generators.
+//!
+//! [`crate::generators`] covers the paper's original single-port ladders and
+//! grids; this module widens the scenario space for the sweep harness:
+//!
+//! * [`multiport_rlc_ladder`] — `m ≥ 1` coupled RLC ladder chains, one port
+//!   per chain, optionally fed through series port inductors (impulsive modes),
+//! * [`coupled_inductor_mesh`] — an RLC grid whose inductor branches carry
+//!   genuine mutual inductance (a full, diagonally dominant `L` block in `E`),
+//! * [`lossy_tline_chain`] — a cascade of lossy RLGC transmission-line π
+//!   segments between two ports,
+//! * [`perturbed_boundary_model`] — a randomized model sitting exactly on the
+//!   passivity boundary at `margin = 0` and violating it by exactly `margin`
+//!   (in the Popov function at `ω → ∞`) for `margin > 0`.
+//!
+//! All circuit-based generators stay passive by construction (every element is
+//! individually passive and mutual couplings keep `L ⪰ 0`).
+
+use crate::error::CircuitError;
+use crate::generators::CircuitModel;
+use crate::mna;
+use crate::netlist::{Element, Netlist, Port};
+use crate::random::random_orthogonal;
+use ds_descriptor::{transform, DescriptorSystem};
+use ds_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `m`-port RLC ladder: `ports` parallel chains of `sections` series R∥L
+/// branches with shunt capacitors, resistively coupled between neighbouring
+/// chains, each chain driven from its own grounded port.
+///
+/// With `impulsive = false` the state dimension is
+/// `ports · (2·sections + 1)`; with `impulsive = true` each port is fed
+/// through an extra series inductor (adding one node and one branch current
+/// per chain, so `ports · (2·sections + 3)` states) and the impedance behaves
+/// like `s·L_port` per port at high frequency — a nonzero `M₁ ⪰ 0` of rank
+/// `ports`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnrealizableOrder`] for `ports == 0` or
+/// `sections == 0`; propagates stamping failures.
+pub fn multiport_rlc_ladder(
+    ports: usize,
+    sections: usize,
+    impulsive: bool,
+) -> Result<CircuitModel, CircuitError> {
+    if ports == 0 || sections == 0 {
+        return Err(CircuitError::UnrealizableOrder {
+            requested: ports * sections,
+            details: "multiport_rlc_ladder needs ports ≥ 1 and sections ≥ 1".into(),
+        });
+    }
+    // Chain p occupies nodes p·stride + 1 ..= p·stride + stride, laid out as
+    // [port node, (feed node when impulsive), ladder nodes...].
+    let stride = sections + if impulsive { 2 } else { 1 };
+    let num_nodes = ports * stride;
+    let mut net = Netlist::new(num_nodes);
+    for p in 0..ports {
+        let base = p * stride;
+        let port_node = base + 1;
+        net.port(Port::to_ground(port_node));
+        let mut prev = port_node;
+        if impulsive {
+            // Series port inductor: Z ~ s·L_port at infinity (impulsive modes).
+            let feed = base + 2;
+            net.inductor(port_node, feed, 0.6 + 0.1 * p as f64);
+            net.resistor(feed, 0, 40.0 + 5.0 * p as f64);
+            prev = feed;
+        }
+        for k in 0..sections {
+            let node = base + if impulsive { 3 } else { 2 } + k;
+            net.resistor(prev, node, 1.0 + 0.03 * (k + p) as f64);
+            net.inductor(prev, node, 0.5 + 0.02 * (k + 2 * p) as f64);
+            net.capacitor(node, 0, 1.0 + 0.05 * (k + p) as f64);
+            prev = node;
+        }
+        // Terminating load keeps the DC impedance bounded per chain.
+        net.resistor(prev, 0, 8.0 + p as f64);
+    }
+    // Resistive coupling between corresponding ladder nodes of adjacent chains.
+    for p in 0..ports.saturating_sub(1) {
+        for k in 0..sections {
+            let off = if impulsive { 3 } else { 2 } + k;
+            let a = p * stride + off;
+            let b = (p + 1) * stride + off;
+            net.resistor(a, b, 5.0 + 0.5 * (k + p) as f64);
+        }
+    }
+    let system = mna::stamp(&net)?;
+    let expected_order = num_nodes + net.num_inductors();
+    debug_assert_eq!(system.order(), expected_order, "order bookkeeping is off");
+    Ok(CircuitModel {
+        name: format!(
+            "multiport_rlc_ladder(ports={ports},sections={sections},impulsive={impulsive})"
+        ),
+        system,
+        expected_passive: true,
+        has_impulsive_modes: impulsive,
+    })
+}
+
+/// Coupled-inductor mesh: a `rows × cols` grid of nodes whose horizontal
+/// branches are series R∥L pairs and vertical branches are resistors, with
+/// shunt capacitors on interior nodes and ports at two opposite corners.
+/// After MNA stamping, mutual inductance is injected between inductor branches
+/// that share a node: the inductance block of `E` becomes a full symmetric
+/// matrix, rescaled to stay strictly diagonally dominant (hence `L ≻ 0` and
+/// the model remains passive).
+///
+/// `coupling ∈ [0, 1)` selects the fraction of the maximum diagonal-dominance
+/// budget used by the mutual terms (0 decouples the mesh).
+/// State dimension = `rows·cols + rows·(cols − 1)`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnrealizableOrder`] for grids smaller than 2×2 and
+/// [`CircuitError::BadElementValue`] for `coupling` outside `[0, 1)`;
+/// propagates stamping failures.
+pub fn coupled_inductor_mesh(
+    rows: usize,
+    cols: usize,
+    coupling: f64,
+) -> Result<CircuitModel, CircuitError> {
+    if rows < 2 || cols < 2 {
+        return Err(CircuitError::UnrealizableOrder {
+            requested: rows * cols,
+            details: "coupled_inductor_mesh needs at least a 2x2 grid".into(),
+        });
+    }
+    if !(0.0..1.0).contains(&coupling) {
+        return Err(CircuitError::BadElementValue {
+            details: format!("coupling must lie in [0, 1), got {coupling}"),
+        });
+    }
+    let node = |i: usize, j: usize| i * cols + j + 1;
+    let mut net = Netlist::new(rows * cols);
+    net.port(Port::to_ground(node(0, 0)));
+    net.port(Port::to_ground(node(rows - 1, cols - 1)));
+    for i in 0..rows {
+        for j in 0..cols {
+            let here = node(i, j);
+            if j + 1 < cols {
+                // Horizontal branch: series R∥L (stamped in element order, so
+                // inductor k is the k-th horizontal branch row-major).
+                net.resistor(here, node(i, j + 1), 1.0 + 0.05 * (i + j) as f64);
+                net.inductor(here, node(i, j + 1), 0.4 + 0.03 * (i + 2 * j) as f64);
+            }
+            if i + 1 < rows {
+                net.resistor(here, node(i + 1, j), 2.0 + 0.04 * (i * j) as f64);
+            }
+            let is_port_corner = (i == 0 && j == 0) || (i == rows - 1 && j == cols - 1);
+            if !is_port_corner {
+                net.capacitor(here, 0, 0.8 + 0.02 * (2 * i + j) as f64);
+            }
+        }
+    }
+    net.resistor(node(0, 0), 0, 60.0);
+    net.resistor(node(rows - 1, cols - 1), 0, 60.0);
+    let system = mna::stamp(&net)?;
+
+    // Collect the inductor terminals in stamping order: their branch currents
+    // occupy the trailing rows/columns of E.
+    let inductor_terminals: Vec<(usize, usize)> = net
+        .elements
+        .iter()
+        .filter_map(|e| match *e {
+            Element::Inductor { a, b, .. } => Some((a, b)),
+            _ => None,
+        })
+        .collect();
+    let n_ind = inductor_terminals.len();
+    let n_nodes = net.num_nodes;
+    let (mut e, a, b, c, d) = system.into_parts();
+
+    // Mutual inductance M_pq = coupling-scaled √(L_p·L_q) for branches sharing
+    // a node.  A final rescale enforces strict diagonal dominance so the L
+    // block stays positive definite (⇒ the mesh stays passive).
+    let shares_node = |p: usize, q: usize| {
+        let (a1, b1) = inductor_terminals[p];
+        let (a2, b2) = inductor_terminals[q];
+        a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2
+    };
+    let diag: Vec<f64> = (0..n_ind).map(|k| e[(n_nodes + k, n_nodes + k)]).collect();
+    let l_at = |k: usize| diag[k];
+    let mut budget: f64 = 1.0;
+    for p in 0..n_ind {
+        let mut row_sum = 0.0;
+        for q in 0..n_ind {
+            if p != q && shares_node(p, q) {
+                row_sum += (l_at(p) * l_at(q)).sqrt();
+            }
+        }
+        if row_sum > 0.0 {
+            budget = budget.min(l_at(p) / row_sum);
+        }
+    }
+    let scale = coupling * 0.95 * budget;
+    for p in 0..n_ind {
+        for q in (p + 1)..n_ind {
+            if shares_node(p, q) {
+                let m = scale * (l_at(p) * l_at(q)).sqrt();
+                e[(n_nodes + p, n_nodes + q)] = m;
+                e[(n_nodes + q, n_nodes + p)] = m;
+            }
+        }
+    }
+    let system = DescriptorSystem::new(e, a, b, c, d)?;
+    Ok(CircuitModel {
+        name: format!("coupled_inductor_mesh({rows}x{cols},coupling={coupling})"),
+        system,
+        expected_passive: true,
+        has_impulsive_modes: false,
+    })
+}
+
+/// Lossy transmission-line chain: `segments` cascaded RLGC π segments between
+/// two grounded ports (near end and far end).  Each segment contributes a
+/// series R–L branch through an internal node plus shunt C/G halves at both
+/// ends, so the state dimension is `3·segments + 1` (2·segments + 1 nodes and
+/// `segments` branch currents).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnrealizableOrder`] for `segments == 0`; propagates
+/// stamping failures.
+pub fn lossy_tline_chain(segments: usize) -> Result<CircuitModel, CircuitError> {
+    if segments == 0 {
+        return Err(CircuitError::UnrealizableOrder {
+            requested: 0,
+            details: "lossy_tline_chain needs at least one segment".into(),
+        });
+    }
+    // Node layout: junction nodes 1, 3, 5, …, 2·segments + 1 and internal
+    // series nodes 2, 4, … between the R and the L of each segment.
+    let num_nodes = 2 * segments + 1;
+    let mut net = Netlist::new(num_nodes);
+    net.port(Port::to_ground(1));
+    net.port(Port::to_ground(num_nodes));
+    for k in 0..segments {
+        let left = 2 * k + 1;
+        let mid = 2 * k + 2;
+        let right = 2 * k + 3;
+        // Series loss and inductance of the segment.
+        net.resistor(left, mid, 0.4 + 0.02 * k as f64);
+        net.inductor(mid, right, 0.7 + 0.03 * k as f64);
+        // π-model shunt halves: C/2 and G/2 at both junctions.
+        net.capacitor(left, 0, 0.5 + 0.01 * k as f64);
+        net.capacitor(right, 0, 0.5 + 0.01 * k as f64);
+        net.resistor(left, 0, 150.0);
+        net.resistor(right, 0, 150.0);
+    }
+    let system = mna::stamp(&net)?;
+    debug_assert_eq!(system.order(), 3 * segments + 1, "order bookkeeping is off");
+    Ok(CircuitModel {
+        name: format!("lossy_tline_chain(segments={segments})"),
+        system,
+        expected_passive: true,
+        has_impulsive_modes: false,
+    })
+}
+
+/// Randomized model sitting near the passivity boundary, parameterized by a
+/// violation margin.
+///
+/// The proper part is internally passive (`A = S − R` with `S` skew and
+/// `R ≻ 0` diagonal, `C = Bᵀ`), so its Popov function satisfies
+/// `Φ(jω) = 2·D + Bᵀ((jωI − A)⁻¹ + (jωI − A)⁻ᴴ)B ⪰ 2·D` with the resolvent
+/// term PSD for every `ω` and vanishing as `ω → ∞`.  With
+/// `D = −(margin/2)·I` the infimum of `λ_min(Φ(jω))` over `ω` is exactly
+/// `−margin`:
+///
+/// * `margin = 0` — the model is passive but lossless at infinity (boundary),
+/// * `margin > 0` — the model violates passivity by exactly `margin` at high
+///   frequency, so any correct test must reject it.
+///
+/// Nondynamic algebraic states are padded in and the block structure is hidden
+/// behind a random orthogonal restricted-system-equivalence transform.
+/// State dimension = `dynamic_states + 2`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::BadElementValue`] for negative or non-finite
+/// margins and [`CircuitError::UnrealizableOrder`] for
+/// `dynamic_states == 0` or `ports == 0`; propagates construction failures.
+pub fn perturbed_boundary_model(
+    dynamic_states: usize,
+    ports: usize,
+    margin: f64,
+    seed: u64,
+) -> Result<CircuitModel, CircuitError> {
+    if dynamic_states == 0 || ports == 0 {
+        return Err(CircuitError::UnrealizableOrder {
+            requested: dynamic_states,
+            details: "perturbed_boundary_model needs dynamic_states ≥ 1 and ports ≥ 1".into(),
+        });
+    }
+    if !margin.is_finite() || margin < 0.0 {
+        return Err(CircuitError::BadElementValue {
+            details: format!("violation margin must be finite and ≥ 0, got {margin}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let nq = dynamic_states;
+    let m = ports;
+
+    let skew = Matrix::from_fn(nq, nq, |_, _| rng.gen_range(-1.0..1.0)).skew_part();
+    let damping = Matrix::diag(
+        &(0..nq)
+            .map(|_| rng.gen_range(0.3..1.5))
+            .collect::<Vec<f64>>(),
+    );
+    let a_dyn = &skew - &damping;
+    let b_dyn = Matrix::from_fn(nq, m, |_, _| rng.gen_range(-1.0..1.0));
+    let c_dyn = b_dyn.transpose();
+    let d = Matrix::identity(m).scale(-0.5 * margin);
+
+    // Two nondynamic padding states, decoupled from the outputs.
+    let e = Matrix::block_diag(&[&Matrix::identity(nq), &Matrix::zeros(2, 2)]);
+    let a = Matrix::block_diag(&[&a_dyn, &Matrix::identity(2).scale(-1.0)]);
+    let b = Matrix::vstack(&[
+        &b_dyn,
+        &Matrix::from_fn(2, m, |_, _| rng.gen_range(-0.5..0.5)),
+    ]);
+    let c = Matrix::hstack(&[&c_dyn, &Matrix::zeros(m, 2)]);
+    let sys = DescriptorSystem::new(e, a, b, c, d)?;
+
+    let n = sys.order();
+    let q = random_orthogonal(n, &mut rng);
+    let z = random_orthogonal(n, &mut rng);
+    let system = transform::restricted_equivalence(&sys, &q, &z)?;
+    Ok(CircuitModel {
+        name: format!(
+            "perturbed_boundary_model(n={dynamic_states},ports={ports},margin={margin},seed={seed})"
+        ),
+        system,
+        expected_passive: margin == 0.0,
+        has_impulsive_modes: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_descriptor::{impulse, poles, transfer};
+
+    fn popov_min_over(system: &DescriptorSystem, freqs: &[f64]) -> f64 {
+        freqs
+            .iter()
+            .map(|&w| {
+                transfer::evaluate_jomega(system, w)
+                    .unwrap()
+                    .popov_min_eigenvalue()
+                    .unwrap()
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn multiport_ladder_dimensions_and_passivity() {
+        let model = multiport_rlc_ladder(3, 2, false).unwrap();
+        assert_eq!(model.system.order(), 3 * (2 * 2 + 1));
+        assert_eq!(model.system.num_inputs(), 3);
+        assert!(model.system.is_regular(1e-10).unwrap());
+        assert!(poles::is_stable(&model.system, 1e-12).unwrap());
+        assert!(popov_min_over(&model.system, &[0.0, 0.3, 1.0, 5.0, 40.0]) >= -1e-9);
+    }
+
+    #[test]
+    fn multiport_ladder_impulsive_variant() {
+        let model = multiport_rlc_ladder(2, 2, true).unwrap();
+        assert_eq!(model.system.order(), 2 * (2 * 2 + 3));
+        assert!(model.has_impulsive_modes);
+        assert!(!impulse::is_impulse_free(&model.system, 1e-10).unwrap());
+        // Port inductances are visible in M1 on both ports.
+        let m1 = transfer::sample_m1(&model.system, 1e5).unwrap();
+        assert!(m1[(0, 0)] > 0.3 && m1[(1, 1)] > 0.3);
+        assert!(popov_min_over(&model.system, &[0.0, 0.5, 2.0, 20.0]) >= -1e-9);
+    }
+
+    #[test]
+    fn multiport_ladder_rejects_degenerate_parameters() {
+        assert!(multiport_rlc_ladder(0, 3, false).is_err());
+        assert!(multiport_rlc_ladder(2, 0, true).is_err());
+    }
+
+    #[test]
+    fn coupled_mesh_l_block_is_coupled_and_passive() {
+        let model = coupled_inductor_mesh(3, 3, 0.5).unwrap();
+        assert_eq!(model.system.order(), 9 + 3 * 2);
+        assert_eq!(model.system.num_inputs(), 2);
+        // Mutual terms really are present in E.
+        let n_nodes = 9;
+        let mut off_diagonal = 0.0f64;
+        for p in 0..6 {
+            for q in 0..6 {
+                if p != q {
+                    off_diagonal += model.system.e()[(n_nodes + p, n_nodes + q)].abs();
+                }
+            }
+        }
+        assert!(off_diagonal > 0.0, "no mutual inductance was injected");
+        assert!(model.system.is_regular(1e-10).unwrap());
+        assert!(poles::is_stable(&model.system, 1e-12).unwrap());
+        assert!(popov_min_over(&model.system, &[0.0, 0.2, 1.0, 4.0, 30.0]) >= -1e-9);
+    }
+
+    #[test]
+    fn coupled_mesh_zero_coupling_matches_plain_stamp() {
+        let model = coupled_inductor_mesh(2, 3, 0.0).unwrap();
+        let n_nodes = 6;
+        for p in 0..4 {
+            for q in 0..4 {
+                if p != q {
+                    assert_eq!(model.system.e()[(n_nodes + p, n_nodes + q)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_mesh_parameter_validation() {
+        assert!(coupled_inductor_mesh(1, 3, 0.2).is_err());
+        assert!(coupled_inductor_mesh(3, 3, 1.0).is_err());
+        assert!(coupled_inductor_mesh(3, 3, -0.1).is_err());
+    }
+
+    #[test]
+    fn tline_chain_two_port_passive() {
+        let model = lossy_tline_chain(4).unwrap();
+        assert_eq!(model.system.order(), 13);
+        assert_eq!(model.system.num_inputs(), 2);
+        assert!(model.system.is_regular(1e-10).unwrap());
+        assert!(poles::is_stable(&model.system, 1e-12).unwrap());
+        assert!(popov_min_over(&model.system, &[0.0, 0.1, 1.0, 10.0, 100.0]) >= -1e-9);
+        assert!(lossy_tline_chain(0).is_err());
+    }
+
+    #[test]
+    fn perturbed_model_margin_zero_is_boundary_passive() {
+        for seed in 0..4 {
+            let model = perturbed_boundary_model(5, 2, 0.0, seed).unwrap();
+            assert!(model.expected_passive);
+            assert_eq!(model.system.order(), 7);
+            assert!(
+                popov_min_over(&model.system, &[0.0, 0.5, 2.0, 10.0, 1e3, 1e5]) >= -1e-8,
+                "seed {seed} dipped negative"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbed_model_margin_shows_exact_violation_at_high_frequency() {
+        let margin = 0.25;
+        let model = perturbed_boundary_model(5, 2, margin, 7).unwrap();
+        assert!(!model.expected_passive);
+        let g = transfer::evaluate_jomega(&model.system, 1e7).unwrap();
+        let min_eig = g.popov_min_eigenvalue().unwrap();
+        assert!(
+            (min_eig + margin).abs() < 1e-3,
+            "expected λ_min ≈ −{margin}, got {min_eig}"
+        );
+    }
+
+    #[test]
+    fn perturbed_model_parameter_validation() {
+        assert!(perturbed_boundary_model(0, 1, 0.1, 0).is_err());
+        assert!(perturbed_boundary_model(4, 0, 0.1, 0).is_err());
+        assert!(perturbed_boundary_model(4, 1, -0.1, 0).is_err());
+        assert!(perturbed_boundary_model(4, 1, f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn perturbed_model_deterministic_for_fixed_seed() {
+        let a = perturbed_boundary_model(4, 1, 0.3, 11).unwrap();
+        let b = perturbed_boundary_model(4, 1, 0.3, 11).unwrap();
+        assert_eq!(a.system, b.system);
+    }
+}

@@ -50,7 +50,7 @@ impl Default for RandomPassiveOptions {
     }
 }
 
-fn random_orthogonal(n: usize, rng: &mut StdRng) -> Matrix {
+pub(crate) fn random_orthogonal(n: usize, rng: &mut StdRng) -> Matrix {
     let raw = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
     qr::factor_full(&raw).q
 }

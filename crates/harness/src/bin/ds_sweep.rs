@@ -1,0 +1,184 @@
+//! `ds-sweep`: the parallel sweep driver.
+//!
+//! ```console
+//! $ cargo run -p ds-harness --release --bin ds-sweep -- \
+//!       --preset standard --threads 4 --out-dir target/sweep
+//! ```
+//!
+//! Options:
+//!
+//! * `--preset quick|golden|standard` — scenario ensemble (default `standard`);
+//! * `--tasks N` — grow the standard preset until the matrix has ≥ N tasks;
+//! * `--threads N` — worker-pool size (default: available parallelism);
+//! * `--out-dir PATH` — artifact directory (default `target/sweep`);
+//! * `--stream` — print each record's JSONL line to stdout as it completes
+//!   (completion order; the on-disk artifact stays sorted by task id);
+//! * `--no-violations` — skip the deterministic Popov-grid sampling;
+//! * `--compare-single-thread` — rerun the same matrix on 1 thread and print
+//!   the wall-clock speedup.
+//!
+//! The binary self-validates the artifacts it wrote (JSONL and CSV are parsed
+//! back with the in-tree parsers) and exits non-zero on any error.
+
+use ds_harness::artifacts::{self, SweepSummary};
+use ds_harness::golden;
+use ds_harness::prelude::*;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Mutex;
+
+struct Args {
+    preset: String,
+    tasks_target: Option<usize>,
+    threads: usize,
+    out_dir: PathBuf,
+    stream: bool,
+    sample_violations: bool,
+    compare_single_thread: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        preset: "standard".to_string(),
+        tasks_target: None,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        out_dir: PathBuf::from("target/sweep"),
+        stream: false,
+        sample_violations: true,
+        compare_single_thread: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--preset" => args.preset = value("--preset")?,
+            "--tasks" => {
+                args.tasks_target = Some(
+                    value("--tasks")?
+                        .parse()
+                        .map_err(|e| format!("--tasks: {e}"))?,
+                )
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
+            "--stream" => args.stream = true,
+            "--no-violations" => args.sample_violations = false,
+            "--compare-single-thread" => args.compare_single_thread = true,
+            "--quick" => args.preset = "quick".to_string(),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_tasks(args: &Args) -> Result<Vec<SweepTask>, String> {
+    let methods = [Method::Proposed, Method::Weierstrass, Method::Lmi];
+    match args.preset.as_str() {
+        "quick" => Ok(scenario_matrix(
+            &quick_scenarios(),
+            &[Method::Proposed, Method::Weierstrass],
+        )),
+        "golden" => Ok(golden::golden_tasks()),
+        "standard" => Ok(match args.tasks_target {
+            Some(target) => standard_tasks(target),
+            None => scenario_matrix(&standard_scenarios(2), &methods),
+        }),
+        other => Err(format!("unknown preset: {other}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let tasks = build_tasks(&args)?;
+    eprintln!(
+        "# ds-sweep: preset={} tasks={} threads={}",
+        args.preset,
+        tasks.len(),
+        args.threads
+    );
+
+    let stdout = Mutex::new(std::io::stdout());
+    let stream_cb = |record: &SweepRecord| {
+        let line = artifacts::jsonl_line(record);
+        let mut out = stdout.lock().unwrap();
+        let _ = writeln!(out, "{line}");
+    };
+    let spec = SweepSpec {
+        tasks: tasks.clone(),
+        threads: args.threads,
+        sample_violations: args.sample_violations,
+    };
+    let result = run_sweep_with_progress(&spec, if args.stream { Some(&stream_cb) } else { None });
+
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| format!("creating {}: {e}", args.out_dir.display()))?;
+    let jsonl_path = args.out_dir.join("sweep.jsonl");
+    let csv_path = args.out_dir.join("sweep.csv");
+    let summary_path = args.out_dir.join("summary.txt");
+
+    let jsonl = ds_harness::render_jsonl(&result.records);
+    let csv = ds_harness::render_csv(&result.records);
+    std::fs::write(&jsonl_path, &jsonl)
+        .map_err(|e| format!("writing {}: {e}", jsonl_path.display()))?;
+    std::fs::write(&csv_path, &csv).map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
+
+    // Self-validation: read the artifacts back and parse them.
+    let jsonl_back = std::fs::read_to_string(&jsonl_path)
+        .map_err(|e| format!("reading back {}: {e}", jsonl_path.display()))?;
+    let jsonl_records = ds_harness::validate_jsonl(&jsonl_back)
+        .map_err(|e| format!("JSONL artifact invalid: {e}"))?;
+    let csv_back = std::fs::read_to_string(&csv_path)
+        .map_err(|e| format!("reading back {}: {e}", csv_path.display()))?;
+    let csv_records =
+        ds_harness::validate_csv(&csv_back).map_err(|e| format!("CSV artifact invalid: {e}"))?;
+    if jsonl_records != result.records.len() || csv_records != result.records.len() {
+        return Err(format!(
+            "artifact record counts diverge: jsonl={jsonl_records} csv={csv_records} expected={}",
+            result.records.len()
+        ));
+    }
+
+    let summary = SweepSummary::from_result(&result);
+    let mut summary_text = summary.render();
+
+    if args.compare_single_thread {
+        eprintln!("# rerunning on 1 thread for the speedup comparison…");
+        let single = run_sweep(&SweepSpec {
+            tasks,
+            threads: 1,
+            sample_violations: args.sample_violations,
+        });
+        summary_text.push_str(&artifacts::render_speedup(&single, &result));
+        summary_text.push('\n');
+    }
+
+    std::fs::write(&summary_path, &summary_text)
+        .map_err(|e| format!("writing {}: {e}", summary_path.display()))?;
+    print!("{summary_text}");
+    println!(
+        "# artifacts validated: {} ({} records), {} ({} records)",
+        jsonl_path.display(),
+        jsonl_records,
+        csv_path.display(),
+        csv_records
+    );
+    if summary.total_errors > 0 {
+        return Err(format!("{} tasks errored", summary.total_errors));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ds-sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

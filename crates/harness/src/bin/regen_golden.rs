@@ -1,0 +1,45 @@
+//! `regen-golden`: regenerates the golden-verdict conformance fixture at
+//! `tests/golden/verdicts.json` (workspace root).
+//!
+//! ```console
+//! $ cargo run -p ds-harness --bin regen-golden
+//! ```
+//!
+//! The sweep runs on 2 threads on purpose: the fixture must not depend on the
+//! shard order, and regenerating it through the parallel path exercises that
+//! guarantee every time.
+
+use ds_harness::golden;
+use ds_harness::sweep::{run_sweep, SweepSpec};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let tasks = golden::golden_tasks();
+    let count = tasks.len();
+    let result = run_sweep(&SweepSpec::new(tasks, 2));
+    let rendered = golden::render_golden(&result.records);
+
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/verdicts.json");
+    if let Some(parent) = fixture.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("regen-golden: creating {}: {e}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&fixture, &rendered) {
+        eprintln!("regen-golden: writing {}: {e}", fixture.display());
+        return ExitCode::FAILURE;
+    }
+    let mismatches = result
+        .records
+        .iter()
+        .filter(|r| r.agrees == Some(false))
+        .count();
+    println!(
+        "regen-golden: wrote {count} cells to {} ({} ground-truth mismatches)",
+        fixture.display(),
+        mismatches
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,157 @@
+//! The golden-verdict conformance sweep.
+//!
+//! [`golden_tasks`] defines a fixed (family, order) matrix; its verdicts and
+//! violation-frequency counts are pinned in `tests/golden/verdicts.json` at
+//! the workspace root.  [`render_golden`] is the canonical serialization used
+//! both by the `regen-golden` binary (to write the fixture) and by the
+//! conformance test (to compare against it) — byte-for-byte.
+
+use crate::json;
+use crate::method::Method;
+use crate::scenario::{scenario_matrix, FamilyKind, Scenario, SweepTask};
+use crate::sweep::SweepRecord;
+
+/// Fixture schema version; bump when the record layout changes.
+pub const GOLDEN_VERSION: u32 = 1;
+
+/// Orders up to which the LMI baseline participates in the golden sweep (it
+/// is the expensive method; the conformance suite keeps it to tiny models).
+pub const GOLDEN_LMI_MAX_ORDER: usize = 13;
+
+/// The scenarios pinned by the golden fixture: every family at small orders.
+pub fn golden_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(FamilyKind::RcLadder, 4),
+        Scenario::new(FamilyKind::RcLadder, 8),
+        Scenario::new(FamilyKind::RlcLadder, 3),
+        Scenario::new(FamilyKind::ImpulsiveLadder, 8),
+        Scenario::new(FamilyKind::ImpulsiveLadder, 12),
+        Scenario::new(FamilyKind::RcGrid, 3),
+        Scenario::new(FamilyKind::MultiportLadder, 2).with_ports(2),
+        Scenario::new(FamilyKind::MultiportLadder, 2).with_ports(3),
+        Scenario::new(FamilyKind::MultiportLadderImpulsive, 2).with_ports(2),
+        Scenario::new(FamilyKind::CoupledMesh, 3),
+        Scenario::new(FamilyKind::TlineChain, 3),
+        Scenario::new(FamilyKind::PerturbedBoundary, 5).with_seed(1),
+        Scenario::new(FamilyKind::PerturbedBoundary, 5)
+            .with_ports(2)
+            .with_margin(0.25)
+            .with_seed(1),
+        Scenario::new(FamilyKind::PerturbedBoundary, 6)
+            .with_margin(0.5)
+            .with_seed(2),
+        Scenario::new(FamilyKind::NonpassiveLadder, 8),
+        Scenario::new(FamilyKind::NegativeM1, 8),
+        Scenario::new(FamilyKind::RandomPassive, 5),
+        Scenario::new(FamilyKind::RandomPassive, 6)
+            .with_ports(2)
+            .with_seed(1),
+        Scenario::new(FamilyKind::RandomNonpassive, 5),
+    ]
+}
+
+/// Whether a golden scenario participates in the LMI column.  Besides the
+/// order gate, the expected-nonpassive cells are kept out (certifying
+/// infeasibility makes the first-order solver exhaust its whole iteration
+/// budget — several seconds per cell in debug builds, which would dominate
+/// the conformance suite) except for one pinned rejection cell; the LMI
+/// reject path is additionally covered by `tests/method_agreement.rs`.
+fn lmi_in_golden(scenario: &Scenario) -> bool {
+    if scenario.order() > GOLDEN_LMI_MAX_ORDER {
+        return false;
+    }
+    match scenario.family {
+        FamilyKind::NonpassiveLadder | FamilyKind::NegativeM1 => false,
+        FamilyKind::PerturbedBoundary => scenario.margin == 0.0,
+        _ => true,
+    }
+}
+
+/// The golden task matrix: proposed + Weierstrass on every scenario, LMI on
+/// the small-order subset selected by [`lmi_in_golden`].
+pub fn golden_tasks() -> Vec<SweepTask> {
+    let scenarios = golden_scenarios();
+    let mut tasks = scenario_matrix(&scenarios, &[Method::Proposed, Method::Weierstrass]);
+    let lmi_scenarios: Vec<Scenario> = scenarios.into_iter().filter(lmi_in_golden).collect();
+    tasks.extend(scenario_matrix(&lmi_scenarios, &[Method::Lmi]));
+    tasks
+}
+
+/// Canonical fixture serialization: a pretty-printed JSON document with one
+/// cell per golden task, in task order.
+pub fn render_golden(records: &[SweepRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"version\": {GOLDEN_VERSION},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, record) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            concat!(
+                "    {{\"family\": {}, \"scenario\": {}, \"order\": {}, \"ports\": {}, ",
+                "\"seed\": {}, \"margin\": {}, \"method\": {}, \"passive\": {}, ",
+                "\"strict\": {}, \"reason\": {}, \"violation_count\": {}}}{}\n"
+            ),
+            json::quote(record.family),
+            json::quote(&record.scenario),
+            record.order,
+            record.ports,
+            record.seed,
+            json::number(record.margin),
+            json::quote(record.method),
+            json::opt_bool(record.passive),
+            record.strict,
+            json::quote(&record.reason),
+            json::opt_usize(record.violation_count),
+            sep,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_matrix_is_stable_and_small() {
+        let tasks = golden_tasks();
+        // 19 scenarios × 2 methods + the small-order LMI subset.
+        assert!(tasks.len() >= 40, "golden matrix shrank: {}", tasks.len());
+        assert!(tasks.len() <= 60, "golden matrix grew: {}", tasks.len());
+        assert!(tasks
+            .iter()
+            .filter(|t| t.method == Method::Lmi)
+            .all(|t| t.scenario.order() <= GOLDEN_LMI_MAX_ORDER));
+        // Every family is represented.
+        for family in [
+            "rc_ladder",
+            "multiport_ladder",
+            "coupled_mesh",
+            "tline_chain",
+            "perturbed_boundary",
+            "random_nonpassive",
+        ] {
+            assert!(
+                tasks.iter().any(|t| t.scenario.family.name() == family),
+                "family {family} missing from the golden matrix"
+            );
+        }
+    }
+
+    #[test]
+    fn rendered_fixture_is_valid_json() {
+        let result = crate::sweep::run_sweep(&crate::sweep::SweepSpec::new(
+            scenario_matrix(
+                &[Scenario::new(FamilyKind::RcLadder, 3)],
+                &[Method::Proposed],
+            ),
+            1,
+        ));
+        let text = render_golden(&result.records);
+        let value = crate::json::parse(&text).unwrap();
+        assert_eq!(value.get("version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(value.get("cells").unwrap().as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! # ds-harness
+//!
+//! A deterministic, sharded, multi-threaded sweep engine for the passivity
+//! suite: it fans a scenario matrix (circuit family × order × seed × method)
+//! across a `std::thread` worker pool with work stealing via a shared atomic
+//! cursor, streams the results into JSONL + CSV artifacts (hand-rolled
+//! serialization — the build environment has no registry access), and
+//! aggregates per-family verdict/timing summaries.
+//!
+//! The paper's Table 1 / Figure 2 binaries in `ds-bench` run on top of this
+//! engine, so the paper artifacts and the production-scale sweeps share one
+//! code path.
+//!
+//! ## Determinism
+//!
+//! Every record carries its task index and only deterministic fields enter
+//! the JSONL artifact, so the sorted JSONL output of a sweep is byte-identical
+//! whether it ran on 1 thread or N — pinned by the workspace determinism test
+//! and by the golden-verdict conformance suite
+//! (`tests/golden/verdicts.json`, regenerable with
+//! `cargo run -p ds-harness --bin regen-golden`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ds_harness::prelude::*;
+//!
+//! let scenarios = vec![
+//!     Scenario::new(FamilyKind::RcLadder, 4),
+//!     Scenario::new(FamilyKind::PerturbedBoundary, 5).with_margin(0.5),
+//! ];
+//! let tasks = scenario_matrix(&scenarios, &[Method::Proposed, Method::Weierstrass]);
+//! let result = run_sweep(&SweepSpec::new(tasks, 2));
+//! assert_eq!(result.records.len(), 4);
+//! assert!(result.records.iter().all(|r| r.agrees == Some(true)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod golden;
+pub mod json;
+pub mod method;
+pub mod scenario;
+pub mod sweep;
+
+pub use artifacts::{render_csv, render_jsonl, validate_csv, validate_jsonl, SweepSummary};
+pub use method::{run_method, Method, LMI_MAX_ORDER};
+pub use scenario::{scenario_matrix, FamilyKind, Scenario, SweepTask};
+pub use sweep::{run_sweep, run_sweep_with_progress, SweepRecord, SweepResult, SweepSpec};
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::artifacts::{render_csv, render_jsonl, SweepSummary};
+    pub use crate::method::{run_method, Method, LMI_MAX_ORDER};
+    pub use crate::scenario::{
+        quick_scenarios, scenario_matrix, standard_scenarios, standard_tasks, FamilyKind, Scenario,
+        SweepTask,
+    };
+    pub use crate::sweep::{
+        run_sweep, run_sweep_with_progress, SweepRecord, SweepResult, SweepSpec,
+    };
+}

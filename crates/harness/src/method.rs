@@ -1,0 +1,107 @@
+//! The passivity-test methods the harness can dispatch to.
+//!
+//! This used to live in `ds-bench`; it moved here so the benchmark binaries
+//! and the sweep engine share one dispatch point (`ds-bench` re-exports it).
+
+use ds_circuits::generators::CircuitModel;
+use ds_lmi::positive_real_lmi::LmiOptions;
+use ds_passivity::fast::{check_passivity, FastTestOptions};
+use ds_passivity::lmi_test::{check_passivity_lmi, LmiTestOptions};
+use ds_passivity::weierstrass_test::{check_passivity_weierstrass, WeierstrassTestOptions};
+use ds_passivity::{PassivityError, PassivityReport};
+
+/// Orders at which the LMI baseline is still practical; the paper reports the
+/// LMI test failing for orders of 70 and above ("NIL" due to memory), and the
+/// first-order solver used here becomes similarly impractical.
+pub const LMI_MAX_ORDER: usize = 60;
+
+/// Which passivity test to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The paper's proposed SHH-pencil test.
+    Proposed,
+    /// The Weierstrass-decomposition baseline.
+    Weierstrass,
+    /// The extended-LMI baseline.
+    Lmi,
+}
+
+impl Method {
+    /// All methods, in the order the paper's tables report them.
+    pub const ALL: [Method; 3] = [Method::Proposed, Method::Weierstrass, Method::Lmi];
+
+    /// Human-readable name used in tables and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Proposed => "proposed",
+            Method::Weierstrass => "weierstrass",
+            Method::Lmi => "lmi",
+        }
+    }
+
+    /// Parses a method name as used by the CLI binaries.
+    pub fn parse(name: &str) -> Option<Method> {
+        match name {
+            "proposed" | "shh" | "fast" => Some(Method::Proposed),
+            "weierstrass" | "wst" => Some(Method::Weierstrass),
+            "lmi" => Some(Method::Lmi),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs one passivity test on a model and returns the report.
+///
+/// # Errors
+///
+/// Propagates structural test failures.
+pub fn run_method(method: Method, model: &CircuitModel) -> Result<PassivityReport, PassivityError> {
+    match method {
+        Method::Proposed => check_passivity(&model.system, &FastTestOptions::default()),
+        Method::Weierstrass => {
+            check_passivity_weierstrass(&model.system, &WeierstrassTestOptions::default())
+        }
+        Method::Lmi => check_passivity_lmi(
+            &model.system,
+            &LmiTestOptions {
+                lmi: LmiOptions::default(),
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_circuits::generators;
+
+    #[test]
+    fn names_and_parsing_roundtrip() {
+        for method in Method::ALL {
+            assert_eq!(Method::parse(method.name()), Some(method));
+        }
+        assert_eq!(Method::parse("shh"), Some(Method::Proposed));
+        assert_eq!(Method::parse("wst"), Some(Method::Weierstrass));
+        assert_eq!(Method::parse("nope"), None);
+        assert_eq!(Method::Proposed.to_string(), "proposed");
+    }
+
+    #[test]
+    fn dispatches_all_methods_on_a_small_model() {
+        let model = generators::rlc_ladder_with_impulsive(12).unwrap();
+        for method in Method::ALL {
+            let report = run_method(method, &model).unwrap();
+            assert!(
+                report.verdict.is_passive(),
+                "{method} rejected a passive model: {}",
+                report.verdict
+            );
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Scenario families, the scenario matrix, and the preset sweeps.
+//!
+//! A [`Scenario`] is a fully deterministic recipe for one circuit model:
+//! family + size knob + ports + seed + violation margin.  The sweep engine
+//! fans the cross product of scenarios × methods (the *scenario matrix*)
+//! across its worker pool.
+
+use crate::method::{Method, LMI_MAX_ORDER};
+use ds_circuits::generators::{self, CircuitModel};
+use ds_circuits::multiport;
+use ds_circuits::random::{
+    random_nonpassive_descriptor, random_passive_descriptor, RandomPassiveOptions,
+};
+use ds_circuits::CircuitError;
+
+/// The circuit families the harness can sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FamilyKind {
+    /// Single-port RC ladder (`size` = sections).
+    RcLadder,
+    /// Single-port RLC ladder (`size` = sections).
+    RlcLadder,
+    /// The Table-1 workload: impulsive RLC ladder (`size` = exact order).
+    ImpulsiveLadder,
+    /// Two-port RC grid (`size` × `size` nodes).
+    RcGrid,
+    /// Multiport RLC ladder, `ports` chains of `size` sections.
+    MultiportLadder,
+    /// Multiport RLC ladder with series port inductors (impulsive modes).
+    MultiportLadderImpulsive,
+    /// Coupled-inductor mesh (`size` × `size`, mutual inductance in `E`).
+    CoupledMesh,
+    /// Lossy transmission-line π-segment chain (`size` = segments).
+    TlineChain,
+    /// Near-passivity-boundary model (`size` = dynamic states, `margin`).
+    PerturbedBoundary,
+    /// Non-passive ladder with a negative series resistance (`size` = order).
+    NonpassiveLadder,
+    /// Non-passive model with an indefinite `M₁` (`size` = order).
+    NegativeM1,
+    /// Randomized passive descriptor (`size` = dynamic states, `seed`).
+    RandomPassive,
+    /// Randomized non-passive descriptor (`size` = dynamic states, `seed`).
+    RandomNonpassive,
+}
+
+impl FamilyKind {
+    /// Stable family identifier used in artifacts and golden fixtures.
+    pub fn name(self) -> &'static str {
+        match self {
+            FamilyKind::RcLadder => "rc_ladder",
+            FamilyKind::RlcLadder => "rlc_ladder",
+            FamilyKind::ImpulsiveLadder => "impulsive_ladder",
+            FamilyKind::RcGrid => "rc_grid",
+            FamilyKind::MultiportLadder => "multiport_ladder",
+            FamilyKind::MultiportLadderImpulsive => "multiport_ladder_impulsive",
+            FamilyKind::CoupledMesh => "coupled_mesh",
+            FamilyKind::TlineChain => "tline_chain",
+            FamilyKind::PerturbedBoundary => "perturbed_boundary",
+            FamilyKind::NonpassiveLadder => "nonpassive_ladder",
+            FamilyKind::NegativeM1 => "negative_m1",
+            FamilyKind::RandomPassive => "random_passive",
+            FamilyKind::RandomNonpassive => "random_nonpassive",
+        }
+    }
+}
+
+/// A deterministic recipe for one circuit model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Which generator family to draw from.
+    pub family: FamilyKind,
+    /// Family-specific size knob (sections / order / grid edge / states).
+    pub size: usize,
+    /// Number of ports, where the family supports it.
+    pub ports: usize,
+    /// Seed for the randomized families (ignored by deterministic ones).
+    pub seed: u64,
+    /// Violation margin for [`FamilyKind::PerturbedBoundary`].
+    pub margin: f64,
+}
+
+impl Scenario {
+    /// A scenario with default `ports = 1`, `seed = 0`, `margin = 0`.
+    pub fn new(family: FamilyKind, size: usize) -> Self {
+        Scenario {
+            family,
+            size,
+            ports: 1,
+            seed: 0,
+            margin: 0.0,
+        }
+    }
+
+    /// Sets the port count.
+    #[must_use]
+    pub fn with_ports(mut self, ports: usize) -> Self {
+        self.ports = ports;
+        self
+    }
+
+    /// Sets the random seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the violation margin.
+    #[must_use]
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        self.margin = margin;
+        self
+    }
+
+    /// The exact MNA state dimension this scenario will produce, from the
+    /// generators' documented order formulas (used to gate the LMI baseline
+    /// without building the model).
+    pub fn order(&self) -> usize {
+        let s = self.size;
+        match self.family {
+            FamilyKind::RcLadder => s + 1,
+            FamilyKind::RlcLadder => 2 * s + 1,
+            FamilyKind::ImpulsiveLadder | FamilyKind::NonpassiveLadder => s,
+            FamilyKind::NegativeM1 => {
+                let o = s.max(6);
+                o + (o % 2)
+            }
+            FamilyKind::RcGrid => s * s,
+            FamilyKind::MultiportLadder => self.ports * (2 * s + 1),
+            FamilyKind::MultiportLadderImpulsive => self.ports * (2 * s + 3),
+            FamilyKind::CoupledMesh => s * s + s * (s - 1),
+            FamilyKind::TlineChain => 3 * s + 1,
+            FamilyKind::PerturbedBoundary => s + 2,
+            FamilyKind::RandomPassive => {
+                s + 2
+                    + if self.seed.is_multiple_of(2) {
+                        2 * self.ports
+                    } else {
+                        0
+                    }
+            }
+            FamilyKind::RandomNonpassive => s + 1,
+        }
+    }
+
+    /// Builds the circuit model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator failures (unrealizable parameters).
+    pub fn build(&self) -> Result<CircuitModel, CircuitError> {
+        match self.family {
+            FamilyKind::RcLadder => generators::rc_ladder(self.size, 1.0, 1.0),
+            FamilyKind::RlcLadder => generators::rlc_ladder(self.size, 1.0, 0.5, 1.0),
+            FamilyKind::ImpulsiveLadder => generators::rlc_ladder_with_impulsive(self.size),
+            FamilyKind::RcGrid => generators::rc_grid(self.size, self.size),
+            FamilyKind::MultiportLadder => {
+                multiport::multiport_rlc_ladder(self.ports, self.size, false)
+            }
+            FamilyKind::MultiportLadderImpulsive => {
+                multiport::multiport_rlc_ladder(self.ports, self.size, true)
+            }
+            FamilyKind::CoupledMesh => multiport::coupled_inductor_mesh(self.size, self.size, 0.4),
+            FamilyKind::TlineChain => multiport::lossy_tline_chain(self.size),
+            FamilyKind::PerturbedBoundary => {
+                multiport::perturbed_boundary_model(self.size, self.ports, self.margin, self.seed)
+            }
+            FamilyKind::NonpassiveLadder => generators::nonpassive_ladder(self.size),
+            FamilyKind::NegativeM1 => generators::negative_m1_model(self.size),
+            FamilyKind::RandomPassive => {
+                let options = RandomPassiveOptions {
+                    dynamic_states: self.size,
+                    nondynamic_states: 2,
+                    ports: self.ports,
+                    with_impulsive_part: self.seed.is_multiple_of(2),
+                    feedthrough: 0.5,
+                };
+                let system = random_passive_descriptor(&options, self.seed)?;
+                Ok(CircuitModel {
+                    name: format!(
+                        "random_passive(n={},ports={},seed={})",
+                        self.size, self.ports, self.seed
+                    ),
+                    system,
+                    expected_passive: true,
+                    has_impulsive_modes: options.with_impulsive_part,
+                })
+            }
+            FamilyKind::RandomNonpassive => {
+                let options = RandomPassiveOptions {
+                    dynamic_states: self.size,
+                    nondynamic_states: 1,
+                    ports: self.ports,
+                    with_impulsive_part: false,
+                    feedthrough: 0.5,
+                };
+                let system = random_nonpassive_descriptor(&options, self.seed)?;
+                Ok(CircuitModel {
+                    name: format!(
+                        "random_nonpassive(n={},ports={},seed={})",
+                        self.size, self.ports, self.seed
+                    ),
+                    system,
+                    expected_passive: false,
+                    has_impulsive_modes: false,
+                })
+            }
+        }
+    }
+}
+
+/// One unit of work for the sweep engine: a scenario paired with a method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTask {
+    /// The model recipe.
+    pub scenario: Scenario,
+    /// The passivity test to run on it.
+    pub method: Method,
+}
+
+/// Builds the scenario matrix: the cross product of scenarios × methods, with
+/// the LMI baseline gated to orders ≤ [`LMI_MAX_ORDER`] (the paper's "NIL"
+/// regime is skipped rather than timed out).
+pub fn scenario_matrix(scenarios: &[Scenario], methods: &[Method]) -> Vec<SweepTask> {
+    let mut tasks = Vec::with_capacity(scenarios.len() * methods.len());
+    for scenario in scenarios {
+        for &method in methods {
+            if method == Method::Lmi && scenario.order() > LMI_MAX_ORDER {
+                continue;
+            }
+            tasks.push(SweepTask {
+                scenario: scenario.clone(),
+                method,
+            });
+        }
+    }
+    tasks
+}
+
+/// Tiny preset used by the CI smoke job and the determinism test: every
+/// family appears once at its smallest interesting size.
+pub fn quick_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(FamilyKind::RcLadder, 4),
+        Scenario::new(FamilyKind::RlcLadder, 3),
+        Scenario::new(FamilyKind::ImpulsiveLadder, 8),
+        Scenario::new(FamilyKind::RcGrid, 3),
+        Scenario::new(FamilyKind::MultiportLadder, 2).with_ports(2),
+        Scenario::new(FamilyKind::MultiportLadderImpulsive, 2).with_ports(2),
+        Scenario::new(FamilyKind::CoupledMesh, 3),
+        Scenario::new(FamilyKind::TlineChain, 3),
+        Scenario::new(FamilyKind::PerturbedBoundary, 5).with_seed(1),
+        Scenario::new(FamilyKind::PerturbedBoundary, 5)
+            .with_ports(2)
+            .with_margin(0.25)
+            .with_seed(1),
+        Scenario::new(FamilyKind::NonpassiveLadder, 8),
+        Scenario::new(FamilyKind::NegativeM1, 8),
+        Scenario::new(FamilyKind::RandomPassive, 5).with_seed(2),
+        Scenario::new(FamilyKind::RandomNonpassive, 5).with_seed(0),
+    ]
+}
+
+/// The standard sweep: a medium-scale scenario ensemble covering every family
+/// at several sizes, port counts, margins and seeds.  `seeds` controls the
+/// replication of the randomized families.
+pub fn standard_scenarios(seeds: u64) -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    for &size in &[4usize, 8, 16] {
+        scenarios.push(Scenario::new(FamilyKind::RcLadder, size));
+    }
+    for &size in &[3usize, 6, 10] {
+        scenarios.push(Scenario::new(FamilyKind::RlcLadder, size));
+    }
+    for &order in &[10usize, 20, 40] {
+        scenarios.push(Scenario::new(FamilyKind::ImpulsiveLadder, order));
+    }
+    for &edge in &[3usize, 4] {
+        scenarios.push(Scenario::new(FamilyKind::RcGrid, edge));
+    }
+    for &ports in &[2usize, 3] {
+        for &sections in &[2usize, 4] {
+            scenarios.push(Scenario::new(FamilyKind::MultiportLadder, sections).with_ports(ports));
+            scenarios.push(
+                Scenario::new(FamilyKind::MultiportLadderImpulsive, sections).with_ports(ports),
+            );
+        }
+    }
+    for &edge in &[3usize, 4] {
+        scenarios.push(Scenario::new(FamilyKind::CoupledMesh, edge));
+    }
+    for &segments in &[3usize, 6] {
+        scenarios.push(Scenario::new(FamilyKind::TlineChain, segments));
+    }
+    for seed in 0..seeds {
+        for &margin in &[0.0, 0.1, 0.5] {
+            scenarios.push(
+                Scenario::new(FamilyKind::PerturbedBoundary, 6)
+                    .with_ports(1 + (seed as usize) % 3)
+                    .with_margin(margin)
+                    .with_seed(seed),
+            );
+        }
+        scenarios.push(Scenario::new(FamilyKind::RandomPassive, 6).with_seed(seed));
+        scenarios.push(Scenario::new(FamilyKind::RandomNonpassive, 6).with_seed(seed));
+    }
+    for &order in &[8usize, 14] {
+        scenarios.push(Scenario::new(FamilyKind::NonpassiveLadder, order));
+        scenarios.push(Scenario::new(FamilyKind::NegativeM1, order));
+    }
+    scenarios
+}
+
+/// Builds a standard-preset task list of at least `target` tasks by growing
+/// the randomized-seed replication until the matrix is large enough (used by
+/// the throughput/speedup benchmark, e.g. a 200-task sweep).
+pub fn standard_tasks(target: usize) -> Vec<SweepTask> {
+    let methods = [Method::Proposed, Method::Weierstrass, Method::Lmi];
+    let mut seeds = 2u64;
+    loop {
+        let tasks = scenario_matrix(&standard_scenarios(seeds), &methods);
+        if tasks.len() >= target || seeds > 4096 {
+            return tasks;
+        }
+        seeds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_formulas_match_built_models() {
+        let scenarios = vec![
+            Scenario::new(FamilyKind::RcLadder, 5),
+            Scenario::new(FamilyKind::RlcLadder, 4),
+            Scenario::new(FamilyKind::ImpulsiveLadder, 10),
+            Scenario::new(FamilyKind::RcGrid, 3),
+            Scenario::new(FamilyKind::MultiportLadder, 3).with_ports(2),
+            Scenario::new(FamilyKind::MultiportLadderImpulsive, 2).with_ports(3),
+            Scenario::new(FamilyKind::CoupledMesh, 3),
+            Scenario::new(FamilyKind::TlineChain, 4),
+            Scenario::new(FamilyKind::PerturbedBoundary, 5).with_ports(2),
+            Scenario::new(FamilyKind::NonpassiveLadder, 8),
+            Scenario::new(FamilyKind::NegativeM1, 8),
+            Scenario::new(FamilyKind::RandomPassive, 5).with_seed(2),
+            Scenario::new(FamilyKind::RandomPassive, 5).with_seed(1),
+            Scenario::new(FamilyKind::RandomNonpassive, 5),
+        ];
+        for scenario in scenarios {
+            let model = scenario.build().unwrap();
+            assert_eq!(
+                model.system.order(),
+                scenario.order(),
+                "order formula wrong for {:?}",
+                scenario
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_gates_lmi_by_order() {
+        let scenarios = vec![
+            Scenario::new(FamilyKind::ImpulsiveLadder, 20),
+            Scenario::new(FamilyKind::ImpulsiveLadder, 100),
+        ];
+        let tasks = scenario_matrix(&scenarios, &Method::ALL);
+        // 2 scenarios × {proposed, weierstrass} + LMI only for order 20.
+        assert_eq!(tasks.len(), 5);
+        assert!(!tasks
+            .iter()
+            .any(|t| t.method == Method::Lmi && t.scenario.order() > LMI_MAX_ORDER));
+    }
+
+    #[test]
+    fn presets_are_nonempty_and_buildable() {
+        for scenario in quick_scenarios() {
+            scenario
+                .build()
+                .unwrap_or_else(|e| panic!("quick scenario {scenario:?} failed to build: {e}"));
+        }
+        assert!(standard_scenarios(2).len() >= 30);
+        let tasks = standard_tasks(200);
+        assert!(tasks.len() >= 200, "only {} tasks", tasks.len());
+    }
+}

@@ -1,0 +1,444 @@
+//! The parallel sweep engine: a `std::thread` worker pool with work stealing
+//! through a shared atomic cursor.
+//!
+//! Tasks are indexed `0..n`; every worker repeatedly claims the next index
+//! with `fetch_add` on a shared [`AtomicUsize`], so the fastest workers
+//! naturally steal the remaining work — no channels, no task queues, no
+//! allocation in the steady state.  Records carry their task index, and the
+//! engine sorts by it before returning, which makes the collected output
+//! independent of the shard order (the determinism guarantee the conformance
+//! suite pins down).
+
+use crate::scenario::SweepTask;
+use ds_descriptor::{transfer, DescriptorSystem};
+use ds_passivity::{NonPassivityReason, PassivityVerdict};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// How a single task ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// The model was built and the method returned a verdict.
+    Ok,
+    /// The scenario generator failed.
+    BuildError,
+    /// The passivity test failed structurally.
+    MethodError,
+}
+
+impl TaskStatus {
+    /// Stable identifier used in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskStatus::Ok => "ok",
+            TaskStatus::BuildError => "build_error",
+            TaskStatus::MethodError => "method_error",
+        }
+    }
+}
+
+/// The outcome of one (scenario, method) task.
+#[derive(Debug, Clone)]
+pub struct SweepRecord {
+    /// Index of the task in the sweep spec (the deterministic sort key).
+    pub task_id: usize,
+    /// Family identifier.
+    pub family: &'static str,
+    /// Full generator name with parameters.
+    pub scenario: String,
+    /// MNA state dimension (from the scenario's order formula).
+    pub order: usize,
+    /// Number of ports.
+    pub ports: usize,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Violation margin (0 for families without one).
+    pub margin: f64,
+    /// Method name.
+    pub method: &'static str,
+    /// How the task ended.
+    pub status: TaskStatus,
+    /// The verdict (`None` when the task errored).
+    pub passive: Option<bool>,
+    /// Whether the passive verdict was strict.
+    pub strict: bool,
+    /// Stable reason slug for non-passive verdicts, or the error text.
+    pub reason: String,
+    /// Ground truth from the generator (`None` when the model never built,
+    /// so the ground truth was never observed).
+    pub expected_passive: Option<bool>,
+    /// Whether the verdict matched the ground truth (`None` on errors).
+    pub agrees: Option<bool>,
+    /// Number of frequency-grid samples at which the model's Popov function
+    /// has a negative eigenvalue (`None` when sampling was disabled or the
+    /// model failed to build).
+    pub violation_count: Option<usize>,
+    /// Wall-clock time of the method run (build and sampling excluded).
+    pub elapsed: Duration,
+    /// Which worker executed the task.
+    pub worker: usize,
+}
+
+/// A full sweep specification.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// The task list (ordering defines `task_id`).
+    pub tasks: Vec<SweepTask>,
+    /// Worker-pool size (clamped to at least 1 and at most the task count).
+    pub threads: usize,
+    /// Whether to sample the deterministic violation-frequency count for each
+    /// model (adds `O(n³)` work per task; disable for pure timing sweeps).
+    pub sample_violations: bool,
+}
+
+impl SweepSpec {
+    /// A spec with violation sampling enabled.
+    pub fn new(tasks: Vec<SweepTask>, threads: usize) -> Self {
+        SweepSpec {
+            tasks,
+            threads,
+            sample_violations: true,
+        }
+    }
+}
+
+/// The result of a sweep: records sorted by task id plus engine metadata.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// One record per task, sorted by `task_id`.
+    pub records: Vec<SweepRecord>,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Number of workers actually used.
+    pub threads: usize,
+}
+
+/// The fixed frequency grid (rad/s) used for the deterministic
+/// violation-frequency count: `ω = 0` plus 28 logarithmically spaced points
+/// covering `10⁻³ … 10⁶`.
+pub fn violation_frequency_grid() -> Vec<f64> {
+    let mut grid = vec![0.0];
+    for k in 0..28 {
+        grid.push(1e-3 * 10f64.powf(k as f64 / 3.0));
+    }
+    grid
+}
+
+/// Counts the grid frequencies at which the Popov function `G(jω) + G(jω)ᴴ`
+/// of the model has an eigenvalue below `−10⁻⁷ · scale`.  Deterministic for a
+/// given model, so golden fixtures can pin it.
+///
+/// # Errors
+///
+/// Propagates transfer-function evaluation failures (singular-pencil samples
+/// are skipped, matching the positive-real sampling test).
+pub fn violation_frequency_count(
+    system: &DescriptorSystem,
+) -> Result<usize, ds_descriptor::DescriptorError> {
+    let scale = system.scale().max(1.0);
+    let threshold = -1e-7 * scale;
+    let mut count = 0usize;
+    for &w in &violation_frequency_grid() {
+        let value = match transfer::evaluate_jomega(system, w) {
+            Ok(v) => v,
+            Err(ds_descriptor::DescriptorError::SingularPencil) => continue,
+            Err(e) => return Err(e),
+        };
+        if value.popov_min_eigenvalue()? < threshold {
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+/// Maps a verdict to `(passive, strict, reason-slug)` for the artifacts.
+pub fn verdict_fields(verdict: &PassivityVerdict) -> (bool, bool, &'static str) {
+    match verdict {
+        PassivityVerdict::Passive { strictly } => (true, *strictly, ""),
+        PassivityVerdict::NotPassive { reason } => {
+            let slug = match reason {
+                NonPassivityReason::ResidualImpulsiveModes => "residual_impulsive_modes",
+                NonPassivityReason::HigherOrderMarkovParameters => "higher_order_markov",
+                NonPassivityReason::IndefiniteResidue { .. } => "indefinite_residue",
+                NonPassivityReason::UnstableFiniteModes => "unstable_finite_modes",
+                NonPassivityReason::ProperPartNotPositiveReal { .. } => {
+                    "proper_part_not_positive_real"
+                }
+                NonPassivityReason::LmiInfeasible { .. } => "lmi_infeasible",
+            };
+            (false, false, slug)
+        }
+    }
+}
+
+fn run_task(
+    task_id: usize,
+    task: &SweepTask,
+    worker: usize,
+    violation_count: Option<usize>,
+) -> SweepRecord {
+    let scenario = &task.scenario;
+    let mut record = SweepRecord {
+        task_id,
+        family: scenario.family.name(),
+        scenario: String::new(),
+        order: scenario.order(),
+        ports: scenario.ports,
+        seed: scenario.seed,
+        margin: scenario.margin,
+        method: task.method.name(),
+        status: TaskStatus::Ok,
+        passive: None,
+        strict: false,
+        reason: String::new(),
+        expected_passive: None,
+        agrees: None,
+        violation_count,
+        elapsed: Duration::ZERO,
+        worker,
+    };
+    let model = match scenario.build() {
+        Ok(model) => model,
+        Err(e) => {
+            record.status = TaskStatus::BuildError;
+            record.reason = e.to_string();
+            return record;
+        }
+    };
+    record.scenario = model.name.clone();
+    record.expected_passive = Some(model.expected_passive);
+    let start = Instant::now();
+    let report = crate::method::run_method(task.method, &model);
+    record.elapsed = start.elapsed();
+    match report {
+        Ok(report) => {
+            let (passive, strict, slug) = verdict_fields(&report.verdict);
+            record.passive = Some(passive);
+            record.strict = strict;
+            record.reason = slug.to_string();
+            record.agrees = Some(passive == model.expected_passive);
+        }
+        Err(e) => {
+            record.status = TaskStatus::MethodError;
+            record.reason = e.to_string();
+        }
+    }
+    record
+}
+
+/// Deduplicates scenarios across the task list and computes the deterministic
+/// violation-frequency count once per unique scenario, in parallel on the
+/// same worker-pool pattern.  Returns the per-task counts.
+fn sample_violation_counts(tasks: &[SweepTask], threads: usize) -> Vec<Option<usize>> {
+    let mut unique: Vec<&crate::scenario::Scenario> = Vec::new();
+    let task_to_unique: Vec<usize> = tasks
+        .iter()
+        .map(|task| {
+            unique
+                .iter()
+                .position(|s| **s == task.scenario)
+                .unwrap_or_else(|| {
+                    unique.push(&task.scenario);
+                    unique.len() - 1
+                })
+        })
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let counts: Vec<Option<usize>> = {
+        let mut slots: Vec<Option<usize>> = vec![None; unique.len()];
+        let workers = threads.clamp(1, unique.len().max(1));
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let unique = &unique;
+                handles.push(scope.spawn(move || {
+                    let mut shard: Vec<(usize, Option<usize>)> = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= unique.len() {
+                            break;
+                        }
+                        let count = unique[index]
+                            .build()
+                            .ok()
+                            .and_then(|model| violation_frequency_count(&model.system).ok());
+                        shard.push((index, count));
+                    }
+                    shard
+                }));
+            }
+            for handle in handles {
+                for (index, count) in handle.join().expect("sampling worker panicked") {
+                    slots[index] = count;
+                }
+            }
+        });
+        slots
+    };
+    task_to_unique.iter().map(|&u| counts[u]).collect()
+}
+
+/// Runs a sweep, streaming each record through `on_record` as it completes
+/// (in completion order, from the worker that produced it) and returning all
+/// records sorted by task id.
+pub fn run_sweep_with_progress(
+    spec: &SweepSpec,
+    on_record: Option<&(dyn Fn(&SweepRecord) + Sync)>,
+) -> SweepResult {
+    let tasks = &spec.tasks;
+    let threads = spec.threads.clamp(1, tasks.len().max(1));
+    let start = Instant::now();
+    // The O(n³) Popov-grid sampling depends only on the scenario, not the
+    // method, so it runs once per unique scenario in a parallel pre-pass.
+    let violation_counts: Vec<Option<usize>> = if spec.sample_violations {
+        sample_violation_counts(tasks, threads)
+    } else {
+        vec![None; tasks.len()]
+    };
+    let cursor = AtomicUsize::new(0);
+    let mut shards: Vec<Vec<SweepRecord>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let cursor = &cursor;
+            let violation_counts = &violation_counts;
+            handles.push(scope.spawn(move || {
+                let mut shard = Vec::new();
+                loop {
+                    let task_id = cursor.fetch_add(1, Ordering::Relaxed);
+                    if task_id >= tasks.len() {
+                        break;
+                    }
+                    let record =
+                        run_task(task_id, &tasks[task_id], worker, violation_counts[task_id]);
+                    if let Some(callback) = on_record {
+                        callback(&record);
+                    }
+                    shard.push(record);
+                }
+                shard
+            }));
+        }
+        for handle in handles {
+            shards.push(handle.join().expect("sweep worker panicked"));
+        }
+    });
+    let wall = start.elapsed();
+    let mut records: Vec<SweepRecord> = shards.into_iter().flatten().collect();
+    records.sort_by_key(|r| r.task_id);
+    SweepResult {
+        records,
+        wall,
+        threads,
+    }
+}
+
+/// Runs a sweep without progress streaming.
+pub fn run_sweep(spec: &SweepSpec) -> SweepResult {
+    run_sweep_with_progress(spec, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+    use crate::scenario::{quick_scenarios, scenario_matrix, FamilyKind, Scenario};
+    use std::sync::Mutex;
+
+    #[test]
+    fn violation_grid_is_fixed() {
+        let grid = violation_frequency_grid();
+        assert_eq!(grid.len(), 29);
+        assert_eq!(grid[0], 0.0);
+        assert!((grid[1] - 1e-3).abs() < 1e-15);
+        assert!(grid.last().unwrap() > &0.9e6);
+    }
+
+    #[test]
+    fn violation_count_zero_for_passive_positive_for_violating() {
+        let passive = Scenario::new(FamilyKind::RlcLadder, 3).build().unwrap();
+        assert_eq!(violation_frequency_count(&passive.system).unwrap(), 0);
+        let violating = Scenario::new(FamilyKind::NonpassiveLadder, 8)
+            .build()
+            .unwrap();
+        assert!(violation_frequency_count(&violating.system).unwrap() > 0);
+    }
+
+    #[test]
+    fn sweep_runs_every_task_exactly_once_and_sorts() {
+        let scenarios = vec![
+            Scenario::new(FamilyKind::RcLadder, 3),
+            Scenario::new(FamilyKind::NonpassiveLadder, 6),
+            Scenario::new(FamilyKind::TlineChain, 2),
+        ];
+        let tasks = scenario_matrix(&scenarios, &[Method::Proposed]);
+        let n = tasks.len();
+        let spec = SweepSpec::new(tasks, 3);
+        let result = run_sweep(&spec);
+        assert_eq!(result.records.len(), n);
+        for (i, record) in result.records.iter().enumerate() {
+            assert_eq!(record.task_id, i);
+            assert_eq!(record.status, TaskStatus::Ok);
+            assert_eq!(record.agrees, Some(true), "task {i}: {}", record.reason);
+        }
+    }
+
+    #[test]
+    fn build_errors_are_recorded_not_fatal() {
+        // sections = 0 is unrealizable.
+        let tasks = scenario_matrix(
+            &[Scenario::new(FamilyKind::RcLadder, 0)],
+            &[Method::Proposed],
+        );
+        let result = run_sweep(&SweepSpec::new(tasks, 1));
+        assert_eq!(result.records.len(), 1);
+        assert_eq!(result.records[0].status, TaskStatus::BuildError);
+        assert!(result.records[0].passive.is_none());
+        // Ground truth was never observed, so it must not default to a value.
+        assert!(result.records[0].expected_passive.is_none());
+        assert!(result.records[0].agrees.is_none());
+        assert!(!result.records[0].reason.is_empty());
+    }
+
+    #[test]
+    fn progress_callback_sees_every_record() {
+        let tasks = scenario_matrix(&quick_scenarios(), &[Method::Proposed]);
+        let n = tasks.len();
+        let seen = Mutex::new(Vec::new());
+        let result = run_sweep_with_progress(
+            &SweepSpec::new(tasks, 4),
+            Some(&|r: &SweepRecord| seen.lock().unwrap().push(r.task_id)),
+        );
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        assert_eq!(result.threads, 4.min(n));
+    }
+
+    #[test]
+    fn violation_counts_are_shared_across_methods_of_one_scenario() {
+        let scenarios = vec![Scenario::new(FamilyKind::NonpassiveLadder, 8)];
+        let tasks = scenario_matrix(&scenarios, &[Method::Proposed, Method::Weierstrass]);
+        let result = run_sweep(&SweepSpec::new(tasks, 2));
+        let counts: Vec<_> = result.records.iter().map(|r| r.violation_count).collect();
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[0], counts[1]);
+        assert!(counts[0].unwrap() > 0);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let tasks = scenario_matrix(
+            &[Scenario::new(FamilyKind::RcLadder, 3)],
+            &[Method::Proposed],
+        );
+        let result = run_sweep(&SweepSpec::new(tasks.clone(), 0));
+        assert_eq!(result.threads, 1);
+        let result = run_sweep(&SweepSpec::new(tasks, 64));
+        assert_eq!(
+            result.threads, 1,
+            "one task cannot use more than one worker"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Demonstrates the `ds-harness` sweep engine: build a scenario matrix over
+//! the multiport families, fan it across a worker pool, and print the
+//! per-family summary plus a few JSONL artifact lines.
+//!
+//! Run with `cargo run --example parallel_sweep`.
+
+use ds_passivity_suite::harness::artifacts;
+use ds_passivity_suite::prelude::*;
+
+fn main() {
+    let scenarios = vec![
+        Scenario::new(FamilyKind::RcLadder, 6),
+        Scenario::new(FamilyKind::ImpulsiveLadder, 10),
+        Scenario::new(FamilyKind::MultiportLadder, 3).with_ports(2),
+        Scenario::new(FamilyKind::MultiportLadderImpulsive, 2).with_ports(2),
+        Scenario::new(FamilyKind::CoupledMesh, 3),
+        Scenario::new(FamilyKind::TlineChain, 4),
+        Scenario::new(FamilyKind::PerturbedBoundary, 5).with_seed(1),
+        Scenario::new(FamilyKind::PerturbedBoundary, 5)
+            .with_margin(0.4)
+            .with_seed(1),
+        Scenario::new(FamilyKind::NonpassiveLadder, 8),
+    ];
+    let tasks = scenario_matrix(&scenarios, &[Method::Proposed, Method::Weierstrass]);
+    println!(
+        "sweeping {} tasks ({} scenarios × 2 methods) on 2 threads…\n",
+        tasks.len(),
+        scenarios.len()
+    );
+
+    let result = run_sweep(&SweepSpec::new(tasks, 2));
+    print!("{}", SweepSummary::from_result(&result).render());
+
+    println!("\nfirst three JSONL artifact lines:");
+    for record in result.records.iter().take(3) {
+        println!("{}", artifacts::jsonl_line(record));
+    }
+
+    let mismatches = result
+        .records
+        .iter()
+        .filter(|r| r.agrees == Some(false))
+        .count();
+    println!("\nground-truth mismatches: {mismatches}");
+}

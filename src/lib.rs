@@ -11,10 +11,14 @@
 //!   impulse tests, Weierstrass decomposition,
 //! * [`shh`] (`ds-shh`) — skew-Hamiltonian/Hamiltonian pencils and
 //!   structure-preserving transformations,
-//! * [`circuits`] (`ds-circuits`) — RLC/MNA workload generators,
+//! * [`circuits`] (`ds-circuits`) — RLC/MNA workload generators (single-port
+//!   ladders/grids plus the multiport, coupled-mesh, transmission-line and
+//!   near-boundary families),
 //! * [`lmi`] (`ds-lmi`) — the LMI / Riccati substrate,
 //! * [`passivity`] (`ds-passivity`) — the paper's fast test and the two
-//!   baselines.
+//!   baselines,
+//! * [`harness`] (`ds-harness`) — the deterministic parallel sweep engine
+//!   (scenario matrix × worker pool → JSONL/CSV artifacts + summaries).
 //!
 //! ```
 //! use ds_passivity_suite::prelude::*;
@@ -32,6 +36,7 @@
 
 pub use ds_circuits as circuits;
 pub use ds_descriptor as descriptor;
+pub use ds_harness as harness;
 pub use ds_linalg as linalg;
 pub use ds_lmi as lmi;
 pub use ds_passivity as passivity;
@@ -40,6 +45,7 @@ pub use ds_shh as shh;
 /// The most common imports for users of the suite.
 pub mod prelude {
     pub use ds_descriptor::prelude::*;
+    pub use ds_harness::prelude::*;
     pub use ds_linalg::prelude::*;
     pub use ds_passivity::fast::{check_passivity, FastTestOptions};
     pub use ds_passivity::prelude::*;

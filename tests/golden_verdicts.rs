@@ -1,0 +1,119 @@
+//! Golden-verdict conformance suite: the harness's golden sweep must
+//! reproduce `tests/golden/verdicts.json` byte-for-byte — verdict, reason
+//! slug and violation-frequency count for every (family, order, method) cell
+//! — and must do so identically on 1 and 2 threads.
+//!
+//! Regenerate the fixture (after an intentional behaviour change) with
+//! `cargo run -p ds-harness --bin regen-golden`.
+
+use ds_passivity_suite::harness::golden;
+use ds_passivity_suite::harness::json;
+use ds_passivity_suite::harness::sweep::{run_sweep, SweepSpec};
+
+const FIXTURE: &str = include_str!("golden/verdicts.json");
+
+/// Points at the first differing line so fixture drift is readable.
+fn assert_same(rendered: &str, committed: &str, context: &str) {
+    if rendered == committed {
+        return;
+    }
+    for (lineno, (got, want)) in rendered.lines().zip(committed.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "{context}: first drift at line {} — if intentional, regenerate with \
+             `cargo run -p ds-harness --bin regen-golden`",
+            lineno + 1
+        );
+    }
+    panic!(
+        "{context}: artifacts differ in length ({} vs {} lines)",
+        rendered.lines().count(),
+        committed.lines().count()
+    );
+}
+
+#[test]
+fn golden_sweep_matches_fixture_on_one_and_two_threads() {
+    for threads in [1usize, 2] {
+        let result = run_sweep(&SweepSpec::new(golden::golden_tasks(), threads));
+        let rendered = golden::render_golden(&result.records);
+        assert_same(&rendered, FIXTURE, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn fixture_is_valid_json_and_covers_every_family() {
+    let value = json::parse(FIXTURE).expect("fixture must parse");
+    assert_eq!(
+        value.get("version").and_then(json::Value::as_f64),
+        Some(golden::GOLDEN_VERSION as f64)
+    );
+    let cells = value
+        .get("cells")
+        .and_then(json::Value::as_array)
+        .expect("fixture must have cells");
+    assert_eq!(cells.len(), golden::golden_tasks().len());
+    for family in [
+        "rc_ladder",
+        "rlc_ladder",
+        "impulsive_ladder",
+        "rc_grid",
+        "multiport_ladder",
+        "multiport_ladder_impulsive",
+        "coupled_mesh",
+        "tline_chain",
+        "perturbed_boundary",
+        "nonpassive_ladder",
+        "negative_m1",
+        "random_passive",
+        "random_nonpassive",
+    ] {
+        assert!(
+            cells
+                .iter()
+                .any(|c| c.get("family").and_then(json::Value::as_str) == Some(family)),
+            "family {family} missing from the fixture"
+        );
+    }
+    // Every cell carries a verdict and a violation count, and the two
+    // correlate: passive cells have no violating grid frequency.
+    for cell in cells {
+        let passive = cell.get("passive").expect("cell has passive");
+        let count = cell
+            .get("violation_count")
+            .and_then(json::Value::as_f64)
+            .expect("cell has violation_count");
+        if passive == &json::Value::Bool(true) {
+            assert_eq!(count, 0.0, "passive cell with violations: {cell:?}");
+        }
+    }
+}
+
+#[test]
+fn margin_cells_pin_rejection_reasons() {
+    let value = json::parse(FIXTURE).unwrap();
+    let cells = value.get("cells").and_then(json::Value::as_array).unwrap();
+    let margin_cells: Vec<_> = cells
+        .iter()
+        .filter(|c| {
+            c.get("family").and_then(json::Value::as_str) == Some("perturbed_boundary")
+                && c.get("margin").and_then(json::Value::as_f64) > Some(0.0)
+        })
+        .collect();
+    assert!(
+        margin_cells.len() >= 2,
+        "expected violating near-boundary cells in the fixture"
+    );
+    for cell in margin_cells {
+        assert_eq!(
+            cell.get("passive"),
+            Some(&json::Value::Bool(false)),
+            "margin > 0 must be pinned as rejected: {cell:?}"
+        );
+        assert!(
+            cell.get("violation_count").and_then(json::Value::as_f64) > Some(0.0),
+            "margin > 0 must show grid violations: {cell:?}"
+        );
+    }
+}

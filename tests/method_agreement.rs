@@ -1,7 +1,10 @@
 //! EXP-V1: the three passivity tests must agree (and match the construction
-//! ground truth) on the circuit-model families used throughout the paper.
+//! ground truth) on the circuit-model families used throughout the paper,
+//! including the multiport / coupled-mesh / transmission-line / near-boundary
+//! families added for the sweep harness.
 
 use ds_circuits::generators::{self, CircuitModel};
+use ds_circuits::multiport;
 use ds_lmi::positive_real_lmi::LmiOptions;
 use ds_passivity::fast::{check_passivity, FastTestOptions};
 use ds_passivity::lmi_test::{check_passivity_lmi, LmiTestOptions};
@@ -14,6 +17,11 @@ fn passive_models() -> Vec<CircuitModel> {
         generators::rlc_ladder_with_impulsive(10).unwrap(),
         generators::rlc_ladder_with_impulsive(16).unwrap(),
         generators::rc_grid(3, 3).unwrap(),
+        multiport::multiport_rlc_ladder(2, 3, false).unwrap(),
+        multiport::multiport_rlc_ladder(3, 2, true).unwrap(),
+        multiport::coupled_inductor_mesh(3, 3, 0.4).unwrap(),
+        multiport::lossy_tline_chain(4).unwrap(),
+        multiport::perturbed_boundary_model(5, 2, 0.0, 3).unwrap(),
     ]
 }
 
@@ -21,6 +29,8 @@ fn nonpassive_models() -> Vec<CircuitModel> {
     vec![
         generators::nonpassive_ladder(8).unwrap(),
         generators::negative_m1_model(8).unwrap(),
+        multiport::perturbed_boundary_model(5, 2, 0.3, 3).unwrap(),
+        multiport::perturbed_boundary_model(6, 1, 0.05, 9).unwrap(),
     ]
 }
 
@@ -90,6 +100,58 @@ fn lmi_baseline_agrees_on_small_models() {
     )
     .unwrap();
     assert!(!report.verdict.is_passive());
+}
+
+#[test]
+fn lmi_baseline_agrees_on_multiport_and_coupled_models() {
+    // The new generator families exercised on the (expensive) LMI baseline at
+    // small orders: multiport ladder, coupled-inductor mesh, near-boundary.
+    let options = LmiTestOptions {
+        lmi: LmiOptions::default(),
+    };
+    for model in [
+        multiport::multiport_rlc_ladder(2, 2, false).unwrap(),
+        multiport::coupled_inductor_mesh(2, 2, 0.3).unwrap(),
+        multiport::perturbed_boundary_model(4, 1, 0.0, 5).unwrap(),
+    ] {
+        let report = check_passivity_lmi(&model.system, &options).unwrap();
+        assert!(
+            report.verdict.is_passive(),
+            "{}: lmi wrongly rejects",
+            model.name
+        );
+    }
+    let violating = multiport::perturbed_boundary_model(4, 1, 0.4, 5).unwrap();
+    let report = check_passivity_lmi(&violating.system, &options).unwrap();
+    assert!(
+        !report.verdict.is_passive(),
+        "{}: lmi wrongly accepts",
+        violating.name
+    );
+}
+
+#[test]
+fn m1_agrees_between_methods_on_multiport_impulsive_model() {
+    // Both routes must extract the same (matrix-valued) M1 on a 2-port model
+    // with one series port inductor per port.
+    let model = multiport::multiport_rlc_ladder(2, 2, true).unwrap();
+    let fast = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
+    let weier =
+        check_passivity_weierstrass(&model.system, &WeierstrassTestOptions::default()).unwrap();
+    let m1_fast = fast.m1.unwrap();
+    let m1_weier = weier.m1.unwrap();
+    for i in 0..2 {
+        for j in 0..2 {
+            assert!(
+                (m1_fast[(i, j)] - m1_weier[(i, j)]).abs() < 1e-6 * m1_fast[(i, i)].abs().max(1.0),
+                "M1[{i},{j}] mismatch: {} vs {}",
+                m1_fast[(i, j)],
+                m1_weier[(i, j)]
+            );
+        }
+    }
+    // The diagonal carries the two port inductances.
+    assert!(m1_fast[(0, 0)] > 0.3 && m1_fast[(1, 1)] > 0.3);
 }
 
 #[test]

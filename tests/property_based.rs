@@ -1,8 +1,12 @@
 //! Property-based tests: randomized passive descriptor systems must always be
 //! accepted by the proposed test, randomized non-passive ones must be rejected,
-//! and randomized ladder parameters must never break the reduction pipeline.
+//! randomized ladder parameters must never break the reduction pipeline, and
+//! the multiport / near-boundary scenario space (ports in 1..4, violation
+//! margin ≥ 0) must behave exactly as constructed: margin > 0 always
+//! rejected, margin = 0 always passive.
 
 use ds_circuits::generators;
+use ds_circuits::multiport;
 use ds_circuits::random::{
     random_nonpassive_descriptor, random_passive_descriptor, RandomPassiveOptions,
 };
@@ -65,6 +69,71 @@ proptest! {
         prop_assert!(model.system.is_regular(1e-10).unwrap());
         let report = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
         prop_assert!(report.verdict.is_passive());
+    }
+
+    #[test]
+    fn multiport_ladders_are_accepted_for_all_port_counts(
+        ports in 1usize..4,
+        sections in 1usize..4,
+        impulsive in proptest::bool::ANY,
+    ) {
+        let model = multiport::multiport_rlc_ladder(ports, sections, impulsive).unwrap();
+        prop_assert_eq!(model.system.num_inputs(), ports);
+        prop_assert!(model.system.is_regular(1e-10).unwrap());
+        let report = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
+        prop_assert!(
+            report.verdict.is_passive(),
+            "ports={} sections={} impulsive={}: {}",
+            ports, sections, impulsive, report.verdict
+        );
+        if impulsive {
+            prop_assert!(report.diagnostics.removed_impulse_states > 0);
+        }
+    }
+
+    #[test]
+    fn coupled_meshes_are_accepted_for_all_couplings(
+        edge in 2usize..4,
+        coupling in 0.0f64..0.9,
+    ) {
+        let model = multiport::coupled_inductor_mesh(edge, edge, coupling).unwrap();
+        let report = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
+        prop_assert!(
+            report.verdict.is_passive(),
+            "edge={} coupling={}: {}",
+            edge, coupling, report.verdict
+        );
+    }
+
+    #[test]
+    fn perturbed_model_with_positive_margin_is_always_rejected(
+        dynamic in 3usize..7,
+        ports in 1usize..4,
+        margin in 0.05f64..1.0,
+        seed in 0u64..200,
+    ) {
+        let model = multiport::perturbed_boundary_model(dynamic, ports, margin, seed).unwrap();
+        prop_assert!(!model.expected_passive);
+        let report = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
+        prop_assert!(
+            !report.verdict.is_passive(),
+            "margin {} (seed {}) was accepted", margin, seed
+        );
+    }
+
+    #[test]
+    fn perturbed_model_with_zero_margin_stays_passive(
+        dynamic in 3usize..7,
+        ports in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let model = multiport::perturbed_boundary_model(dynamic, ports, 0.0, seed).unwrap();
+        prop_assert!(model.expected_passive);
+        let report = check_passivity(&model.system, &FastTestOptions::default()).unwrap();
+        prop_assert!(
+            report.verdict.is_passive(),
+            "boundary model (seed {}) was rejected: {}", seed, report.verdict
+        );
     }
 }
 
