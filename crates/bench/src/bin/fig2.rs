@@ -30,6 +30,7 @@ fn main() {
         tasks,
         threads,
         sample_violations: false,
+        task_ids: None,
     });
     let mut seconds: HashMap<(usize, &str), f64> = HashMap::new();
     for record in &result.records {

@@ -33,6 +33,7 @@ fn main() {
         tasks,
         threads,
         sample_violations: false,
+        task_ids: None,
     });
 
     // (order, method) → (elapsed, agrees)

@@ -40,6 +40,7 @@ fn main() {
         tasks: tasks.clone(),
         threads,
         sample_violations: true,
+        task_ids: None,
     });
 
     // Group records back by scenario via their task index.

@@ -152,12 +152,12 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
 /// Validates a CSV artifact: header must match and every row must have the
 /// same number of fields as the header.  Quoted fields may legally contain
 /// commas, escaped quotes and newlines (error texts can be multi-line), so
-/// rows are split quote-aware rather than per physical line.  Returns the
-/// number of data rows.
+/// rows are split quote-aware rather than per physical line.  `\r\n` line
+/// endings are tolerated outside quotes.  Returns the number of data rows.
 ///
 /// # Errors
 ///
-/// Describes the first offending row.
+/// Describes the first offending row by the physical line it starts on.
 pub fn validate_csv(text: &str) -> Result<usize, String> {
     let mut rows = split_csv_rows(text)?.into_iter();
     let header = rows.next().ok_or_else(|| "empty CSV".to_string())?;
@@ -172,8 +172,8 @@ pub fn validate_csv(text: &str) -> Result<usize, String> {
         }
         if row.fields.len() != expected_fields {
             return Err(format!(
-                "row {}: {} fields, expected {expected_fields}",
-                count + 2,
+                "row at line {}: {} fields, expected {expected_fields}",
+                row.line,
                 row.fields.len()
             ));
         }
@@ -185,18 +185,32 @@ pub fn validate_csv(text: &str) -> Result<usize, String> {
 struct CsvRow {
     raw: String,
     fields: Vec<String>,
+    /// 1-based physical line on which the row starts (quoted fields may span
+    /// several physical lines, so this is not simply the row's index).
+    line: usize,
 }
 
 /// Splits a CSV document into logical rows, honouring quoted fields (which
-/// may contain commas, doubled quotes and embedded newlines).
+/// may contain commas, doubled quotes and embedded newlines).  A `\r\n`
+/// sequence outside quotes terminates a row just like a bare `\n`; inside
+/// quotes `\r` is preserved as field content.
 fn split_csv_rows(text: &str) -> Result<Vec<CsvRow>, String> {
     let mut rows = Vec::new();
     let mut raw = String::new();
     let mut fields = Vec::new();
     let mut current = String::new();
     let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut row_start_line = 1usize;
     let mut chars = text.chars().peekable();
     while let Some(ch) = chars.next() {
+        if ch == '\r' && !in_quotes && chars.peek() == Some(&'\n') {
+            // CRLF row terminator: drop the `\r`, let the `\n` end the row.
+            continue;
+        }
+        if ch == '\n' {
+            line += 1;
+        }
         if ch != '\n' || in_quotes {
             raw.push(ch);
         }
@@ -213,7 +227,9 @@ fn split_csv_rows(text: &str) -> Result<Vec<CsvRow>, String> {
                 rows.push(CsvRow {
                     raw: std::mem::take(&mut raw),
                     fields: std::mem::take(&mut fields),
+                    line: row_start_line,
                 });
+                row_start_line = line;
             }
             c => current.push(c),
         }
@@ -223,7 +239,11 @@ fn split_csv_rows(text: &str) -> Result<Vec<CsvRow>, String> {
     }
     if !raw.is_empty() || !current.is_empty() || !fields.is_empty() {
         fields.push(current);
-        rows.push(CsvRow { raw, fields });
+        rows.push(CsvRow {
+            raw,
+            fields,
+            line: row_start_line,
+        });
     }
     Ok(rows)
 }
@@ -447,6 +467,31 @@ mod tests {
         assert!(validate_csv("wrong,header\n1,2").is_err());
         let bad_row = format!("{CSV_HEADER}\n1,2,3");
         assert!(validate_csv(&bad_row).is_err());
+    }
+
+    #[test]
+    fn csv_errors_report_physical_lines() {
+        // A blank line and a multi-line quoted field both precede the bad
+        // row; the reported line must be the row's physical position, not a
+        // drifted logical count.
+        let good = csv_line(&small_result().records[0]);
+        let multiline = good.replacen("rc_ladder", "\"rc\nladder\"", 1);
+        let doc = format!("{CSV_HEADER}\n\n{multiline}\nbad,row\n");
+        let err = validate_csv(&doc).unwrap_err();
+        // Header = line 1, blank = line 2, multi-line row = lines 3-4, so the
+        // offending row starts on physical line 5.
+        assert!(err.contains("line 5"), "got: {err}");
+    }
+
+    #[test]
+    fn csv_tolerates_crlf_line_endings() {
+        let result = small_result();
+        let text = render_csv(&result.records).replace('\n', "\r\n");
+        assert_eq!(validate_csv(&text).unwrap(), result.records.len());
+        // `\r` inside a quoted field is content, not a terminator.
+        let rows = split_csv_rows("a,\"x\r\ny\",b\r\n").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].fields[1], "x\r\ny");
     }
 
     #[test]

@@ -11,14 +11,22 @@
 //! * `--tasks N` — grow the standard preset until the matrix has ≥ N tasks;
 //! * `--threads N` — worker-pool size (default: available parallelism);
 //! * `--out-dir PATH` — artifact directory (default `target/sweep`);
+//! * `--store DIR` — persistent result store: append this run's records as a
+//!   run-stamped JSONL segment and (re)write the canonical merged artifacts
+//!   (`merged.jsonl` / `merged.csv`) from all segments;
+//! * `--resume` — skip tasks whose content fingerprints are already in the
+//!   store (requires `--store`);
+//! * `--shard I/M` — deterministic task partitioning: run only the tasks
+//!   whose global index `% M == I`, keeping global indices so that the
+//!   segments of `M` independent processes merge losslessly;
 //! * `--stream` — print each record's JSONL line to stdout as it completes
 //!   (completion order; the on-disk artifact stays sorted by task id);
 //! * `--no-violations` — skip the deterministic Popov-grid sampling;
 //! * `--compare-single-thread` — rerun the same matrix on 1 thread and print
 //!   the wall-clock speedup.
 //!
-//! The binary self-validates the artifacts it wrote (JSONL and CSV are parsed
-//! back with the in-tree parsers) and exits non-zero on any error.
+//! The binary self-validates every artifact it wrote (JSONL and CSV are
+//! parsed back with the in-tree parsers) and exits non-zero on any error.
 
 use ds_harness::artifacts::{self, SweepSummary};
 use ds_harness::golden;
@@ -27,15 +35,35 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 struct Args {
     preset: String,
     tasks_target: Option<usize>,
     threads: usize,
     out_dir: PathBuf,
+    store_dir: Option<PathBuf>,
+    resume: bool,
+    shard: Option<(usize, usize)>,
     stream: bool,
     sample_violations: bool,
     compare_single_thread: bool,
+}
+
+fn parse_shard(text: &str) -> Result<(usize, usize), String> {
+    let (index, modulus) = text
+        .split_once('/')
+        .ok_or_else(|| format!("--shard expects I/M, got '{text}'"))?;
+    let index: usize = index.parse().map_err(|e| format!("--shard index: {e}"))?;
+    let modulus: usize = modulus
+        .parse()
+        .map_err(|e| format!("--shard modulus: {e}"))?;
+    if modulus == 0 || index >= modulus {
+        return Err(format!(
+            "--shard {index}/{modulus}: index must be < modulus and modulus > 0"
+        ));
+    }
+    Ok((index, modulus))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +72,9 @@ fn parse_args() -> Result<Args, String> {
         tasks_target: None,
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         out_dir: PathBuf::from("target/sweep"),
+        store_dir: None,
+        resume: false,
+        shard: None,
         stream: false,
         sample_violations: true,
         compare_single_thread: false,
@@ -66,12 +97,18 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
+            "--store" => args.store_dir = Some(PathBuf::from(value("--store")?)),
+            "--resume" => args.resume = true,
+            "--shard" => args.shard = Some(parse_shard(&value("--shard")?)?),
             "--stream" => args.stream = true,
             "--no-violations" => args.sample_violations = false,
             "--compare-single-thread" => args.compare_single_thread = true,
             "--quick" => args.preset = "quick".to_string(),
             other => return Err(format!("unknown argument: {other}")),
         }
+    }
+    if args.resume && args.store_dir.is_none() {
+        return Err("--resume requires --store DIR".to_string());
     }
     Ok(args)
 }
@@ -92,15 +129,61 @@ fn build_tasks(args: &Args) -> Result<Vec<SweepTask>, String> {
     }
 }
 
+/// A collision-free stamp for this run's store segment: wall-clock nanos
+/// since the epoch plus the process id (two shards launched in the same
+/// nanosecond still differ by pid).
+fn run_stamp() -> String {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos());
+    format!("{nanos}-{}", std::process::id())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let tasks = build_tasks(&args)?;
+    let full_matrix = build_tasks(&args)?;
+    let matrix_len = full_matrix.len();
+
+    // Deterministic inter-process partitioning: global ids survive into the
+    // records so shard segments merge back into the single-process artifact.
+    let mut indexed: Vec<(usize, SweepTask)> = match args.shard {
+        Some((index, modulus)) => ds_harness::shard_tasks(&full_matrix, index, modulus),
+        None => full_matrix.iter().cloned().enumerate().collect(),
+    };
+    if let Some((index, modulus)) = args.shard {
+        eprintln!(
+            "# shard {index}/{modulus}: {} of {matrix_len} tasks",
+            indexed.len()
+        );
+    }
+
+    let mut store = match &args.store_dir {
+        Some(dir) => Some(ds_harness::ResultStore::open(dir)?),
+        None => None,
+    };
+    let mut skipped = 0usize;
+    if args.resume {
+        let store = store.as_ref().expect("--resume implies --store");
+        let (pending, n_skipped) = store.partition_pending(indexed);
+        indexed = pending;
+        skipped = n_skipped;
+        eprintln!(
+            "# resume: {} tasks already fingerprinted in {}, {} to run",
+            skipped,
+            store.dir().display(),
+            indexed.len()
+        );
+    }
+
     eprintln!(
         "# ds-sweep: preset={} tasks={} threads={}",
         args.preset,
-        tasks.len(),
+        indexed.len(),
         args.threads
     );
+
+    let task_ids: Vec<usize> = indexed.iter().map(|(id, _)| *id).collect();
+    let tasks: Vec<SweepTask> = indexed.into_iter().map(|(_, task)| task).collect();
 
     let stdout = Mutex::new(std::io::stdout());
     let stream_cb = |record: &SweepRecord| {
@@ -112,6 +195,7 @@ fn run() -> Result<(), String> {
         tasks: tasks.clone(),
         threads: args.threads,
         sample_violations: args.sample_violations,
+        task_ids: Some(task_ids),
     };
     let result = run_sweep_with_progress(&spec, if args.stream { Some(&stream_cb) } else { None });
 
@@ -143,15 +227,27 @@ fn run() -> Result<(), String> {
         ));
     }
 
+    if let Some(store) = store.as_mut() {
+        if let Some(segment) = store.append_segment(&run_stamp(), &result.records)? {
+            eprintln!("# store: appended segment {}", segment.display());
+        }
+        let (merged_jsonl, merged_csv, merged_count) = store.write_merged()?;
+        println!(
+            "# store: {} records across all segments -> {} / {}",
+            merged_count,
+            merged_jsonl.display(),
+            merged_csv.display()
+        );
+    }
+
     let summary = SweepSummary::from_result(&result);
     let mut summary_text = summary.render();
 
     if args.compare_single_thread {
         eprintln!("# rerunning on 1 thread for the speedup comparison…");
         let single = run_sweep(&SweepSpec {
-            tasks,
             threads: 1,
-            sample_violations: args.sample_violations,
+            ..spec.clone()
         });
         summary_text.push_str(&artifacts::render_speedup(&single, &result));
         summary_text.push('\n');
@@ -160,6 +256,12 @@ fn run() -> Result<(), String> {
     std::fs::write(&summary_path, &summary_text)
         .map_err(|e| format!("writing {}: {e}", summary_path.display()))?;
     print!("{summary_text}");
+    println!(
+        "# executed: {} tasks (skipped {} already stored) of {} in matrix",
+        result.records.len(),
+        skipped,
+        matrix_len
+    );
     println!(
         "# artifacts validated: {} ({} records), {} ({} records)",
         jsonl_path.display(),

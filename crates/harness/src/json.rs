@@ -99,6 +99,14 @@ impl Value {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The array payload, if this is an array.
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {
@@ -168,6 +176,48 @@ fn parse_literal(
     }
 }
 
+/// Checks a candidate span against the JSON number grammar
+/// (`-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`).  Rust's `f64::from_str`
+/// is more permissive (`+1`, `1.`, `.5`, `01`, `inf`), so the span must be
+/// validated before it is handed over.
+fn is_json_number(bytes: &[u8]) -> bool {
+    let mut i = 0usize;
+    if bytes.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    match bytes.get(i) {
+        Some(b'0') => i += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if bytes.get(i) == Some(&b'.') {
+        i += 1;
+        if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    if matches!(bytes.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(bytes.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    i == bytes.len()
+}
+
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
     while *pos < bytes.len()
@@ -175,10 +225,34 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    let span = &bytes[start..*pos];
+    let text = std::str::from_utf8(span).map_err(|e| e.to_string())?;
+    if !is_json_number(span) {
+        return Err(format!("invalid number '{text}' at byte {start}"));
+    }
     text.parse::<f64>()
         .map(Value::Number)
         .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+/// Reads the four hex digits of a `\u` escape starting at byte `at`.  Each
+/// byte is checked individually: `u32::from_str_radix` alone would also
+/// accept a leading `+`, which JSON's escape grammar does not.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| "truncated \\u escape".to_string())?;
+    let mut code = 0u32;
+    for &b in hex {
+        let digit = match b {
+            b'0'..=b'9' => u32::from(b - b'0'),
+            b'a'..=b'f' => u32::from(b - b'a') + 10,
+            b'A'..=b'F' => u32::from(b - b'A') + 10,
+            _ => return Err(format!("invalid \\u escape digit at byte {at}")),
+        };
+        code = code * 16 + digit;
+    }
+    Ok(code)
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -203,16 +277,44 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'r') => out.push('\r'),
                     Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| "truncated \\u escape".to_string())?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                            16,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        if (0xDC00..0xE000).contains(&code) {
+                            return Err(format!(
+                                "lone low surrogate \\u{code:04x} at byte {}",
+                                *pos - 1
+                            ));
+                        }
+                        if (0xD800..0xDC00).contains(&code) {
+                            // A high surrogate is only valid as the first half
+                            // of a `\uD8xx\uDCxx` pair encoding one astral
+                            // scalar (UTF-16 in JSON's escape syntax).
+                            if bytes.get(*pos + 5) != Some(&b'\\')
+                                || bytes.get(*pos + 6) != Some(&b'u')
+                            {
+                                return Err(format!(
+                                    "lone high surrogate \\u{code:04x} at byte {}",
+                                    *pos - 1
+                                ));
+                            }
+                            let low = parse_hex4(bytes, *pos + 7)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(format!(
+                                    "high surrogate \\u{code:04x} followed by \
+                                     non-low-surrogate \\u{low:04x} at byte {}",
+                                    *pos - 1
+                                ));
+                            }
+                            let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            out.push(
+                                char::from_u32(scalar).expect("surrogate pair decodes in-range"),
+                            );
+                            *pos += 10;
+                        } else {
+                            out.push(
+                                char::from_u32(code).expect("non-surrogate BMP code is a scalar"),
+                            );
+                            *pos += 4;
+                        }
                     }
                     _ => return Err(format!("invalid escape at byte {}", *pos)),
                 }
@@ -330,5 +432,56 @@ mod tests {
         assert!(parse("[1, 2").is_err());
         assert!(parse("{} trailing").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_astral_scalar() {
+        // 😀 = U+1F600 = \uD83D\uDE00 in JSON's UTF-16 escape syntax.
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap().as_str(), Some("😀"));
+        assert_eq!(parse("\"\\uD83D\\uDE00!\"").unwrap().as_str(), Some("😀!"));
+        // 𝄞 = U+1D11E.
+        assert_eq!(parse("\"\\uD834\\uDD1E\"").unwrap().as_str(), Some("𝄞"));
+        // BMP escapes still work, including the surrogate-adjacent boundaries.
+        assert_eq!(
+            parse("\"\\ud7ff\\ue000\"").unwrap().as_str(),
+            Some("\u{d7ff}\u{e000}")
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_are_errors_not_replacement_chars() {
+        assert!(parse("\"\\ud83d\"").is_err());
+        assert!(parse("\"\\ud83d rest\"").is_err());
+        assert!(parse("\"\\ude00\"").is_err());
+        assert!(parse("\"\\ud83d\\u0041\"").is_err());
+        assert!(parse("\"\\ud83d\\\"").is_err());
+    }
+
+    #[test]
+    fn unicode_escape_digits_are_strict_hex() {
+        // from_str_radix would accept a sign here; the escape grammar must not.
+        assert!(parse("\"\\u+041\"").is_err());
+        assert!(parse("\"\\u00 1\"").is_err());
+        assert!(parse("\"\\u00g1\"").is_err());
+        assert_eq!(parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+        assert_eq!(parse("\"\\uFFFD\"").unwrap().as_str(), Some("\u{fffd}"));
+    }
+
+    #[test]
+    fn number_grammar_is_enforced() {
+        for valid in ["0", "-0", "1", "-1.5", "0.5", "12.25e-3", "1E+9", "9e0"] {
+            assert!(parse(valid).is_ok(), "{valid} should parse");
+        }
+        for invalid in [
+            "+1", "1.", ".5", "01", "-", "1e", "1e+", "0x1", "--1", "1.e3",
+        ] {
+            assert!(parse(invalid).is_err(), "{invalid} should be rejected");
+        }
+    }
+
+    #[test]
+    fn as_bool_accessor() {
+        assert_eq!(parse("true").unwrap().as_bool(), Some(true));
+        assert_eq!(parse("1").unwrap().as_bool(), None);
     }
 }

@@ -11,6 +11,12 @@
 //! engine, so the paper artifacts and the production-scale sweeps share one
 //! code path.
 //!
+//! For 10⁵-scenario ensembles the [`store`] module adds the second level of
+//! parallelism: deterministic `--shard i/m` task partitioning across
+//! independent processes, fingerprint-keyed resume, and a persistent
+//! append-only segment store whose merged artifact is byte-identical to the
+//! single-process run.
+//!
 //! ## Determinism
 //!
 //! Every record carries its task index and only deterministic fields enter
@@ -43,11 +49,13 @@ pub mod golden;
 pub mod json;
 pub mod method;
 pub mod scenario;
+pub mod store;
 pub mod sweep;
 
 pub use artifacts::{render_csv, render_jsonl, validate_csv, validate_jsonl, SweepSummary};
 pub use method::{run_method, Method, LMI_MAX_ORDER};
-pub use scenario::{scenario_matrix, FamilyKind, Scenario, SweepTask};
+pub use scenario::{scenario_matrix, FamilyKind, Scenario, ScenarioKey, SweepTask};
+pub use store::{record_fingerprint, shard_tasks, task_fingerprint, ResultStore};
 pub use sweep::{run_sweep, run_sweep_with_progress, SweepRecord, SweepResult, SweepSpec};
 
 /// Convenient glob import for downstream crates.
@@ -56,8 +64,9 @@ pub mod prelude {
     pub use crate::method::{run_method, Method, LMI_MAX_ORDER};
     pub use crate::scenario::{
         quick_scenarios, scenario_matrix, standard_scenarios, standard_tasks, FamilyKind, Scenario,
-        SweepTask,
+        ScenarioKey, SweepTask,
     };
+    pub use crate::store::{record_fingerprint, shard_tasks, task_fingerprint, ResultStore};
     pub use crate::sweep::{
         run_sweep, run_sweep_with_progress, SweepRecord, SweepResult, SweepSpec,
     };

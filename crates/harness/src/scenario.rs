@@ -45,6 +45,29 @@ pub enum FamilyKind {
 }
 
 impl FamilyKind {
+    /// Every family, in declaration order.
+    pub const ALL: [FamilyKind; 13] = [
+        FamilyKind::RcLadder,
+        FamilyKind::RlcLadder,
+        FamilyKind::ImpulsiveLadder,
+        FamilyKind::RcGrid,
+        FamilyKind::MultiportLadder,
+        FamilyKind::MultiportLadderImpulsive,
+        FamilyKind::CoupledMesh,
+        FamilyKind::TlineChain,
+        FamilyKind::PerturbedBoundary,
+        FamilyKind::NonpassiveLadder,
+        FamilyKind::NegativeM1,
+        FamilyKind::RandomPassive,
+        FamilyKind::RandomNonpassive,
+    ];
+
+    /// Parses a stable family identifier back to the family (the inverse of
+    /// [`FamilyKind::name`], used when loading persisted artifacts).
+    pub fn parse(name: &str) -> Option<FamilyKind> {
+        FamilyKind::ALL.iter().copied().find(|f| f.name() == name)
+    }
+
     /// Stable family identifier used in artifacts and golden fixtures.
     pub fn name(self) -> &'static str {
         match self {
@@ -80,6 +103,23 @@ pub struct Scenario {
     pub margin: f64,
 }
 
+/// Hashable identity of a [`Scenario`]: every field that feeds the generator,
+/// with the margin keyed by its exact bit pattern (`f64` is not `Hash`/`Eq`).
+/// Two scenarios with equal keys build identical models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScenarioKey {
+    /// Generator family.
+    pub family: FamilyKind,
+    /// Size knob.
+    pub size: usize,
+    /// Port count.
+    pub ports: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// Bit pattern of the violation margin.
+    pub margin_bits: u64,
+}
+
 impl Scenario {
     /// A scenario with default `ports = 1`, `seed = 0`, `margin = 0`.
     pub fn new(family: FamilyKind, size: usize) -> Self {
@@ -111,6 +151,18 @@ impl Scenario {
     pub fn with_margin(mut self, margin: f64) -> Self {
         self.margin = margin;
         self
+    }
+
+    /// The hashable identity of this scenario (used for fingerprint-keyed
+    /// dedup in the sweep engine and the persistent result store).
+    pub fn key(&self) -> ScenarioKey {
+        ScenarioKey {
+            family: self.family,
+            size: self.size,
+            ports: self.ports,
+            seed: self.seed,
+            margin_bits: self.margin.to_bits(),
+        }
     }
 
     /// The exact MNA state dimension this scenario will produce, from the

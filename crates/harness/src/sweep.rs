@@ -35,6 +35,17 @@ impl TaskStatus {
             TaskStatus::MethodError => "method_error",
         }
     }
+
+    /// Parses a stable identifier back to the status (the inverse of
+    /// [`TaskStatus::name`], used when loading persisted artifacts).
+    pub fn parse(name: &str) -> Option<TaskStatus> {
+        match name {
+            "ok" => Some(TaskStatus::Ok),
+            "build_error" => Some(TaskStatus::BuildError),
+            "method_error" => Some(TaskStatus::MethodError),
+            _ => None,
+        }
+    }
 }
 
 /// The outcome of one (scenario, method) task.
@@ -82,13 +93,19 @@ pub struct SweepRecord {
 /// A full sweep specification.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
-    /// The task list (ordering defines `task_id`).
+    /// The task list (ordering defines `task_id` unless `task_ids` is set).
     pub tasks: Vec<SweepTask>,
     /// Worker-pool size (clamped to at least 1 and at most the task count).
     pub threads: usize,
     /// Whether to sample the deterministic violation-frequency count for each
     /// model (adds `O(n³)` work per task; disable for pure timing sweeps).
     pub sample_violations: bool,
+    /// Optional explicit task ids, one per task.  A sharded or resumed run
+    /// executes a *subset* of a larger matrix; carrying the global indices
+    /// here keeps the emitted records' `task` fields — and therefore the
+    /// merged, sorted store artifact — identical to a single-process run of
+    /// the full matrix.  `None` means `0..tasks.len()`.
+    pub task_ids: Option<Vec<usize>>,
 }
 
 impl SweepSpec {
@@ -98,7 +115,21 @@ impl SweepSpec {
             tasks,
             threads,
             sample_violations: true,
+            task_ids: None,
         }
+    }
+
+    /// Attaches explicit (global) task ids; `ids` must have one entry per
+    /// task.
+    #[must_use]
+    pub fn with_task_ids(mut self, ids: Vec<usize>) -> Self {
+        assert_eq!(
+            ids.len(),
+            self.tasks.len(),
+            "task_ids must match the task list length"
+        );
+        self.task_ids = Some(ids);
+        self
     }
 }
 
@@ -229,18 +260,21 @@ fn run_task(
 /// Deduplicates scenarios across the task list and computes the deterministic
 /// violation-frequency count once per unique scenario, in parallel on the
 /// same worker-pool pattern.  Returns the per-task counts.
+///
+/// Dedup is keyed on [`crate::scenario::ScenarioKey`] through a hash map, so
+/// the pre-pass stays `O(n)` over 10⁵-task matrices (a linear scan per task
+/// made it quadratic and dominated large-ensemble startup).
 fn sample_violation_counts(tasks: &[SweepTask], threads: usize) -> Vec<Option<usize>> {
     let mut unique: Vec<&crate::scenario::Scenario> = Vec::new();
+    let mut index_of: std::collections::HashMap<crate::scenario::ScenarioKey, usize> =
+        std::collections::HashMap::with_capacity(tasks.len());
     let task_to_unique: Vec<usize> = tasks
         .iter()
         .map(|task| {
-            unique
-                .iter()
-                .position(|s| **s == task.scenario)
-                .unwrap_or_else(|| {
-                    unique.push(&task.scenario);
-                    unique.len() - 1
-                })
+            *index_of.entry(task.scenario.key()).or_insert_with(|| {
+                unique.push(&task.scenario);
+                unique.len() - 1
+            })
         })
         .collect();
     let cursor = AtomicUsize::new(0);
@@ -296,6 +330,14 @@ pub fn run_sweep_with_progress(
     } else {
         vec![None; tasks.len()]
     };
+    let task_ids = spec.task_ids.as_deref();
+    if let Some(ids) = task_ids {
+        assert_eq!(
+            ids.len(),
+            tasks.len(),
+            "task_ids must match the task list length"
+        );
+    }
     let cursor = AtomicUsize::new(0);
     let mut shards: Vec<Vec<SweepRecord>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
@@ -306,12 +348,12 @@ pub fn run_sweep_with_progress(
             handles.push(scope.spawn(move || {
                 let mut shard = Vec::new();
                 loop {
-                    let task_id = cursor.fetch_add(1, Ordering::Relaxed);
-                    if task_id >= tasks.len() {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= tasks.len() {
                         break;
                     }
-                    let record =
-                        run_task(task_id, &tasks[task_id], worker, violation_counts[task_id]);
+                    let task_id = task_ids.map_or(index, |ids| ids[index]);
+                    let record = run_task(task_id, &tasks[index], worker, violation_counts[index]);
                     if let Some(callback) = on_record {
                         callback(&record);
                     }
@@ -425,6 +467,22 @@ mod tests {
         assert_eq!(counts.len(), 2);
         assert_eq!(counts[0], counts[1]);
         assert!(counts[0].unwrap() > 0);
+    }
+
+    #[test]
+    fn explicit_task_ids_are_carried_into_records() {
+        let scenarios = vec![
+            Scenario::new(FamilyKind::RcLadder, 3),
+            Scenario::new(FamilyKind::TlineChain, 2),
+        ];
+        let tasks = scenario_matrix(&scenarios, &[Method::Proposed]);
+        let spec = SweepSpec::new(tasks, 2).with_task_ids(vec![7, 3]);
+        let result = run_sweep(&spec);
+        let ids: Vec<_> = result.records.iter().map(|r| r.task_id).collect();
+        // Records come back sorted by the *global* ids.
+        assert_eq!(ids, vec![3, 7]);
+        assert_eq!(result.records[0].family, "tline_chain");
+        assert_eq!(result.records[1].family, "rc_ladder");
     }
 
     #[test]

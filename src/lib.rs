@@ -18,7 +18,9 @@
 //! * [`passivity`] (`ds-passivity`) — the paper's fast test and the two
 //!   baselines,
 //! * [`harness`] (`ds-harness`) — the deterministic parallel sweep engine
-//!   (scenario matrix × worker pool → JSONL/CSV artifacts + summaries).
+//!   (scenario matrix × worker pool → JSONL/CSV artifacts + summaries) and
+//!   the persistent result store (fingerprint-keyed resume, `--shard i/m`
+//!   partitioning, lossless segment merge for 10⁵-scenario ensembles).
 //!
 //! ```
 //! use ds_passivity_suite::prelude::*;

@@ -1,0 +1,103 @@
+//! Property tests for the hand-rolled JSON layer: `quote` → `parse` must be
+//! the identity over strings drawn from a pool deliberately heavy in astral
+//! characters, control characters, quotes and backslashes — the characters
+//! that once corrupted merged artifacts — and the `\u` escape syntax must
+//! decode UTF-16 surrogate pairs to single scalars.
+
+use ds_passivity_suite::harness::json;
+use proptest::prelude::*;
+
+/// Characters the generator draws from: every class the serializer treats
+/// specially, plus astral-plane scalars (emoji, musical symbols) that exercise
+/// the surrogate-pair path when escaped externally.
+const POOL: &[char] = &[
+    'a',
+    'Z',
+    '0',
+    ' ',
+    ',',
+    ':',
+    '{',
+    '}',
+    '[',
+    ']',
+    '"',
+    '\\',
+    '/',
+    '\n',
+    '\r',
+    '\t',
+    '\u{0}',
+    '\u{1}',
+    '\u{8}',
+    '\u{c}',
+    '\u{1f}',
+    '\u{7f}',
+    'ω',
+    '∞',
+    'é',
+    '\u{d7ff}',
+    '\u{e000}',
+    '\u{fffd}',
+    '😀',
+    '𝄞',
+    '🚀',
+    '\u{10FFFF}',
+];
+
+/// Deterministic splitmix64 step, so each (seed, len) pair names one string.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pooled_string(seed: u64, len: usize) -> String {
+    let mut state = seed;
+    (0..len)
+        .map(|_| POOL[(splitmix(&mut state) as usize) % POOL.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quote_parse_roundtrip_is_identity(seed in 0u64..u64::MAX, len in 0usize..40) {
+        let original = pooled_string(seed, len);
+        let quoted = json::quote(&original);
+        let parsed = json::parse(&quoted)
+            .unwrap_or_else(|e| panic!("quote produced unparsable JSON for {original:?}: {e}"));
+        prop_assert_eq!(parsed.as_str(), Some(original.as_str()));
+    }
+
+    #[test]
+    fn roundtrip_survives_embedding_in_an_object(seed in 0u64..u64::MAX, len in 1usize..24) {
+        let original = pooled_string(seed, len);
+        let doc = format!("{{\"reason\":{},\"n\":1.5e-3}}", json::quote(&original));
+        let value = json::parse(&doc).unwrap();
+        prop_assert_eq!(value.get("reason").unwrap().as_str(), Some(original.as_str()));
+        prop_assert_eq!(value.get("n").unwrap().as_f64(), Some(1.5e-3));
+    }
+
+    #[test]
+    fn double_roundtrip_is_stable(seed in 0u64..u64::MAX, len in 0usize..32) {
+        // quote(parse(quote(s))) == quote(s): the byte-stability the merged
+        // store artifact relies on when records are re-rendered after a load.
+        let original = pooled_string(seed, len);
+        let quoted = json::quote(&original);
+        let reparsed = json::parse(&quoted).unwrap();
+        prop_assert_eq!(json::quote(reparsed.as_str().unwrap()), quoted);
+    }
+}
+
+#[test]
+fn escaped_surrogate_pairs_equal_raw_astral_chars() {
+    // The serializer emits astral chars raw; external producers may escape
+    // them.  Both spellings must parse to the same record string.
+    let raw = json::parse("\"😀𝄞\"").unwrap();
+    let escaped = json::parse("\"\\uD83D\\uDE00\\uD834\\uDD1E\"").unwrap();
+    assert_eq!(raw, escaped);
+}

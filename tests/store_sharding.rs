@@ -1,0 +1,111 @@
+//! Cross-process-shape conformance for the persistent result store: a sweep
+//! split across two `--shard i/2` slices into one store must merge to sorted
+//! JSONL byte-identical to the single-process run of the same matrix, and a
+//! resume over a fully-populated store must schedule zero tasks.
+
+use ds_passivity_suite::harness::prelude::*;
+use ds_passivity_suite::harness::store::task_fingerprint;
+use std::path::PathBuf;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("store-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn matrix() -> Vec<SweepTask> {
+    scenario_matrix(&quick_scenarios(), &[Method::Proposed, Method::Weierstrass])
+}
+
+/// Runs one shard of the matrix on its own thread count and appends its
+/// records to the store, the way an independent `ds-sweep --shard` process
+/// would.
+fn run_shard(store: &mut ResultStore, tasks: &[SweepTask], index: usize, modulus: usize) {
+    let shard = shard_tasks(tasks, index, modulus);
+    let ids: Vec<usize> = shard.iter().map(|(id, _)| *id).collect();
+    let list: Vec<SweepTask> = shard.into_iter().map(|(_, task)| task).collect();
+    let result = run_sweep(&SweepSpec::new(list, 1 + index).with_task_ids(ids));
+    store
+        .append_segment(&format!("shard-{index}-of-{modulus}"), &result.records)
+        .unwrap();
+}
+
+#[test]
+fn two_shard_store_merges_byte_identical_to_single_run() {
+    let tasks = matrix();
+    let single = run_sweep(&SweepSpec::new(tasks.clone(), 2));
+    let reference = render_jsonl(&single.records);
+
+    let dir = temp_store("two-shard");
+    let mut store = ResultStore::open(&dir).unwrap();
+    run_shard(&mut store, &tasks, 1, 2); // shard order must not matter
+    run_shard(&mut store, &tasks, 0, 2);
+    let (merged_jsonl, merged_csv, merged_count) = store.write_merged().unwrap();
+    assert_eq!(merged_count, tasks.len());
+    assert_eq!(
+        std::fs::read_to_string(&merged_jsonl).unwrap(),
+        reference,
+        "sharded merge diverged from the single-process artifact"
+    );
+    // The merged CSV also validates with the same record count.
+    let csv = std::fs::read_to_string(&merged_csv).unwrap();
+    assert_eq!(validate_csv_rows(&csv), tasks.len());
+}
+
+fn validate_csv_rows(text: &str) -> usize {
+    ds_passivity_suite::harness::validate_csv(text).unwrap()
+}
+
+#[test]
+fn resume_over_a_full_store_schedules_zero_tasks() {
+    let tasks = matrix();
+    let dir = temp_store("resume-zero");
+    let mut store = ResultStore::open(&dir).unwrap();
+    run_shard(&mut store, &tasks, 0, 1);
+
+    // A fresh process opening the same store sees every fingerprint.
+    let reopened = ResultStore::open(&dir).unwrap();
+    assert_eq!(reopened.len(), tasks.len());
+    for task in &tasks {
+        assert!(reopened.contains(&task_fingerprint(task)));
+    }
+    let indexed: Vec<(usize, SweepTask)> = tasks.iter().cloned().enumerate().collect();
+    let (pending, skipped) = reopened.partition_pending(indexed);
+    assert_eq!(
+        pending.len(),
+        0,
+        "resume re-scheduled {} tasks",
+        pending.len()
+    );
+    assert_eq!(skipped, tasks.len());
+}
+
+#[test]
+fn partial_store_resumes_only_the_missing_slice() {
+    let tasks = matrix();
+    let dir = temp_store("resume-partial");
+    let mut store = ResultStore::open(&dir).unwrap();
+    run_shard(&mut store, &tasks, 0, 2);
+
+    let indexed: Vec<(usize, SweepTask)> = tasks.iter().cloned().enumerate().collect();
+    let (pending, skipped) = store.partition_pending(indexed);
+    assert_eq!(skipped, tasks.len().div_ceil(2));
+    // Exactly the odd-indexed tasks remain, in order.
+    let expected: Vec<usize> = (0..tasks.len()).filter(|id| id % 2 == 1).collect();
+    let got: Vec<usize> = pending.iter().map(|(id, _)| *id).collect();
+    assert_eq!(got, expected);
+
+    // Completing the pending slice and merging reproduces the full artifact.
+    let ids: Vec<usize> = pending.iter().map(|(id, _)| *id).collect();
+    let list: Vec<SweepTask> = pending.into_iter().map(|(_, task)| task).collect();
+    let result = run_sweep(&SweepSpec::new(list, 2).with_task_ids(ids));
+    store
+        .append_segment("resume-slice", &result.records)
+        .unwrap();
+    let single = run_sweep(&SweepSpec::new(tasks, 1));
+    let (merged_jsonl, _, _) = store.write_merged().unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&merged_jsonl).unwrap(),
+        render_jsonl(&single.records)
+    );
+}
