@@ -1,0 +1,38 @@
+//! Deck front-end pipeline costs: parsing a committed SPICE deck,
+//! canonicalizing + hashing it, stamping it into a descriptor system, and
+//! running the proposed passivity test on the result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_circuits::mna;
+use ds_netlist::parse_deck;
+use ds_passivity::fast::{check_passivity, FastTestOptions};
+
+const COUPLED_PAIR: &str = include_str!("../../../examples/decks/coupled_pair.cir");
+const RLGC_LINE: &str = include_str!("../../../examples/decks/rlgc_line.cir");
+
+fn bench_deck_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deck_pipeline");
+    group.sample_size(30);
+    group.bench_function("parse/coupled_pair", |b| {
+        b.iter(|| parse_deck(COUPLED_PAIR).expect("committed deck parses"))
+    });
+    group.bench_function("canonicalize+hash/coupled_pair", |b| {
+        let deck = parse_deck(COUPLED_PAIR).unwrap();
+        b.iter(|| deck.content_hash())
+    });
+    group.bench_function("stamp/coupled_pair", |b| {
+        let deck = parse_deck(COUPLED_PAIR).unwrap();
+        b.iter(|| mna::stamp(&deck.netlist).expect("deck stamps"))
+    });
+    group.bench_function("parse+stamp+proposed/rlgc_line", |b| {
+        b.iter(|| {
+            let deck = parse_deck(RLGC_LINE).unwrap();
+            let system = mna::stamp(&deck.netlist).unwrap();
+            check_passivity(&system, &FastTestOptions::default()).expect("test runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deck_pipeline);
+criterion_main!(benches);

@@ -20,6 +20,29 @@ pub enum CircuitError {
     },
     /// The netlist has no ports, so no input/output map can be built.
     NoPorts,
+    /// A `K` coupling references an inductor label no inductor carries.
+    CouplingTargetNotFound {
+        /// Name of the coupling element (e.g. `K1`).
+        coupling: String,
+        /// The unresolved inductor label.
+        label: String,
+    },
+    /// A `K` coupling references an inductor label carried by more than one
+    /// inductor.
+    CouplingTargetAmbiguous {
+        /// Name of the coupling element (e.g. `K1`).
+        coupling: String,
+        /// The ambiguous inductor label.
+        label: String,
+    },
+    /// A `K` coupling is malformed: coefficient out of range, self-coupling,
+    /// or a duplicate pair.
+    BadCoupling {
+        /// Name of the coupling element (e.g. `K1`).
+        coupling: String,
+        /// Explanation of the violation.
+        details: String,
+    },
     /// A requested model order cannot be realized by the generator.
     UnrealizableOrder {
         /// The requested order.
@@ -42,6 +65,17 @@ impl fmt::Display for CircuitError {
                 write!(f, "bad element value: {details}")
             }
             CircuitError::NoPorts => write!(f, "netlist has no ports"),
+            CircuitError::CouplingTargetNotFound { coupling, label } => write!(
+                f,
+                "coupling {coupling} references unknown inductor '{label}'"
+            ),
+            CircuitError::CouplingTargetAmbiguous { coupling, label } => write!(
+                f,
+                "coupling {coupling} references inductor '{label}', which labels more than one inductor"
+            ),
+            CircuitError::BadCoupling { coupling, details } => {
+                write!(f, "bad coupling {coupling}: {details}")
+            }
             CircuitError::UnrealizableOrder { requested, details } => {
                 write!(f, "cannot realize a model of order {requested}: {details}")
             }
@@ -84,6 +118,24 @@ mod tests {
         }
         .to_string()
         .contains("too small"));
+        assert!(CircuitError::CouplingTargetNotFound {
+            coupling: "K1".into(),
+            label: "L9".into()
+        }
+        .to_string()
+        .contains("unknown inductor 'L9'"));
+        assert!(CircuitError::CouplingTargetAmbiguous {
+            coupling: "K1".into(),
+            label: "L2".into()
+        }
+        .to_string()
+        .contains("more than one"));
+        assert!(CircuitError::BadCoupling {
+            coupling: "K3".into(),
+            details: "nope".into()
+        }
+        .to_string()
+        .contains("K3"));
     }
 
     #[test]

@@ -11,12 +11,16 @@
 //! ```
 //!
 //! giving `E = diag(C, L)`, which is singular whenever some node carries no
-//! capacitance.  The resulting impedance-type model is passive whenever every
-//! element value is non-negative.
+//! capacitance.  With `K` couplings the `L` block becomes a full symmetric
+//! matrix (`M = k·√(L₁·L₂)` off the diagonal); the stamper rejects a coupled
+//! inductance matrix that is not positive semidefinite, so the resulting
+//! impedance-type model is passive whenever every element value is
+//! non-negative.
 
 use crate::error::CircuitError;
 use crate::netlist::{Element, Netlist, Port};
 use ds_descriptor::DescriptorSystem;
+use ds_linalg::decomp::symmetric;
 use ds_linalg::Matrix;
 
 /// Stamps the netlist into an MNA descriptor system (impedance formulation:
@@ -51,6 +55,9 @@ pub fn stamp(netlist: &Netlist) -> Result<DescriptorSystem, CircuitError> {
                 let g = 1.0 / value;
                 stamp_two_terminal(&mut cond, a, b, g);
             }
+            Element::Conductance { a, b, value } => {
+                stamp_two_terminal(&mut cond, a, b, value);
+            }
             Element::Capacitor { a, b, value } => {
                 stamp_two_terminal(&mut cap, a, b, value);
             }
@@ -64,6 +71,30 @@ pub fn stamp(netlist: &Netlist) -> Result<DescriptorSystem, CircuitError> {
                 }
                 l_index += 1;
             }
+        }
+    }
+
+    // Mutual inductance: `K` couplings fill in the off-diagonal of the L
+    // block.  `validate()` already checked each |k| ≤ 1, but several
+    // couplings sharing inductors can still make the joint matrix
+    // indefinite — an unphysical inductance configuration the stamper
+    // rejects rather than silently producing a bogus descriptor model.
+    if !netlist.couplings.is_empty() {
+        for (p, q, k) in netlist.resolved_couplings()? {
+            let m = k * (ind[(p, p)] * ind[(q, q)]).sqrt();
+            ind[(p, q)] += m;
+            ind[(q, p)] += m;
+        }
+        let scale = ind.diagonal().iter().fold(1.0f64, |acc, &d| acc.max(d));
+        let min = symmetric::min_eigenvalue(&ind).map_err(|e| CircuitError::BadElementValue {
+            details: format!("inductance-matrix eigenvalue check failed: {e}"),
+        })?;
+        if min < -1e-12 * scale {
+            return Err(CircuitError::BadElementValue {
+                details: format!(
+                    "coupled inductance matrix is not positive semidefinite (λ_min = {min:.3e})"
+                ),
+            });
         }
     }
 
@@ -203,6 +234,72 @@ mod tests {
         let z0 = transfer::evaluate_jomega(&sys, 0.0).unwrap();
         // Differential resistance of the bridge: 1Ω ∥ (1Ω + 1Ω) = 2/3 Ω.
         assert!((z0.re[(0, 0)] - 2.0 / 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn conductance_stamps_like_an_admittance() {
+        // G ∥ C from node 1 to ground behaves exactly like R = 1/G ∥ C.
+        let mut net = Netlist::new(1);
+        net.conductance(1, 0, 0.5)
+            .capacitor(1, 0, 0.5)
+            .port(Port::to_ground(1));
+        let sys = stamp(&net).unwrap();
+        let z = transfer::evaluate_jomega(&sys, 1.0).unwrap();
+        // Z(j1) = 2 / (1 + j·1·1) = 1 − j, as in `parallel_rc_impedance`.
+        assert!((z.re[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((z.im[(0, 0)] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupled_inductors_stamp_a_symmetric_psd_l_block() {
+        // Transformer: primary L1 across the port, secondary L2 loaded by R,
+        // coupled with k = 0.5 ⇒ Z(s) = sL1 − s²M²/(sL2 + R), M = k√(L1·L2).
+        let mut net = Netlist::new(2);
+        net.named_inductor("L1", 1, 0, 1.0)
+            .named_inductor("L2", 2, 0, 1.0)
+            .resistor(2, 0, 1.0)
+            .couple("K1", "L1", "L2", 0.5)
+            .port(Port::to_ground(1));
+        let sys = stamp(&net).unwrap();
+        // The L block of E is symmetric with M = 0.5 on the off-diagonal.
+        let n_nodes = 2;
+        assert_eq!(sys.e()[(n_nodes, n_nodes + 1)], 0.5);
+        assert_eq!(sys.e()[(n_nodes + 1, n_nodes)], 0.5);
+        // Z(j1) = j + 0.25/(1 + j) = 0.125 + 0.875j.
+        let z = transfer::evaluate_jomega(&sys, 1.0).unwrap();
+        assert!((z.re[(0, 0)] - 0.125).abs() < 1e-10);
+        assert!((z.im[(0, 0)] - 0.875).abs() < 1e-10);
+    }
+
+    #[test]
+    fn indefinite_coupled_inductance_matrix_is_rejected() {
+        // Pairwise |k| ≤ 1 but the joint 3×3 matrix is indefinite.
+        let mut net = Netlist::new(3);
+        net.named_inductor("LA", 1, 0, 1.0)
+            .named_inductor("LB", 2, 0, 1.0)
+            .named_inductor("LC", 3, 0, 1.0)
+            .couple("K1", "LA", "LB", 0.9)
+            .couple("K2", "LB", "LC", 0.9)
+            .couple("K3", "LA", "LC", -0.9)
+            .port(Port::to_ground(1));
+        assert!(matches!(
+            stamp(&net),
+            Err(CircuitError::BadElementValue { details })
+                if details.contains("not positive semidefinite")
+        ));
+    }
+
+    #[test]
+    fn coupling_to_unknown_inductor_fails_at_stamp_time() {
+        let mut net = Netlist::new(2);
+        net.named_inductor("L1", 1, 2, 1.0)
+            .resistor(2, 0, 1.0)
+            .couple("K1", "L1", "L9", 0.2)
+            .port(Port::to_ground(1));
+        assert!(matches!(
+            stamp(&net),
+            Err(CircuitError::CouplingTargetNotFound { .. })
+        ));
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   segments between two ports,
 //! * [`perturbed_boundary_model`] — a randomized model sitting exactly on the
 //!   passivity boundary at `margin = 0` and violating it by exactly `margin`
-//!   (in the Popov function at `ω → ∞`) for `margin > 0`.
+//!   (in the Popov function at `ω → ∞`) for `margin > 0`,
+//! * [`banded_boundary_model`] — the band-limited counterpart whose violation
+//!   sits at a **finite** witness frequency `ω₀` (positive again at DC and at
+//!   `ω → ∞`), exercising the interior Hamiltonian-eigenvalue classification
+//!   path.
 //!
 //! All circuit-based generators stay passive by construction (every element is
 //! individually passive and mutual couplings keep `L ⪰ 0`).
@@ -104,10 +108,11 @@ pub fn multiport_rlc_ladder(
 /// Coupled-inductor mesh: a `rows × cols` grid of nodes whose horizontal
 /// branches are series R∥L pairs and vertical branches are resistors, with
 /// shunt capacitors on interior nodes and ports at two opposite corners.
-/// After MNA stamping, mutual inductance is injected between inductor branches
-/// that share a node: the inductance block of `E` becomes a full symmetric
-/// matrix, rescaled to stay strictly diagonally dominant (hence `L ≻ 0` and
-/// the model remains passive).
+/// Inductor branches that share a node carry genuine mutual inductance
+/// through native netlist `K` couplings (`M_pq = k·√(L_p·L_q)`), so the
+/// inductance block of `E` becomes a full symmetric matrix.  The common
+/// coefficient `k` is rescaled to keep the matrix strictly diagonally
+/// dominant (hence `L ≻ 0` and the model remains passive).
 ///
 /// `coupling ∈ [0, 1)` selects the fraction of the maximum diagonal-dominance
 /// budget used by the mutual terms (0 decouples the mesh).
@@ -138,6 +143,7 @@ pub fn coupled_inductor_mesh(
     let mut net = Netlist::new(rows * cols);
     net.port(Port::to_ground(node(0, 0)));
     net.port(Port::to_ground(node(rows - 1, cols - 1)));
+    let mut n_ind = 0usize;
     for i in 0..rows {
         for j in 0..cols {
             let here = node(i, j);
@@ -145,7 +151,13 @@ pub fn coupled_inductor_mesh(
                 // Horizontal branch: series R∥L (stamped in element order, so
                 // inductor k is the k-th horizontal branch row-major).
                 net.resistor(here, node(i, j + 1), 1.0 + 0.05 * (i + j) as f64);
-                net.inductor(here, node(i, j + 1), 0.4 + 0.03 * (i + 2 * j) as f64);
+                net.named_inductor(
+                    format!("L{n_ind}"),
+                    here,
+                    node(i, j + 1),
+                    0.4 + 0.03 * (i + 2 * j) as f64,
+                );
+                n_ind += 1;
             }
             if i + 1 < rows {
                 net.resistor(here, node(i + 1, j), 2.0 + 0.04 * (i * j) as f64);
@@ -158,10 +170,10 @@ pub fn coupled_inductor_mesh(
     }
     net.resistor(node(0, 0), 0, 60.0);
     net.resistor(node(rows - 1, cols - 1), 0, 60.0);
-    let system = mna::stamp(&net)?;
 
-    // Collect the inductor terminals in stamping order: their branch currents
-    // occupy the trailing rows/columns of E.
+    // Mutual inductance M_pq = k·√(L_p·L_q) for branches sharing a node,
+    // with the common coefficient k chosen inside the diagonal-dominance
+    // budget so the joint L block stays positive definite.
     let inductor_terminals: Vec<(usize, usize)> = net
         .elements
         .iter()
@@ -170,20 +182,20 @@ pub fn coupled_inductor_mesh(
             _ => None,
         })
         .collect();
-    let n_ind = inductor_terminals.len();
-    let n_nodes = net.num_nodes;
-    let (mut e, a, b, c, d) = system.into_parts();
-
-    // Mutual inductance M_pq = coupling-scaled √(L_p·L_q) for branches sharing
-    // a node.  A final rescale enforces strict diagonal dominance so the L
-    // block stays positive definite (⇒ the mesh stays passive).
+    let values: Vec<f64> = net
+        .elements
+        .iter()
+        .filter_map(|e| match *e {
+            Element::Inductor { value, .. } => Some(value),
+            _ => None,
+        })
+        .collect();
     let shares_node = |p: usize, q: usize| {
         let (a1, b1) = inductor_terminals[p];
         let (a2, b2) = inductor_terminals[q];
         a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2
     };
-    let diag: Vec<f64> = (0..n_ind).map(|k| e[(n_nodes + k, n_nodes + k)]).collect();
-    let l_at = |k: usize| diag[k];
+    let l_at = |k: usize| values[k];
     let mut budget: f64 = 1.0;
     for p in 0..n_ind {
         let mut row_sum = 0.0;
@@ -196,17 +208,17 @@ pub fn coupled_inductor_mesh(
             budget = budget.min(l_at(p) / row_sum);
         }
     }
-    let scale = coupling * 0.95 * budget;
-    for p in 0..n_ind {
-        for q in (p + 1)..n_ind {
-            if shares_node(p, q) {
-                let m = scale * (l_at(p) * l_at(q)).sqrt();
-                e[(n_nodes + p, n_nodes + q)] = m;
-                e[(n_nodes + q, n_nodes + p)] = m;
+    let k = (coupling * 0.95 * budget).min(1.0);
+    if k > 0.0 {
+        for p in 0..n_ind {
+            for q in (p + 1)..n_ind {
+                if shares_node(p, q) {
+                    net.couple(format!("K{p}_{q}"), format!("L{p}"), format!("L{q}"), k);
+                }
             }
         }
     }
-    let system = DescriptorSystem::new(e, a, b, c, d)?;
+    let system = mna::stamp(&net)?;
     Ok(CircuitModel {
         name: format!("coupled_inductor_mesh({rows}x{cols},coupling={coupling})"),
         system,
@@ -340,6 +352,122 @@ pub fn perturbed_boundary_model(
     })
 }
 
+/// Strictly-passive slack (see [`banded_boundary_model`]): keeps the
+/// `margin = 0` instance decidably passive — an *exact* finite-frequency
+/// tangency would make the Hamiltonian-eigenvalue classification depend on
+/// `O(√ε)` rounding of a double imaginary eigenvalue.
+pub const BAND_SLACK: f64 = 1e-6;
+
+/// Randomized near-boundary model whose passivity violation sits at a
+/// **finite** frequency (witness `ω₀`), unlike
+/// [`perturbed_boundary_model`] which plants it at `ω → ∞`.
+///
+/// Each port carries a damped resonator realizing the band-pass function
+/// `bp(s) = 2ζω₀·s / (s² + 2ζω₀·s + ω₀²)`, which is positive real with
+/// `Re bp(jω) ∈ [0, 1]` peaking at exactly `bp(jω₀) = 1`.  The model is
+/// `G(s) = d·I − γ·bp(s)·I` (then port-mixed by a random orthogonal matrix
+/// and state-disguised by a restricted-equivalence transform) with
+/// `γ = ½ + margin/2` and `d = γ − margin/2 + BAND_SLACK`, so
+///
+/// `min_ω λ_min(Φ(jω)) = 2·BAND_SLACK − margin`, attained at `ω = ω₀`:
+///
+/// * `margin = 0` — passive, grazing the boundary at `ω₀` within
+///   [`BAND_SLACK`],
+/// * `margin > 0` (beyond `2·BAND_SLACK`) — the Popov function dips negative
+///   on a finite band around `ω₀` and is positive at DC and at `ω → ∞`, so a
+///   correct test must find the *interior* Hamiltonian eigenvalue crossing.
+///
+/// Two nondynamic algebraic states are padded in; state dimension =
+/// `2·ports + 2`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnrealizableOrder`] for `ports == 0` and
+/// [`CircuitError::BadElementValue`] for a negative/non-finite margin or a
+/// non-positive `omega0`; propagates construction failures.
+pub fn banded_boundary_model(
+    ports: usize,
+    margin: f64,
+    omega0: f64,
+    seed: u64,
+) -> Result<CircuitModel, CircuitError> {
+    if ports == 0 {
+        return Err(CircuitError::UnrealizableOrder {
+            requested: 0,
+            details: "banded_boundary_model needs ports ≥ 1".into(),
+        });
+    }
+    if !margin.is_finite() || margin < 0.0 {
+        return Err(CircuitError::BadElementValue {
+            details: format!("violation margin must be finite and ≥ 0, got {margin}"),
+        });
+    }
+    if !omega0.is_finite() || omega0 <= 0.0 {
+        return Err(CircuitError::BadElementValue {
+            details: format!("witness frequency must be finite and > 0, got {omega0}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F));
+    let m = ports;
+    let gamma = 0.5 + 0.5 * margin;
+    let d_val = gamma - 0.5 * margin + BAND_SLACK;
+
+    // Per-port resonator in controllable canonical form:
+    // A = [[0, 1], [−ω₀², −2ζω₀]], b = e₂, c = −γ·[0, 2ζω₀] realizes
+    // −γ·bp(s).  The damping ζ is randomized per port; Re bp(jω₀) = 1 holds
+    // for every ζ > 0, so the violation depth is ζ-independent.
+    let mut blocks_a = Vec::with_capacity(m);
+    let mut b_dyn = Matrix::zeros(2 * m, m);
+    let mut c_dyn = Matrix::zeros(m, 2 * m);
+    for p in 0..m {
+        let zeta = rng.gen_range(0.2..0.6);
+        blocks_a.push(Matrix::from_rows(&[
+            &[0.0, 1.0],
+            &[-omega0 * omega0, -2.0 * zeta * omega0],
+        ]));
+        b_dyn[(2 * p + 1, p)] = 1.0;
+        c_dyn[(p, 2 * p + 1)] = -gamma * 2.0 * zeta * omega0;
+    }
+    let a_refs: Vec<&Matrix> = blocks_a.iter().collect();
+    let a_dyn = Matrix::block_diag(&a_refs);
+    let d = Matrix::identity(m).scale(d_val);
+
+    // Mix the ports with a random orthogonal matrix: G ↦ U·G·Uᵀ preserves the
+    // Popov spectrum (D = d·I commutes) while hiding the diagonal structure.
+    let u = random_orthogonal(m, &mut rng);
+    let b_dyn = b_dyn.matmul(&u.transpose()).map_err(map_linalg)?;
+    let c_dyn = u.matmul(&c_dyn).map_err(map_linalg)?;
+
+    // Two nondynamic padding states, decoupled from the outputs.
+    let e = Matrix::block_diag(&[&Matrix::identity(2 * m), &Matrix::zeros(2, 2)]);
+    let a = Matrix::block_diag(&[&a_dyn, &Matrix::identity(2).scale(-1.0)]);
+    let b = Matrix::vstack(&[
+        &b_dyn,
+        &Matrix::from_fn(2, m, |_, _| rng.gen_range(-0.5..0.5)),
+    ]);
+    let c = Matrix::hstack(&[&c_dyn, &Matrix::zeros(m, 2)]);
+    let sys = DescriptorSystem::new(e, a, b, c, d)?;
+
+    let n = sys.order();
+    let q = random_orthogonal(n, &mut rng);
+    let z = random_orthogonal(n, &mut rng);
+    let system = transform::restricted_equivalence(&sys, &q, &z)?;
+    Ok(CircuitModel {
+        name: format!(
+            "banded_boundary_model(ports={ports},margin={margin},omega0={omega0},seed={seed})"
+        ),
+        system,
+        expected_passive: margin <= 2.0 * BAND_SLACK,
+        has_impulsive_modes: false,
+    })
+}
+
+fn map_linalg(e: ds_linalg::LinalgError) -> CircuitError {
+    CircuitError::BadElementValue {
+        details: format!("banded boundary construction failed: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +535,28 @@ mod tests {
     }
 
     #[test]
+    fn coupled_mesh_l_block_is_symmetric_psd() {
+        // The native K-coupled stamp must produce a symmetric positive
+        // semidefinite inductance block in E (ROADMAP: replaces the old
+        // post-stamp E-block injection).
+        for coupling in [0.0, 0.3, 0.7] {
+            let model = coupled_inductor_mesh(3, 3, coupling).unwrap();
+            let n_nodes = 9;
+            let n_ind = 6;
+            let l = model
+                .system
+                .e()
+                .block(n_nodes, n_nodes + n_ind, n_nodes, n_nodes + n_ind);
+            assert!(l.is_symmetric(0.0), "L block is not symmetric");
+            let min = ds_linalg::decomp::symmetric::min_eigenvalue(&l).unwrap();
+            assert!(
+                min > 1e-12,
+                "L block not positive definite at coupling {coupling}: λ_min = {min}"
+            );
+        }
+    }
+
+    #[test]
     fn coupled_mesh_zero_coupling_matches_plain_stamp() {
         let model = coupled_inductor_mesh(2, 3, 0.0).unwrap();
         let n_nodes = 6;
@@ -469,6 +619,66 @@ mod tests {
         assert!(perturbed_boundary_model(4, 0, 0.1, 0).is_err());
         assert!(perturbed_boundary_model(4, 1, -0.1, 0).is_err());
         assert!(perturbed_boundary_model(4, 1, f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn banded_model_margin_zero_is_passive_with_finite_frequency_graze() {
+        for seed in 0..4 {
+            let model = banded_boundary_model(2, 0.0, 2.0, seed).unwrap();
+            assert!(model.expected_passive);
+            assert_eq!(model.system.order(), 2 * 2 + 2);
+            assert!(
+                popov_min_over(&model.system, &[0.0, 0.5, 1.0, 2.0, 4.0, 20.0, 1e4]) >= -1e-9,
+                "seed {seed} dipped negative"
+            );
+            // The graze at ω₀ sits within the documented slack of the boundary.
+            let g = transfer::evaluate_jomega(&model.system, 2.0).unwrap();
+            let at_witness = g.popov_min_eigenvalue().unwrap();
+            assert!(
+                (0.0..=3.0 * BAND_SLACK).contains(&at_witness),
+                "seed {seed}: graze λ_min = {at_witness}"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_model_violation_is_band_limited_around_omega0() {
+        let margin = 0.3;
+        let omega0 = 2.0;
+        let model = banded_boundary_model(2, margin, omega0, 7).unwrap();
+        assert!(!model.expected_passive);
+        // Exactly −margin (within the slack) at the witness frequency…
+        let g = transfer::evaluate_jomega(&model.system, omega0).unwrap();
+        let at_witness = g.popov_min_eigenvalue().unwrap();
+        assert!(
+            (at_witness + margin).abs() < 1e-5,
+            "expected λ_min ≈ −{margin} at ω₀, got {at_witness}"
+        );
+        // …but positive at DC and at high frequency: the violation is a band
+        // interior to the axis, not a tail (ω = ∞ stays clean).
+        for &w in &[0.0, 0.05, 200.0, 1e5] {
+            let g = transfer::evaluate_jomega(&model.system, w).unwrap();
+            assert!(
+                g.popov_min_eigenvalue().unwrap() > 0.0,
+                "violation leaked to ω = {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_model_parameter_validation() {
+        assert!(banded_boundary_model(0, 0.1, 1.0, 0).is_err());
+        assert!(banded_boundary_model(2, -0.1, 1.0, 0).is_err());
+        assert!(banded_boundary_model(2, f64::NAN, 1.0, 0).is_err());
+        assert!(banded_boundary_model(2, 0.1, 0.0, 0).is_err());
+        assert!(banded_boundary_model(2, 0.1, f64::INFINITY, 0).is_err());
+    }
+
+    #[test]
+    fn banded_model_deterministic_for_fixed_seed() {
+        let a = banded_boundary_model(3, 0.2, 1.5, 11).unwrap();
+        let b = banded_boundary_model(3, 0.2, 1.5, 11).unwrap();
+        assert_eq!(a.system, b.system);
     }
 
     #[test]

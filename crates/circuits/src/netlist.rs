@@ -1,6 +1,9 @@
-//! Netlist data model: lumped RLC elements and current-driven ports.
+//! Netlist data model: lumped RLCG elements, mutual-inductance couplings and
+//! current-driven ports.
 
 use crate::error::CircuitError;
+use ds_linalg::decomp::symmetric;
+use ds_linalg::Matrix;
 
 /// A two-terminal lumped element.  Node `0` is ground; nodes `1..=num_nodes`
 /// are the circuit nodes.
@@ -34,6 +37,17 @@ pub enum Element {
         /// Inductance in henries (must be positive for a passive element).
         value: f64,
     },
+    /// Conductance of `value` siemens between `a` and `b` (a resistor given
+    /// by its admittance, the `G` element of RLGC transmission-line decks;
+    /// may be negative to model non-passive devices, and `0` is an open).
+    Conductance {
+        /// First terminal node.
+        a: usize,
+        /// Second terminal node.
+        b: usize,
+        /// Conductance in siemens.
+        value: f64,
+    },
 }
 
 impl Element {
@@ -42,26 +56,44 @@ impl Element {
         match *self {
             Element::Resistor { a, b, .. }
             | Element::Capacitor { a, b, .. }
-            | Element::Inductor { a, b, .. } => (a, b),
+            | Element::Inductor { a, b, .. }
+            | Element::Conductance { a, b, .. } => (a, b),
         }
     }
 
-    /// The element value (R, L or C).
+    /// The element value (R, L, C or G).
     pub fn value(&self) -> f64 {
         match *self {
             Element::Resistor { value, .. }
             | Element::Capacitor { value, .. }
-            | Element::Inductor { value, .. } => value,
+            | Element::Inductor { value, .. }
+            | Element::Conductance { value, .. } => value,
         }
     }
 
     /// `true` when the element value is consistent with a passive device.
     pub fn is_passive(&self) -> bool {
         match *self {
-            Element::Resistor { value, .. } => value >= 0.0,
+            Element::Resistor { value, .. } | Element::Conductance { value, .. } => value >= 0.0,
             Element::Capacitor { value, .. } | Element::Inductor { value, .. } => value > 0.0,
         }
     }
+}
+
+/// A mutual-inductance coupling (the SPICE `K` element) between two *named*
+/// inductors.  The stamped inductance block gets the off-diagonal entry
+/// `M = k·√(L₁·L₂)`; `|k| ≤ 1` keeps each coupled pair positive semidefinite.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Coupling {
+    /// Label of the coupling element itself (e.g. `K1`), used in diagnostics.
+    pub name: String,
+    /// Label of the first coupled inductor.
+    pub l1: String,
+    /// Label of the second coupled inductor.
+    pub l2: String,
+    /// Coupling coefficient; validation requires `|k| ≤ 1`.
+    pub k: f64,
 }
 
 /// A current-driven port: a current source injected into `node_plus` and drawn
@@ -86,7 +118,8 @@ impl Port {
     }
 }
 
-/// A flat netlist: a node count, a list of elements and a list of ports.
+/// A flat netlist: a node count, a list of (optionally labelled) elements,
+/// mutual-inductance couplings between named inductors, and a list of ports.
 #[derive(Debug, Clone, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Netlist {
@@ -94,6 +127,12 @@ pub struct Netlist {
     pub num_nodes: usize,
     /// Lumped elements.
     pub elements: Vec<Element>,
+    /// Element labels, parallel to `elements`; the empty string means
+    /// unlabelled.  Only inductor labels carry semantics (they are the
+    /// coupling targets of `K` elements).
+    pub labels: Vec<String>,
+    /// Mutual-inductance couplings between named inductors.
+    pub couplings: Vec<Coupling>,
     /// Current-driven ports.
     pub ports: Vec<Port>,
 }
@@ -104,13 +143,21 @@ impl Netlist {
         Netlist {
             num_nodes,
             elements: Vec::new(),
+            labels: Vec::new(),
+            couplings: Vec::new(),
             ports: Vec::new(),
         }
     }
 
-    /// Adds an element.
+    /// Adds an unlabelled element.
     pub fn add(&mut self, element: Element) -> &mut Self {
+        self.add_named(String::new(), element)
+    }
+
+    /// Adds an element with a label (e.g. the deck element name `L3`).
+    pub fn add_named(&mut self, label: impl Into<String>, element: Element) -> &mut Self {
         self.elements.push(element);
+        self.labels.push(label.into());
         self
     }
 
@@ -127,6 +174,40 @@ impl Netlist {
     /// Adds an inductor.
     pub fn inductor(&mut self, a: usize, b: usize, value: f64) -> &mut Self {
         self.add(Element::Inductor { a, b, value })
+    }
+
+    /// Adds a labelled inductor that `K` couplings can reference.
+    pub fn named_inductor(
+        &mut self,
+        label: impl Into<String>,
+        a: usize,
+        b: usize,
+        value: f64,
+    ) -> &mut Self {
+        self.add_named(label, Element::Inductor { a, b, value })
+    }
+
+    /// Adds a conductance.
+    pub fn conductance(&mut self, a: usize, b: usize, value: f64) -> &mut Self {
+        self.add(Element::Conductance { a, b, value })
+    }
+
+    /// Adds a mutual-inductance coupling between the inductors labelled `l1`
+    /// and `l2`.
+    pub fn couple(
+        &mut self,
+        name: impl Into<String>,
+        l1: impl Into<String>,
+        l2: impl Into<String>,
+        k: f64,
+    ) -> &mut Self {
+        self.couplings.push(Coupling {
+            name: name.into(),
+            l1: l1.into(),
+            l2: l2.into(),
+            k,
+        });
+        self
     }
 
     /// Adds a port.
@@ -148,17 +229,144 @@ impl Netlist {
         self.num_nodes + self.num_inductors()
     }
 
-    /// `true` when every element is individually passive.
-    pub fn is_passive_by_construction(&self) -> bool {
-        self.elements.iter().all(Element::is_passive)
+    /// Checks every coupling (coefficient range, distinct named targets, no
+    /// duplicate pairs) and resolves the targets to inductor ordinals (their
+    /// indices among the inductor elements in stamping order).  One pass over
+    /// the elements builds a label → ordinal map, so the whole resolution is
+    /// `O(elements + couplings)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the named-coupling error for the first violation found:
+    /// [`CircuitError::CouplingTargetNotFound`] /
+    /// [`CircuitError::CouplingTargetAmbiguous`] for unresolvable labels,
+    /// [`CircuitError::BadCoupling`] otherwise.
+    pub fn resolved_couplings(&self) -> Result<Vec<(usize, usize, f64)>, CircuitError> {
+        if self.couplings.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Label → Some(ordinal), or None once the label is seen twice.
+        let mut ordinals: std::collections::HashMap<&str, Option<usize>> =
+            std::collections::HashMap::new();
+        let mut ordinal = 0usize;
+        for (element, label) in self.elements.iter().zip(&self.labels) {
+            if matches!(element, Element::Inductor { .. }) {
+                if !label.is_empty() {
+                    ordinals
+                        .entry(label.as_str())
+                        .and_modify(|slot| *slot = None)
+                        .or_insert(Some(ordinal));
+                }
+                ordinal += 1;
+            }
+        }
+        let resolve = |coupling: &Coupling, label: &str| match ordinals.get(label) {
+            Some(Some(ordinal)) => Ok(*ordinal),
+            Some(None) => Err(CircuitError::CouplingTargetAmbiguous {
+                coupling: coupling.name.clone(),
+                label: label.to_string(),
+            }),
+            None => Err(CircuitError::CouplingTargetNotFound {
+                coupling: coupling.name.clone(),
+                label: label.to_string(),
+            }),
+        };
+        let mut resolved = Vec::with_capacity(self.couplings.len());
+        let mut seen_pairs: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
+        for coupling in &self.couplings {
+            if !coupling.k.is_finite() || coupling.k.abs() > 1.0 {
+                return Err(CircuitError::BadCoupling {
+                    coupling: coupling.name.clone(),
+                    details: format!(
+                        "coupling coefficient must be finite with |k| ≤ 1, got {}",
+                        coupling.k
+                    ),
+                });
+            }
+            let p = resolve(coupling, &coupling.l1)?;
+            let q = resolve(coupling, &coupling.l2)?;
+            if p == q {
+                return Err(CircuitError::BadCoupling {
+                    coupling: coupling.name.clone(),
+                    details: format!("couples inductor '{}' to itself", coupling.l1),
+                });
+            }
+            if !seen_pairs.insert((p.min(q), p.max(q))) {
+                return Err(CircuitError::BadCoupling {
+                    coupling: coupling.name.clone(),
+                    details: format!(
+                        "duplicate coupling between '{}' and '{}'",
+                        coupling.l1, coupling.l2
+                    ),
+                });
+            }
+            resolved.push((p, q, coupling.k));
+        }
+        Ok(resolved)
     }
 
-    /// Validates node ranges, element values and port presence.
+    /// The full (coupled) inductance matrix in branch-current order: element
+    /// values on the diagonal and `M = k·√(L₁·L₂)` off the diagonal for every
+    /// coupling.  This is the trailing diagonal block of the stamped `E`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coupling-resolution failures.
+    pub fn inductance_matrix(&self) -> Result<Matrix, CircuitError> {
+        let values: Vec<f64> = self
+            .elements
+            .iter()
+            .filter_map(|e| match *e {
+                Element::Inductor { value, .. } => Some(value),
+                _ => None,
+            })
+            .collect();
+        let mut l = Matrix::diag(&values);
+        for (p, q, k) in self.resolved_couplings()? {
+            let m = k * (values[p] * values[q]).sqrt();
+            l[(p, q)] += m;
+            l[(q, p)] += m;
+        }
+        Ok(l)
+    }
+
+    /// `true` when every element is individually passive and the coupled
+    /// inductance matrix is positive semidefinite (pairwise `|k| ≤ 1` bounds
+    /// each coupling, but several couplings sharing inductors can still drive
+    /// the joint matrix indefinite).
+    pub fn is_passive_by_construction(&self) -> bool {
+        if !self.elements.iter().all(Element::is_passive) {
+            return false;
+        }
+        if self.couplings.is_empty() {
+            return true;
+        }
+        match self.inductance_matrix() {
+            Ok(l) => {
+                let scale = l.diagonal().iter().fold(1.0f64, |acc, &d| acc.max(d));
+                symmetric::is_positive_semidefinite(&l, 1e-12 * scale).unwrap_or(false)
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Validates node ranges, element values, label bookkeeping, coupling
+    /// references and port presence.
     ///
     /// # Errors
     ///
     /// Returns the corresponding [`CircuitError`] variant for each violation.
     pub fn validate(&self) -> Result<(), CircuitError> {
+        if self.labels.len() != self.elements.len() {
+            return Err(CircuitError::BadElementValue {
+                details: format!(
+                    "label bookkeeping is inconsistent: {} labels for {} elements",
+                    self.labels.len(),
+                    self.elements.len()
+                ),
+            });
+        }
         for e in &self.elements {
             let (a, b) = e.terminals();
             for node in [a, b] {
@@ -186,6 +394,7 @@ impl Netlist {
                 });
             }
         }
+        self.resolved_couplings()?;
         if self.ports.is_empty() {
             return Err(CircuitError::NoPorts);
         }
@@ -236,6 +445,19 @@ mod tests {
             value: -5.0
         }
         .is_passive());
+        let g = Element::Conductance {
+            a: 2,
+            b: 0,
+            value: 0.5,
+        };
+        assert_eq!(g.terminals(), (2, 0));
+        assert!(g.is_passive());
+        assert!(!Element::Conductance {
+            a: 2,
+            b: 0,
+            value: -0.5
+        }
+        .is_passive());
     }
 
     #[test]
@@ -274,5 +496,109 @@ mod tests {
         net.resistor(1, 0, -2.0).port(Port::to_ground(1));
         assert!(net.validate().is_ok());
         assert!(!net.is_passive_by_construction());
+    }
+
+    fn coupled_pair() -> Netlist {
+        let mut net = Netlist::new(3);
+        net.named_inductor("L1", 1, 2, 0.5)
+            .named_inductor("L2", 3, 0, 2.0)
+            .resistor(2, 0, 1.0)
+            .resistor(3, 0, 1.0)
+            .couple("K1", "L1", "L2", 0.8)
+            .port(Port::to_ground(1));
+        net
+    }
+
+    #[test]
+    fn coupling_resolves_to_inductor_ordinals() {
+        let net = coupled_pair();
+        assert!(net.validate().is_ok());
+        assert_eq!(net.resolved_couplings().unwrap(), vec![(0, 1, 0.8)]);
+        let l = net.inductance_matrix().unwrap();
+        let m = 0.8 * (0.5f64 * 2.0).sqrt();
+        assert_eq!(l[(0, 0)], 0.5);
+        assert_eq!(l[(1, 1)], 2.0);
+        assert_eq!(l[(0, 1)], m);
+        assert_eq!(l[(1, 0)], m);
+        assert!(net.is_passive_by_construction());
+    }
+
+    #[test]
+    fn coupling_to_unknown_inductor_is_a_named_error() {
+        let mut net = coupled_pair();
+        net.couple("K2", "L1", "Lmissing", 0.1);
+        assert!(matches!(
+            net.validate(),
+            Err(CircuitError::CouplingTargetNotFound { coupling, label })
+                if coupling == "K2" && label == "Lmissing"
+        ));
+    }
+
+    #[test]
+    fn coupling_to_duplicate_inductor_label_is_a_named_error() {
+        let mut net = coupled_pair();
+        net.named_inductor("L1", 2, 3, 0.25);
+        assert!(matches!(
+            net.validate(),
+            Err(CircuitError::CouplingTargetAmbiguous { coupling, label })
+                if coupling == "K1" && label == "L1"
+        ));
+    }
+
+    #[test]
+    fn coupling_coefficient_and_pair_rules() {
+        let mut net = coupled_pair();
+        net.couplings[0].k = 1.5;
+        assert!(matches!(
+            net.validate(),
+            Err(CircuitError::BadCoupling { coupling, .. }) if coupling == "K1"
+        ));
+        let mut net = coupled_pair();
+        net.couplings[0].l2 = "L1".to_string();
+        assert!(matches!(
+            net.validate(),
+            Err(CircuitError::BadCoupling { .. })
+        ));
+        let mut net = coupled_pair();
+        net.couple("K2", "L2", "L1", 0.3);
+        assert!(matches!(
+            net.validate(),
+            Err(CircuitError::BadCoupling { coupling, .. }) if coupling == "K2"
+        ));
+    }
+
+    #[test]
+    fn perfect_coupling_is_allowed_and_psd() {
+        let mut net = coupled_pair();
+        net.couplings[0].k = 1.0;
+        assert!(net.validate().is_ok());
+        assert!(net.is_passive_by_construction());
+    }
+
+    #[test]
+    fn overcoupled_triple_is_not_passive_by_construction() {
+        // Three pairwise couplings of 0.9 make the 3×3 inductance matrix
+        // indefinite even though each |k| ≤ 1.
+        let mut net = Netlist::new(3);
+        net.named_inductor("LA", 1, 0, 1.0)
+            .named_inductor("LB", 2, 0, 1.0)
+            .named_inductor("LC", 3, 0, 1.0)
+            .couple("K1", "LA", "LB", 0.9)
+            .couple("K2", "LB", "LC", 0.9)
+            .couple("K3", "LA", "LC", -0.9)
+            .port(Port::to_ground(1));
+        assert!(net.validate().is_ok());
+        assert!(!net.is_passive_by_construction());
+    }
+
+    #[test]
+    fn label_bookkeeping_is_validated() {
+        let mut net = Netlist::new(1);
+        net.resistor(1, 0, 1.0).port(Port::to_ground(1));
+        net.labels.pop();
+        assert!(matches!(
+            net.validate(),
+            Err(CircuitError::BadElementValue { .. })
+        ));
     }
 }

@@ -8,6 +8,11 @@
 //! Options:
 //!
 //! * `--preset quick|golden|standard` — scenario ensemble (default `standard`);
+//! * `--decks DIR` — sweep SPICE decks instead of a preset: every `*.cir`
+//!   file under `DIR` (recursively, sorted by path) is parsed into a `deck`
+//!   scenario and run through all methods (LMI gated by order as usual);
+//!   deck fingerprints hash the canonicalized deck, so `--store`/`--resume`
+//!   work across runs; conflicts with `--preset`/`--quick`/`--tasks`;
 //! * `--tasks N` — grow the standard preset until the matrix has ≥ N tasks;
 //! * `--threads N` — worker-pool size (default: available parallelism);
 //! * `--out-dir PATH` — artifact directory (default `target/sweep`);
@@ -38,7 +43,8 @@ use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 struct Args {
-    preset: String,
+    preset: Option<String>,
+    decks_dir: Option<PathBuf>,
     tasks_target: Option<usize>,
     threads: usize,
     out_dir: PathBuf,
@@ -68,7 +74,8 @@ fn parse_shard(text: &str) -> Result<(usize, usize), String> {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        preset: "standard".to_string(),
+        preset: None,
+        decks_dir: None,
         tasks_target: None,
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         out_dir: PathBuf::from("target/sweep"),
@@ -83,7 +90,8 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
-            "--preset" => args.preset = value("--preset")?,
+            "--preset" => args.preset = Some(value("--preset")?),
+            "--decks" => args.decks_dir = Some(PathBuf::from(value("--decks")?)),
             "--tasks" => {
                 args.tasks_target = Some(
                     value("--tasks")?
@@ -103,19 +111,30 @@ fn parse_args() -> Result<Args, String> {
             "--stream" => args.stream = true,
             "--no-violations" => args.sample_violations = false,
             "--compare-single-thread" => args.compare_single_thread = true,
-            "--quick" => args.preset = "quick".to_string(),
+            "--quick" => args.preset = Some("quick".to_string()),
             other => return Err(format!("unknown argument: {other}")),
         }
     }
     if args.resume && args.store_dir.is_none() {
         return Err("--resume requires --store DIR".to_string());
     }
+    if args.decks_dir.is_some() && (args.preset.is_some() || args.tasks_target.is_some()) {
+        return Err(
+            "--decks builds the matrix from the deck files; drop --preset/--quick/--tasks"
+                .to_string(),
+        );
+    }
     Ok(args)
 }
 
 fn build_tasks(args: &Args) -> Result<Vec<SweepTask>, String> {
     let methods = [Method::Proposed, Method::Weierstrass, Method::Lmi];
-    match args.preset.as_str() {
+    if let Some(dir) = &args.decks_dir {
+        let scenarios = ds_harness::scenario::deck_scenarios_from_dir(dir)?;
+        eprintln!("# decks: {} parsed from {}", scenarios.len(), dir.display());
+        return Ok(scenario_matrix(&scenarios, &methods));
+    }
+    match args.preset.as_deref().unwrap_or("standard") {
         "quick" => Ok(scenario_matrix(
             &quick_scenarios(),
             &[Method::Proposed, Method::Weierstrass],
@@ -175,9 +194,13 @@ fn run() -> Result<(), String> {
         );
     }
 
+    let matrix_source = match &args.decks_dir {
+        Some(dir) => format!("decks:{}", dir.display()),
+        None => args.preset.clone().unwrap_or_else(|| "standard".into()),
+    };
     eprintln!(
-        "# ds-sweep: preset={} tasks={} threads={}",
-        args.preset,
+        "# ds-sweep: matrix={} tasks={} threads={}",
+        matrix_source,
         indexed.len(),
         args.threads
     );

@@ -18,9 +18,32 @@ pub const GOLDEN_VERSION: u32 = 1;
 /// is the expensive method; the conformance suite keeps it to tiny models).
 pub const GOLDEN_LMI_MAX_ORDER: usize = 13;
 
+/// The committed example decks pinned by the golden fixture (embedded at
+/// compile time, so fixture and corpus cannot drift apart silently).
+pub fn golden_deck_scenarios() -> Vec<Scenario> {
+    let decks: [(&str, &str); 2] = [
+        (
+            "coupled_pair",
+            include_str!("../../../examples/decks/coupled_pair.cir"),
+        ),
+        (
+            "nonpassive_ladder",
+            include_str!("../../../examples/decks/nonpassive_ladder.cir"),
+        ),
+    ];
+    decks
+        .into_iter()
+        .map(|(name, text)| {
+            let deck = ds_netlist::parse_deck(text)
+                .unwrap_or_else(|e| panic!("committed deck {name} does not parse: {e}"));
+            Scenario::from_deck(name, &deck)
+        })
+        .collect()
+}
+
 /// The scenarios pinned by the golden fixture: every family at small orders.
 pub fn golden_scenarios() -> Vec<Scenario> {
-    vec![
+    let mut scenarios = vec![
         Scenario::new(FamilyKind::RcLadder, 4),
         Scenario::new(FamilyKind::RcLadder, 8),
         Scenario::new(FamilyKind::RlcLadder, 3),
@@ -40,6 +63,12 @@ pub fn golden_scenarios() -> Vec<Scenario> {
         Scenario::new(FamilyKind::PerturbedBoundary, 6)
             .with_margin(0.5)
             .with_seed(2),
+        Scenario::new(FamilyKind::BoundaryBand, 0)
+            .with_ports(2)
+            .with_seed(1),
+        Scenario::new(FamilyKind::BoundaryBand, 0)
+            .with_margin(0.5)
+            .with_seed(2),
         Scenario::new(FamilyKind::NonpassiveLadder, 8),
         Scenario::new(FamilyKind::NegativeM1, 8),
         Scenario::new(FamilyKind::RandomPassive, 5),
@@ -47,7 +76,9 @@ pub fn golden_scenarios() -> Vec<Scenario> {
             .with_ports(2)
             .with_seed(1),
         Scenario::new(FamilyKind::RandomNonpassive, 5),
-    ]
+    ];
+    scenarios.extend(golden_deck_scenarios());
+    scenarios
 }
 
 /// Whether a golden scenario participates in the LMI column.  Besides the
@@ -62,7 +93,13 @@ fn lmi_in_golden(scenario: &Scenario) -> bool {
     }
     match scenario.family {
         FamilyKind::NonpassiveLadder | FamilyKind::NegativeM1 => false,
-        FamilyKind::PerturbedBoundary => scenario.margin == 0.0,
+        FamilyKind::PerturbedBoundary | FamilyKind::BoundaryBand => scenario.margin == 0.0,
+        // Same policy for decks: only expected-passive ones join the LMI
+        // column (the infeasibility certificate is the slow path).
+        FamilyKind::Deck => scenario
+            .deck
+            .as_ref()
+            .is_some_and(|deck| deck.expected_passive),
         _ => true,
     }
 }
@@ -117,9 +154,9 @@ mod tests {
     #[test]
     fn golden_matrix_is_stable_and_small() {
         let tasks = golden_tasks();
-        // 19 scenarios × 2 methods + the small-order LMI subset.
-        assert!(tasks.len() >= 40, "golden matrix shrank: {}", tasks.len());
-        assert!(tasks.len() <= 60, "golden matrix grew: {}", tasks.len());
+        // 23 scenarios × 2 methods + the small-order LMI subset.
+        assert!(tasks.len() >= 46, "golden matrix shrank: {}", tasks.len());
+        assert!(tasks.len() <= 72, "golden matrix grew: {}", tasks.len());
         assert!(tasks
             .iter()
             .filter(|t| t.method == Method::Lmi)
@@ -131,6 +168,8 @@ mod tests {
             "coupled_mesh",
             "tline_chain",
             "perturbed_boundary",
+            "boundary_band",
+            "deck",
             "random_nonpassive",
         ] {
             assert!(

@@ -54,7 +54,10 @@ pub mod sweep;
 
 pub use artifacts::{render_csv, render_jsonl, validate_csv, validate_jsonl, SweepSummary};
 pub use method::{run_method, Method, LMI_MAX_ORDER};
-pub use scenario::{scenario_matrix, FamilyKind, Scenario, ScenarioKey, SweepTask};
+pub use scenario::{
+    deck_scenarios_from_dir, deck_seed, scenario_matrix, DeckSpec, FamilyKind, Scenario,
+    ScenarioKey, SweepTask,
+};
 pub use store::{record_fingerprint, shard_tasks, task_fingerprint, ResultStore};
 pub use sweep::{run_sweep, run_sweep_with_progress, SweepRecord, SweepResult, SweepSpec};
 
@@ -63,8 +66,8 @@ pub mod prelude {
     pub use crate::artifacts::{render_csv, render_jsonl, SweepSummary};
     pub use crate::method::{run_method, Method, LMI_MAX_ORDER};
     pub use crate::scenario::{
-        quick_scenarios, scenario_matrix, standard_scenarios, standard_tasks, FamilyKind, Scenario,
-        ScenarioKey, SweepTask,
+        deck_scenarios_from_dir, quick_scenarios, scenario_matrix, standard_scenarios,
+        standard_tasks, DeckSpec, FamilyKind, Scenario, ScenarioKey, SweepTask,
     };
     pub use crate::store::{record_fingerprint, shard_tasks, task_fingerprint, ResultStore};
     pub use crate::sweep::{

@@ -11,7 +11,8 @@ use ds_circuits::multiport;
 use ds_circuits::random::{
     random_nonpassive_descriptor, random_passive_descriptor, RandomPassiveOptions,
 };
-use ds_circuits::CircuitError;
+use ds_circuits::{mna, CircuitError, Netlist};
+use std::sync::Arc;
 
 /// The circuit families the harness can sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,6 +35,13 @@ pub enum FamilyKind {
     TlineChain,
     /// Near-passivity-boundary model (`size` = dynamic states, `margin`).
     PerturbedBoundary,
+    /// Band-limited near-boundary model: the violation sits at a *finite*
+    /// witness frequency `ω₀` derived from the seed (`margin`, `ports`;
+    /// `size` is unused — the order is `2·ports + 2`).
+    BoundaryBand,
+    /// A parsed SPICE deck (payload in [`Scenario::deck`]; `size` = stamped
+    /// order, `seed` = canonical-deck content hash).
+    Deck,
     /// Non-passive ladder with a negative series resistance (`size` = order).
     NonpassiveLadder,
     /// Non-passive model with an indefinite `M₁` (`size` = order).
@@ -46,7 +54,7 @@ pub enum FamilyKind {
 
 impl FamilyKind {
     /// Every family, in declaration order.
-    pub const ALL: [FamilyKind; 13] = [
+    pub const ALL: [FamilyKind; 15] = [
         FamilyKind::RcLadder,
         FamilyKind::RlcLadder,
         FamilyKind::ImpulsiveLadder,
@@ -56,6 +64,8 @@ impl FamilyKind {
         FamilyKind::CoupledMesh,
         FamilyKind::TlineChain,
         FamilyKind::PerturbedBoundary,
+        FamilyKind::BoundaryBand,
+        FamilyKind::Deck,
         FamilyKind::NonpassiveLadder,
         FamilyKind::NegativeM1,
         FamilyKind::RandomPassive,
@@ -80,10 +90,43 @@ impl FamilyKind {
             FamilyKind::CoupledMesh => "coupled_mesh",
             FamilyKind::TlineChain => "tline_chain",
             FamilyKind::PerturbedBoundary => "perturbed_boundary",
+            FamilyKind::BoundaryBand => "boundary_band",
+            FamilyKind::Deck => "deck",
             FamilyKind::NonpassiveLadder => "nonpassive_ladder",
             FamilyKind::NegativeM1 => "negative_m1",
             FamilyKind::RandomPassive => "random_passive",
             FamilyKind::RandomNonpassive => "random_nonpassive",
+        }
+    }
+}
+
+/// The payload of a [`FamilyKind::Deck`] scenario: a parsed, validated
+/// netlist together with the identity the store fingerprints it under.
+///
+/// The content hash rides in the scenario's `seed` field, so deck records
+/// persist and resume through the result store with the standard
+/// `family|order|ports|seed|margin|method` fingerprint — no schema change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeckSpec {
+    /// Deck name (by convention the `.cir` file stem).
+    pub name: String,
+    /// The parsed netlist.
+    pub netlist: Netlist,
+    /// FNV-1a hash of the canonicalized deck text.
+    pub hash: u64,
+    /// Ground truth: the deck's `.expect` annotation, or
+    /// passivity-by-construction when absent.
+    pub expected_passive: bool,
+}
+
+impl DeckSpec {
+    /// Builds the spec from a parsed deck.
+    pub fn from_deck(name: impl Into<String>, deck: &ds_netlist::Deck) -> Self {
+        DeckSpec {
+            name: name.into(),
+            netlist: deck.netlist.clone(),
+            hash: deck.content_hash(),
+            expected_passive: deck.expected_passive(),
         }
     }
 }
@@ -97,10 +140,13 @@ pub struct Scenario {
     pub size: usize,
     /// Number of ports, where the family supports it.
     pub ports: usize,
-    /// Seed for the randomized families (ignored by deterministic ones).
+    /// Seed for the randomized families (ignored by deterministic ones;
+    /// carries the canonical content hash for [`FamilyKind::Deck`]).
     pub seed: u64,
-    /// Violation margin for [`FamilyKind::PerturbedBoundary`].
+    /// Violation margin for the near-boundary families.
     pub margin: f64,
+    /// The deck payload — `Some` exactly for [`FamilyKind::Deck`].
+    pub deck: Option<Arc<DeckSpec>>,
 }
 
 /// Hashable identity of a [`Scenario`]: every field that feeds the generator,
@@ -129,6 +175,22 @@ impl Scenario {
             ports: 1,
             seed: 0,
             margin: 0.0,
+            deck: None,
+        }
+    }
+
+    /// A [`FamilyKind::Deck`] scenario for a parsed deck: `size` is the
+    /// stamped MNA order, `ports` the deck's port count, and `seed` the
+    /// canonical content hash (giving deck tasks stable store fingerprints).
+    pub fn from_deck(name: impl Into<String>, deck: &ds_netlist::Deck) -> Self {
+        let spec = DeckSpec::from_deck(name, deck);
+        Scenario {
+            family: FamilyKind::Deck,
+            size: spec.netlist.state_dimension(),
+            ports: spec.netlist.ports.len(),
+            seed: deck_seed(spec.hash),
+            margin: 0.0,
+            deck: Some(Arc::new(spec)),
         }
     }
 
@@ -184,6 +246,8 @@ impl Scenario {
             FamilyKind::CoupledMesh => s * s + s * (s - 1),
             FamilyKind::TlineChain => 3 * s + 1,
             FamilyKind::PerturbedBoundary => s + 2,
+            FamilyKind::BoundaryBand => 2 * self.ports + 2,
+            FamilyKind::Deck => s,
             FamilyKind::RandomPassive => {
                 s + 2
                     + if self.seed.is_multiple_of(2) {
@@ -217,6 +281,28 @@ impl Scenario {
             FamilyKind::TlineChain => multiport::lossy_tline_chain(self.size),
             FamilyKind::PerturbedBoundary => {
                 multiport::perturbed_boundary_model(self.size, self.ports, self.margin, self.seed)
+            }
+            FamilyKind::BoundaryBand => multiport::banded_boundary_model(
+                self.ports,
+                self.margin,
+                banded_omega0(self.seed),
+                self.seed,
+            ),
+            FamilyKind::Deck => {
+                let spec = self
+                    .deck
+                    .as_ref()
+                    .ok_or_else(|| CircuitError::BadElementValue {
+                        details: "deck scenario carries no deck payload".into(),
+                    })?;
+                let system = mna::stamp(&spec.netlist)?;
+                Ok(CircuitModel {
+                    name: format!("deck({})", spec.name),
+                    system,
+                    expected_passive: spec.expected_passive,
+                    // Not derived for decks; the field is generator metadata.
+                    has_impulsive_modes: false,
+                })
             }
             FamilyKind::NonpassiveLadder => generators::nonpassive_ladder(self.size),
             FamilyKind::NegativeM1 => generators::negative_m1_model(self.size),
@@ -260,6 +346,74 @@ impl Scenario {
             }
         }
     }
+}
+
+/// The content hash as it rides in a deck scenario's `seed`: persisted
+/// records serialize the seed through the JSON number representation, which
+/// is exact only up to 2⁵³, so the 64-bit canonical hash is truncated to its
+/// low 53 bits (collisions need ~10⁸ distinct decks; the full hash stays
+/// available on [`DeckSpec::hash`]).
+pub fn deck_seed(hash: u64) -> u64 {
+    hash & ((1u64 << 53) - 1)
+}
+
+/// Recursively collects every `*.cir` file under `dir` (sorted by path, so
+/// the scenario order — and therefore task ids and artifacts — is
+/// deterministic) and parses each into a [`FamilyKind::Deck`] scenario named
+/// after its path relative to `dir` (without the extension).
+///
+/// # Errors
+///
+/// Reports I/O failures and the first parse failure as
+/// `<path>: line L, column C: message`.
+pub fn deck_scenarios_from_dir(dir: &std::path::Path) -> Result<Vec<Scenario>, String> {
+    fn walk(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) -> Result<(), String> {
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, out)?;
+            } else if path
+                .extension()
+                .is_some_and(|ext| ext.eq_ignore_ascii_case("cir"))
+            {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut paths = Vec::new();
+    walk(dir, &mut paths)?;
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .cir decks found under {}", dir.display()));
+    }
+    let mut scenarios = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let deck = ds_netlist::parse_deck(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let name = path
+            .strip_prefix(dir)
+            .unwrap_or(&path)
+            .with_extension("")
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        scenarios.push(Scenario::from_deck(name, &deck));
+    }
+    Ok(scenarios)
+}
+
+/// The witness frequency a [`FamilyKind::BoundaryBand`] scenario derives from
+/// its seed: `ω₀ = 1 + 0.5·(seed mod 5)`, so replicated seeds spread the
+/// violation band across the frequency axis while staying inside the
+/// violation-sampling grid.
+pub fn banded_omega0(seed: u64) -> f64 {
+    1.0 + 0.5 * (seed % 5) as f64
 }
 
 /// One unit of work for the sweep engine: a scenario paired with a method.
@@ -307,6 +461,12 @@ pub fn quick_scenarios() -> Vec<Scenario> {
             .with_ports(2)
             .with_margin(0.25)
             .with_seed(1),
+        Scenario::new(FamilyKind::BoundaryBand, 0)
+            .with_ports(2)
+            .with_seed(2),
+        Scenario::new(FamilyKind::BoundaryBand, 0)
+            .with_margin(0.4)
+            .with_seed(2),
         Scenario::new(FamilyKind::NonpassiveLadder, 8),
         Scenario::new(FamilyKind::NegativeM1, 8),
         Scenario::new(FamilyKind::RandomPassive, 5).with_seed(2),
@@ -354,6 +514,14 @@ pub fn standard_scenarios(seeds: u64) -> Vec<Scenario> {
                     .with_seed(seed),
             );
         }
+        for &margin in &[0.0, 0.25] {
+            scenarios.push(
+                Scenario::new(FamilyKind::BoundaryBand, 0)
+                    .with_ports(1 + (seed as usize) % 2)
+                    .with_margin(margin)
+                    .with_seed(seed),
+            );
+        }
         scenarios.push(Scenario::new(FamilyKind::RandomPassive, 6).with_seed(seed));
         scenarios.push(Scenario::new(FamilyKind::RandomNonpassive, 6).with_seed(seed));
     }
@@ -395,6 +563,10 @@ mod tests {
             Scenario::new(FamilyKind::CoupledMesh, 3),
             Scenario::new(FamilyKind::TlineChain, 4),
             Scenario::new(FamilyKind::PerturbedBoundary, 5).with_ports(2),
+            Scenario::new(FamilyKind::BoundaryBand, 0)
+                .with_ports(2)
+                .with_seed(3),
+            Scenario::new(FamilyKind::BoundaryBand, 0).with_margin(0.25),
             Scenario::new(FamilyKind::NonpassiveLadder, 8),
             Scenario::new(FamilyKind::NegativeM1, 8),
             Scenario::new(FamilyKind::RandomPassive, 5).with_seed(2),
@@ -424,6 +596,35 @@ mod tests {
         assert!(!tasks
             .iter()
             .any(|t| t.method == Method::Lmi && t.scenario.order() > LMI_MAX_ORDER));
+    }
+
+    #[test]
+    fn deck_scenarios_carry_their_payload_and_hash() {
+        let deck = ds_netlist::parse_deck(
+            "L1 a b 1\nL2 c 0 2\nK1 L1 L2 0.6\nR1 b 0 1\nR2 c 0 1\n.port a\n.end\n",
+        )
+        .unwrap();
+        let scenario = Scenario::from_deck("pair", &deck);
+        assert_eq!(scenario.family, FamilyKind::Deck);
+        assert_eq!(scenario.ports, 1);
+        assert_eq!(scenario.size, deck.netlist.state_dimension());
+        assert_eq!(scenario.seed, deck_seed(deck.content_hash()));
+        // The seed survives an f64 round-trip (the JSONL number path).
+        assert_eq!(scenario.seed as f64 as u64, scenario.seed);
+        let model = scenario.build().unwrap();
+        assert_eq!(model.name, "deck(pair)");
+        assert_eq!(model.system.order(), scenario.order());
+        assert!(model.expected_passive);
+        // A deck scenario without its payload is a build error, not a panic.
+        let mut stripped = scenario.clone();
+        stripped.deck = None;
+        assert!(stripped.build().is_err());
+        // Renaming nodes leaves the fingerprint identity unchanged.
+        let renamed = ds_netlist::parse_deck(
+            "L1 x y 1\nL2 z 0 2\nK1 L1 L2 0.6\nR1 y 0 1\nR2 z 0 1\n.port x\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(Scenario::from_deck("pair", &renamed).key(), scenario.key());
     }
 
     #[test]

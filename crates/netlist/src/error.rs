@@ -1,0 +1,58 @@
+//! Deck parse errors with exact line/column diagnostics.
+
+use std::fmt;
+
+/// A deck parse failure, pointing at the offending token.
+///
+/// `line` is the 1-based *physical* line (continuation lines report their own
+/// line number, not the logical line they extend) and `col` is the 1-based
+/// character column of the token the parser rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based physical line of the offending token.
+    pub line: usize,
+    /// 1-based character column of the offending token.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at `line:col`.
+    pub fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position() {
+        let e = ParseError::new(3, 7, "bad token");
+        assert_eq!(e.to_string(), "line 3, column 7: bad token");
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ParseError>();
+    }
+}

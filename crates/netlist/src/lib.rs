@@ -1,0 +1,180 @@
+//! # ds-netlist
+//!
+//! The SPICE-deck front-end of the passivity suite: a hand-rolled parser for
+//! a SPICE-style netlist format (`R/L/C/G` elements, `K` mutual-inductance
+//! couplings, engineering-notation values, comments and continuations,
+//! `.port`/`.expect`/`.end` directives) with exact line/column diagnostics,
+//! plus a canonical renderer and a stable content hash so decks can be
+//! fingerprinted by the sweep harness's persistent result store.
+//!
+//! Vendor policy: like the harness's JSON layer, the parser is hand-rolled —
+//! the build environment has no registry access, and the accepted grammar is
+//! small enough that a recursive tokenizer is clearer than a dependency.
+//!
+//! # Example
+//!
+//! ```
+//! let deck = ds_netlist::parse_deck(
+//!     "* RC divider\n\
+//!      R1 in mid 1k\n\
+//!      C1 mid 0 1u\n\
+//!      .port in\n\
+//!      .end\n",
+//! )?;
+//! assert_eq!(deck.netlist.num_nodes, 2);
+//! assert_eq!(deck.netlist.elements.len(), 2);
+//! assert!(deck.expected_passive());
+//! # Ok::<(), ds_netlist::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod parse;
+pub mod render;
+pub mod value;
+
+pub use error::ParseError;
+pub use parse::parse_deck;
+pub use render::{fnv1a64, render_netlist};
+pub use value::parse_value;
+
+use ds_circuits::Netlist;
+
+/// A parsed deck: the netlist, the original node names (index `i` holds the
+/// uppercased name of netlist node `i + 1`), and the optional `.expect`
+/// ground-truth annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deck {
+    /// The parsed netlist, nodes numbered by first appearance.
+    pub netlist: Netlist,
+    /// Original node names, in numbering order.
+    pub node_names: Vec<String>,
+    /// The `.expect` annotation: `Some(true)` for `.expect passive`,
+    /// `Some(false)` for `.expect nonpassive`, `None` when absent.
+    pub expect: Option<bool>,
+}
+
+impl Deck {
+    /// The canonical text of this deck (see [`render_netlist`]): node names
+    /// erased, values in shortest round-trip form — the normalization behind
+    /// [`Deck::content_hash`].
+    pub fn canonical_text(&self) -> String {
+        render_netlist(&self.netlist, self.expect)
+    }
+
+    /// Stable 64-bit content fingerprint of the canonicalized deck (FNV-1a).
+    /// Decks differing only in comments, whitespace, node naming or value
+    /// spelling hash identically.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(&self.canonical_text())
+    }
+
+    /// Ground truth for harnesses: the `.expect` annotation when present,
+    /// otherwise passivity-by-construction of the netlist (every element
+    /// individually passive and the coupled inductance matrix PSD).
+    pub fn expected_passive(&self) -> bool {
+        self.expect
+            .unwrap_or_else(|| self.netlist.is_passive_by_construction())
+    }
+}
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::error::ParseError;
+    pub use crate::parse::parse_deck;
+    pub use crate::render::{fnv1a64, render_netlist};
+    pub use crate::Deck;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_circuits::{Element, Port};
+
+    const COUPLED: &str = "\
+* two-winding transformer with resistive terminations
+L1 in 0 1.0
+L2 out 0 1.0
+K1 L1 L2 0.5
+R1 out 0 1k
+.port in
+.port out
+.end
+";
+
+    #[test]
+    fn parses_coupled_deck() {
+        let deck = parse_deck(COUPLED).unwrap();
+        assert_eq!(deck.netlist.num_nodes, 2);
+        assert_eq!(deck.netlist.elements.len(), 3);
+        assert_eq!(deck.netlist.couplings.len(), 1);
+        assert_eq!(deck.netlist.ports.len(), 2);
+        assert_eq!(deck.node_names, vec!["IN".to_string(), "OUT".to_string()]);
+        assert!(deck.netlist.validate().is_ok());
+        assert!(deck.expected_passive());
+    }
+
+    #[test]
+    fn canonical_text_is_a_parse_render_fixed_point() {
+        let deck = parse_deck(COUPLED).unwrap();
+        let canon = deck.canonical_text();
+        let reparsed = parse_deck(&canon).unwrap();
+        assert_eq!(reparsed.netlist, deck.netlist);
+        assert_eq!(reparsed.canonical_text(), canon);
+    }
+
+    #[test]
+    fn hash_is_invariant_under_renaming_comments_and_value_spelling() {
+        let renamed = "\
+LA primary gnd 1000m ; primary winding
+* a comment line
+LB secondary gnd 1
+KX LA LB 0.5
+RT secondary gnd
++ 1000
+.port primary
+.port secondary
+";
+        let a = parse_deck(COUPLED).unwrap();
+        let b = parse_deck(renamed).unwrap();
+        // Labels differ, so the netlists differ — but the circuits are
+        // α-equivalent up to labels and nodes; structural fields agree.
+        assert_eq!(a.netlist.elements, b.netlist.elements);
+        assert_eq!(a.netlist.ports, b.netlist.ports);
+        // And a label-identical respelling hashes identically.
+        let respelled = COUPLED
+            .replace("1k", "0.001MEG")
+            .replace("in", "node_a")
+            .replace("out", "node_b");
+        let c = parse_deck(&respelled).unwrap();
+        assert_eq!(a.content_hash(), c.content_hash());
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn expect_annotation_overrides_construction() {
+        let deck = parse_deck("R1 a 0 -5\n.port a\n.expect nonpassive\n.end\n").unwrap();
+        assert_eq!(deck.expect, Some(false));
+        assert!(!deck.expected_passive());
+        let deck = parse_deck("R1 a 0 5\n.port a\n").unwrap();
+        assert_eq!(deck.expect, None);
+        assert!(deck.expected_passive());
+    }
+
+    #[test]
+    fn ground_aliases_and_conductance() {
+        let deck = parse_deck("G1 a GND 0.25\nC1 a 0 1u\n.port a\n").unwrap();
+        assert_eq!(deck.netlist.num_nodes, 1);
+        assert_eq!(
+            deck.netlist.elements[0],
+            Element::Conductance {
+                a: 1,
+                b: 0,
+                value: 0.25
+            }
+        );
+        assert_eq!(deck.netlist.ports[0], Port::to_ground(1));
+    }
+}

@@ -1,0 +1,374 @@
+//! The SPICE-deck parser: physical lines → logical lines → netlist.
+//!
+//! Grammar accepted (case-insensitive, whitespace-separated fields):
+//!
+//! ```text
+//! * full-line comment                 ; trailing comment after a semicolon
+//! Rname  node node value              resistor        (ohms, may be negative)
+//! Lname  node node value              inductor        (henries, > 0)
+//! Cname  node node value              capacitor       (farads, > 0)
+//! Gname  node node value              conductance     (siemens, may be negative)
+//! Kname  Lname Lname k                mutual coupling (|k| ≤ 1)
+//! + continuation of the previous line
+//! .port  node [node]                  current-driven port (default return: ground)
+//! .expect passive|nonpassive          ground-truth annotation for harnesses
+//! .end                                optional terminator; nothing may follow
+//! ```
+//!
+//! Node tokens are arbitrary names; `0` and `gnd` are ground.  Non-ground
+//! nodes are numbered by first appearance, so two decks differing only in
+//! node naming parse to identical netlists.  Values use the engineering
+//! notation of [`crate::value`].
+
+use crate::error::ParseError;
+use crate::value::parse_value;
+use crate::Deck;
+use ds_circuits::{CircuitError, Element, Netlist, Port};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Token {
+    text: String,
+    line: usize,
+    col: usize,
+}
+
+/// Splits one physical line into tokens, tracking 1-based character columns.
+/// `offset` shifts the starting column (used for continuation bodies).
+fn tokenize_into(tokens: &mut Vec<Token>, text: &str, line: usize, col_offset: usize) {
+    let mut col = col_offset;
+    let mut current = String::new();
+    let mut start = 0usize;
+    for ch in text.chars() {
+        col += 1;
+        if ch.is_whitespace() {
+            if !current.is_empty() {
+                tokens.push(Token {
+                    text: std::mem::take(&mut current),
+                    line,
+                    col: start,
+                });
+            }
+        } else {
+            if current.is_empty() {
+                start = col;
+            }
+            current.push(ch);
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(Token {
+            text: current,
+            line,
+            col: start,
+        });
+    }
+}
+
+/// Strips a trailing `;` comment from a physical line.
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Assembles the logical lines: comments and blanks dropped, `+`
+/// continuations folded into their predecessor.
+fn logical_lines(source: &str) -> Result<Vec<Vec<Token>>, ParseError> {
+    let mut lines: Vec<Vec<Token>> = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let body = strip_comment(raw);
+        let trimmed = body.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        let leading = body.chars().count() - trimmed.chars().count();
+        if let Some(rest) = trimmed.strip_prefix('+') {
+            let Some(last) = lines.last_mut() else {
+                return Err(ParseError::new(
+                    lineno,
+                    leading + 1,
+                    "continuation line before any netlist line",
+                ));
+            };
+            tokenize_into(last, rest, lineno, leading + 1);
+        } else {
+            let mut tokens = Vec::new();
+            tokenize_into(&mut tokens, trimmed, lineno, leading);
+            lines.push(tokens);
+        }
+    }
+    Ok(lines)
+}
+
+/// Maps node-name tokens to netlist indices: ground aliases to 0, everything
+/// else numbered by first appearance.
+struct NodeMap {
+    indices: HashMap<String, usize>,
+    names: Vec<String>,
+}
+
+impl NodeMap {
+    fn new() -> Self {
+        NodeMap {
+            indices: HashMap::new(),
+            names: Vec::new(),
+        }
+    }
+
+    fn resolve(&mut self, token: &Token) -> usize {
+        let name = token.text.to_ascii_uppercase();
+        if name == "0" || name == "GND" {
+            return 0;
+        }
+        *self.indices.entry(name.clone()).or_insert_with(|| {
+            self.names.push(name);
+            self.names.len()
+        })
+    }
+}
+
+fn expect_fields<'a>(
+    tokens: &'a [Token],
+    count: usize,
+    usage: &str,
+) -> Result<&'a [Token], ParseError> {
+    let head = &tokens[0];
+    if tokens.len() < count + 1 {
+        return Err(ParseError::new(
+            head.line,
+            head.col,
+            format!("'{}' expects {count} fields: {usage}", head.text),
+        ));
+    }
+    if tokens.len() > count + 1 {
+        let extra = &tokens[count + 1];
+        return Err(ParseError::new(
+            extra.line,
+            extra.col,
+            format!("unexpected token '{}' after {usage}", extra.text),
+        ));
+    }
+    Ok(&tokens[1..])
+}
+
+fn parse_value_at(token: &Token) -> Result<f64, ParseError> {
+    parse_value(&token.text).map_err(|m| ParseError::new(token.line, token.col, m))
+}
+
+/// Parses a complete SPICE-style deck.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the first offending token.
+pub fn parse_deck(source: &str) -> Result<Deck, ParseError> {
+    let lines = logical_lines(source)?;
+    if lines.is_empty() {
+        return Err(ParseError::new(1, 1, "deck contains no netlist lines"));
+    }
+    let mut nodes = NodeMap::new();
+    let mut netlist = Netlist::new(0);
+    let mut expect: Option<bool> = None;
+    let mut seen_names: HashMap<String, (usize, usize)> = HashMap::new();
+    let mut coupling_pos: HashMap<String, (usize, usize)> = HashMap::new();
+    let mut ended = false;
+    let mut last_line = 1usize;
+
+    for tokens in &lines {
+        let head = &tokens[0];
+        last_line = tokens.iter().map(|t| t.line).max().unwrap_or(head.line);
+        if ended {
+            return Err(ParseError::new(head.line, head.col, "content after .end"));
+        }
+        if let Some(directive) = head.text.strip_prefix('.') {
+            match directive.to_ascii_lowercase().as_str() {
+                "port" => {
+                    if tokens.len() < 2 || tokens.len() > 3 {
+                        return Err(ParseError::new(
+                            head.line,
+                            head.col,
+                            ".port expects 1 or 2 node arguments",
+                        ));
+                    }
+                    let plus = nodes.resolve(&tokens[1]);
+                    let minus = tokens.get(2).map_or(0, |t| nodes.resolve(t));
+                    netlist.port(Port {
+                        node_plus: plus,
+                        node_minus: minus,
+                    });
+                }
+                "expect" => {
+                    let arg = tokens.get(1).ok_or_else(|| {
+                        ParseError::new(
+                            head.line,
+                            head.col,
+                            ".expect expects 'passive' or 'nonpassive'",
+                        )
+                    })?;
+                    expect = match arg.text.to_ascii_lowercase().as_str() {
+                        "passive" => Some(true),
+                        "nonpassive" => Some(false),
+                        _ => {
+                            return Err(ParseError::new(
+                                arg.line,
+                                arg.col,
+                                format!(
+                                    "unknown .expect argument '{}' (expected 'passive' or 'nonpassive')",
+                                    arg.text
+                                ),
+                            ))
+                        }
+                    };
+                    if let Some(extra) = tokens.get(2) {
+                        return Err(ParseError::new(
+                            extra.line,
+                            extra.col,
+                            format!("unexpected token '{}' after .expect", extra.text),
+                        ));
+                    }
+                }
+                "end" => {
+                    if let Some(extra) = tokens.get(1) {
+                        return Err(ParseError::new(
+                            extra.line,
+                            extra.col,
+                            format!("unexpected token '{}' after .end", extra.text),
+                        ));
+                    }
+                    ended = true;
+                }
+                other => {
+                    return Err(ParseError::new(
+                        head.line,
+                        head.col,
+                        format!("unknown directive '.{other}'"),
+                    ));
+                }
+            }
+            continue;
+        }
+
+        // Element line: the first letter of the name selects the type.
+        let name = head.text.to_ascii_uppercase();
+        let kind = name.chars().next().expect("tokens are never empty");
+        if let Some(&(line, col)) = seen_names.get(&name) {
+            return Err(ParseError::new(
+                head.line,
+                head.col,
+                format!(
+                    "duplicate element name '{name}' (first defined at line {line}, column {col})"
+                ),
+            ));
+        }
+        seen_names.insert(name.clone(), (head.line, head.col));
+        match kind {
+            'R' | 'L' | 'C' | 'G' => {
+                let fields = expect_fields(tokens, 3, "name node node value")?;
+                let a = nodes.resolve(&fields[0]);
+                let b = nodes.resolve(&fields[1]);
+                let value = parse_value_at(&fields[2])?;
+                let element = match kind {
+                    'R' => {
+                        if value == 0.0 {
+                            return Err(ParseError::new(
+                                fields[2].line,
+                                fields[2].col,
+                                "resistance must be nonzero (a 0 Ω resistor is a short)",
+                            ));
+                        }
+                        Element::Resistor { a, b, value }
+                    }
+                    'L' => {
+                        if value <= 0.0 {
+                            return Err(ParseError::new(
+                                fields[2].line,
+                                fields[2].col,
+                                format!("inductance must be positive, got {value}"),
+                            ));
+                        }
+                        Element::Inductor { a, b, value }
+                    }
+                    'C' => {
+                        if value <= 0.0 {
+                            return Err(ParseError::new(
+                                fields[2].line,
+                                fields[2].col,
+                                format!("capacitance must be positive, got {value}"),
+                            ));
+                        }
+                        Element::Capacitor { a, b, value }
+                    }
+                    _ => Element::Conductance { a, b, value },
+                };
+                if a == b {
+                    return Err(ParseError::new(
+                        head.line,
+                        head.col,
+                        format!("element '{name}' is shorted (both terminals on the same node)"),
+                    ));
+                }
+                netlist.add_named(name, element);
+            }
+            'K' => {
+                let fields = expect_fields(tokens, 3, "name inductor inductor k")?;
+                let l1 = fields[0].text.to_ascii_uppercase();
+                let l2 = fields[1].text.to_ascii_uppercase();
+                let k = parse_value_at(&fields[2])?;
+                if !k.is_finite() || k.abs() > 1.0 {
+                    return Err(ParseError::new(
+                        fields[2].line,
+                        fields[2].col,
+                        format!("coupling coefficient must satisfy |k| ≤ 1, got {k}"),
+                    ));
+                }
+                if l1 == l2 {
+                    return Err(ParseError::new(
+                        fields[1].line,
+                        fields[1].col,
+                        format!("coupling '{name}' couples '{l1}' to itself"),
+                    ));
+                }
+                coupling_pos.insert(name.clone(), (head.line, head.col));
+                netlist.couple(name, l1, l2, k);
+            }
+            _ => {
+                return Err(ParseError::new(
+                    head.line,
+                    head.col,
+                    format!("unsupported element type '{kind}' (expected R, L, C, G or K)"),
+                ));
+            }
+        }
+    }
+
+    netlist.num_nodes = nodes.names.len();
+    if netlist.ports.is_empty() {
+        return Err(ParseError::new(
+            last_line,
+            1,
+            "deck declares no .port directive",
+        ));
+    }
+    // Coupling references resolve against the complete element list, so the
+    // check runs after all lines; the netlist-level named-element error is
+    // attached back to the offending K line.
+    if let Err(e) = netlist.resolved_couplings() {
+        let name = match &e {
+            CircuitError::CouplingTargetNotFound { coupling, .. }
+            | CircuitError::CouplingTargetAmbiguous { coupling, .. }
+            | CircuitError::BadCoupling { coupling, .. } => Some(coupling.as_str()),
+            _ => None,
+        };
+        let (line, col) = name
+            .and_then(|n| coupling_pos.get(n).copied())
+            .unwrap_or((last_line, 1));
+        return Err(ParseError::new(line, col, e.to_string()));
+    }
+    Ok(Deck {
+        netlist,
+        node_names: nodes.names,
+        expect,
+    })
+}

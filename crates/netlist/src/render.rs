@@ -1,0 +1,225 @@
+//! Canonical deck rendering and content hashing.
+//!
+//! [`render_netlist`] prints a [`Netlist`] back as a deck in *canonical* form:
+//! nodes renumbered by first appearance (element order, then port order),
+//! values in shortest round-trip decimal, one element per line, labels
+//! uppercased.  Parsing the canonical text reproduces the renumbered netlist
+//! exactly, which makes the form a fixed point of `parse ∘ render` — the
+//! property the deck fingerprint relies on: two decks that differ only in
+//! node naming, comments, whitespace, value spelling (`1k` vs `1000`) or
+//! continuation layout hash identically.
+
+use ds_circuits::{Element, Netlist};
+use std::fmt::Write as _;
+
+/// FNV-1a 64-bit hash, the store-stable content hash of a canonical deck.
+pub fn fnv1a64(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The first-appearance node renumbering: old index → new index (ground is
+/// always 0 and unreferenced nodes keep their relative order at the end).
+fn node_permutation(netlist: &Netlist) -> Vec<usize> {
+    let mut new_index = vec![0usize; netlist.num_nodes + 1];
+    let mut next = 0usize;
+    let visit = |node: usize, new_index: &mut Vec<usize>, next: &mut usize| {
+        if node > 0 && node < new_index.len() && new_index[node] == 0 {
+            *next += 1;
+            new_index[node] = *next;
+        }
+    };
+    for element in &netlist.elements {
+        let (a, b) = element.terminals();
+        visit(a, &mut new_index, &mut next);
+        visit(b, &mut new_index, &mut next);
+    }
+    for port in &netlist.ports {
+        visit(port.node_plus, &mut new_index, &mut next);
+        visit(port.node_minus, &mut new_index, &mut next);
+    }
+    for node in 1..new_index.len() {
+        visit(node, &mut new_index, &mut next);
+    }
+    new_index
+}
+
+/// The element name to print: the stored label when it already starts with
+/// the right type letter, otherwise a synthesized `<letter>AUTO<index>` name
+/// — in both cases uniquified against `used` (deterministically, by
+/// appending `X`) so the rendered deck never carries duplicate names.
+fn element_name(
+    label: &str,
+    letter: char,
+    index: usize,
+    used: &mut std::collections::HashSet<String>,
+) -> String {
+    let upper = label.to_ascii_uppercase();
+    let mut name = if upper.starts_with(letter) {
+        upper
+    } else {
+        format!("{letter}AUTO{index}")
+    };
+    while !used.insert(name.clone()) {
+        name.push('X');
+    }
+    name
+}
+
+/// Renders a netlist (plus the optional `.expect` annotation) as a canonical
+/// deck.  See the module docs for the canonical-form guarantees; labels that
+/// do not start with their element's type letter (or collide after
+/// uppercasing) are replaced by synthesized/uniquified names, with `K` lines
+/// rewritten to the inductors' *rendered* names — such netlists render to a
+/// deck that stamps identically but does not round-trip label-for-label.
+pub fn render_netlist(netlist: &Netlist, expect: Option<bool>) -> String {
+    let perm = node_permutation(netlist);
+    let node = |n: usize| if n == 0 { 0 } else { perm[n] };
+    let mut out = String::new();
+    let _ = writeln!(out, "* canonical deck: {} nodes", netlist.num_nodes);
+    let empty = String::new();
+    let mut used = std::collections::HashSet::new();
+    // Rendered name of each inductor label (first occurrence wins), so K
+    // lines reference the names that actually appear in the output even when
+    // labels were synthesized or uniquified.
+    let mut inductor_names: std::collections::HashMap<String, String> =
+        std::collections::HashMap::new();
+    for (i, element) in netlist.elements.iter().enumerate() {
+        let label = netlist.labels.get(i).unwrap_or(&empty);
+        let (letter, a, b, value) = match *element {
+            Element::Resistor { a, b, value } => ('R', a, b, value),
+            Element::Inductor { a, b, value } => ('L', a, b, value),
+            Element::Capacitor { a, b, value } => ('C', a, b, value),
+            Element::Conductance { a, b, value } => ('G', a, b, value),
+        };
+        let name = element_name(label, letter, i, &mut used);
+        if letter == 'L' && !label.is_empty() {
+            inductor_names
+                .entry(label.clone())
+                .or_insert_with(|| name.clone());
+        }
+        let _ = writeln!(out, "{} {} {} {}", name, node(a), node(b), value);
+    }
+    let rendered_target = |label: &String| {
+        inductor_names
+            .get(label)
+            .cloned()
+            .unwrap_or_else(|| label.to_ascii_uppercase())
+    };
+    for (i, coupling) in netlist.couplings.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            element_name(&coupling.name, 'K', i, &mut used),
+            rendered_target(&coupling.l1),
+            rendered_target(&coupling.l2),
+            coupling.k
+        );
+    }
+    for port in &netlist.ports {
+        let _ = writeln!(
+            out,
+            ".PORT {} {}",
+            node(port.node_plus),
+            node(port.node_minus)
+        );
+    }
+    match expect {
+        Some(true) => out.push_str(".EXPECT PASSIVE\n"),
+        Some(false) => out.push_str(".EXPECT NONPASSIVE\n"),
+        None => {}
+    }
+    out.push_str(".END\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_circuits::Port;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn renders_canonical_order_and_values() {
+        let mut net = Netlist::new(2);
+        net.add_named(
+            "r1",
+            Element::Resistor {
+                a: 2,
+                b: 1,
+                value: 1000.0,
+            },
+        );
+        net.named_inductor("L1", 1, 0, 1e-3);
+        net.port(Port::to_ground(2));
+        let text = render_netlist(&net, Some(true));
+        // Node 2 appears first, so it becomes node 1 in canonical form.
+        assert!(text.contains("R1 1 2 1000\n"), "got:\n{text}");
+        assert!(text.contains("L1 2 0 0.001\n"), "got:\n{text}");
+        assert!(text.contains(".PORT 1 0\n"), "got:\n{text}");
+        assert!(text.contains(".EXPECT PASSIVE\n"));
+        assert!(text.ends_with(".END\n"));
+    }
+
+    #[test]
+    fn mislabelled_elements_get_synthesized_names() {
+        let mut net = Netlist::new(1);
+        net.add_named(
+            "primary",
+            Element::Inductor {
+                a: 1,
+                b: 0,
+                value: 2.0,
+            },
+        );
+        net.port(Port::to_ground(1));
+        let text = render_netlist(&net, None);
+        assert!(text.contains("LAUTO0 1 0 2\n"), "got:\n{text}");
+    }
+
+    #[test]
+    fn couplings_between_mislabelled_inductors_still_render_parseable() {
+        // Builder netlists may use labels that violate deck naming; the K
+        // line must reference the *rendered* (synthesized) names so the
+        // canonical text still parses and stamps identically.
+        let mut net = Netlist::new(2);
+        net.named_inductor("primary", 1, 0, 2.0)
+            .named_inductor("secondary", 2, 0, 1.0)
+            .resistor(1, 0, 3.0)
+            .resistor(2, 0, 4.0)
+            .couple("K1", "primary", "secondary", 0.5)
+            .port(Port::to_ground(1));
+        assert!(net.validate().is_ok());
+        let text = render_netlist(&net, None);
+        assert!(text.contains("K1 LAUTO0 LAUTO1 0.5\n"), "got:\n{text}");
+        let deck = crate::parse_deck(&text).expect("rendered deck must parse");
+        assert_eq!(
+            deck.netlist.resolved_couplings().unwrap(),
+            net.resolved_couplings().unwrap()
+        );
+        assert_eq!(deck.netlist.elements, net.elements);
+    }
+
+    #[test]
+    fn colliding_labels_are_uniquified_deterministically() {
+        let mut net = Netlist::new(2);
+        net.named_inductor("l1", 1, 0, 2.0)
+            .named_inductor("L1", 2, 0, 1.0)
+            .port(Port::to_ground(1));
+        let text = render_netlist(&net, None);
+        assert!(text.contains("L1 1 0 2\n"), "got:\n{text}");
+        assert!(text.contains("L1X 2 0 1\n"), "got:\n{text}");
+        assert!(crate::parse_deck(&text).is_ok());
+    }
+}

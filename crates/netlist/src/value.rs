@@ -1,0 +1,153 @@
+//! SPICE engineering-notation value parsing.
+//!
+//! A value token is a decimal number optionally followed by a scale suffix
+//! and an ignored alphabetic unit annotation, as in classic SPICE:
+//!
+//! | suffix | scale  | suffix | scale |
+//! |--------|--------|--------|-------|
+//! | `t`    | 1e12   | `m`    | 1e−3  |
+//! | `g`    | 1e9    | `u`    | 1e−6  |
+//! | `meg`  | 1e6    | `n`    | 1e−9  |
+//! | `k`    | 1e3    | `p`    | 1e−12 |
+//! |        |        | `f`    | 1e−15 |
+//!
+//! Suffixes are case-insensitive (`MEG` = `meg` = mega; `m` = milli — the
+//! classic SPICE gotcha), and trailing letters after the suffix are ignored
+//! as a unit (`10pF`, `5ohm`).  Note that a bare `f` suffix is femto, not
+//! farad.
+
+/// Parses one engineering-notation value token.
+///
+/// # Errors
+///
+/// Describes the malformation; the caller attaches line/column.
+pub fn parse_value(text: &str) -> Result<f64, String> {
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    if matches!(bytes.first(), Some(b'+') | Some(b'-')) {
+        i += 1;
+    }
+    let digits_start = i;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let int_digits = i - digits_start;
+    let mut frac_digits = 0usize;
+    if i < bytes.len() && bytes[i] == b'.' {
+        i += 1;
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        frac_digits = i - start;
+    }
+    if int_digits + frac_digits == 0 {
+        return Err(format!("invalid numeric value '{text}'"));
+    }
+    // An exponent only counts when at least one digit follows; otherwise the
+    // `e` belongs to the unit annotation.
+    if i < bytes.len() && matches!(bytes[i], b'e' | b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && matches!(bytes[j], b'+' | b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            i = j;
+        }
+    }
+    let mantissa: f64 = text[..i]
+        .parse()
+        .map_err(|_| format!("invalid numeric value '{text}'"))?;
+    let rest = text[i..].to_ascii_lowercase();
+    let (scale, unit) = if let Some(unit) = rest.strip_prefix("meg") {
+        (1e6, unit)
+    } else {
+        match rest.as_bytes().first() {
+            Some(b't') => (1e12, &rest[1..]),
+            Some(b'g') => (1e9, &rest[1..]),
+            Some(b'k') => (1e3, &rest[1..]),
+            Some(b'm') => (1e-3, &rest[1..]),
+            Some(b'u') => (1e-6, &rest[1..]),
+            Some(b'n') => (1e-9, &rest[1..]),
+            Some(b'p') => (1e-12, &rest[1..]),
+            Some(b'f') => (1e-15, &rest[1..]),
+            _ => (1.0, rest.as_str()),
+        }
+    };
+    if !unit.is_empty() && !unit.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(format!(
+            "invalid unit annotation '{unit}' in value '{text}'"
+        ));
+    }
+    let value = mantissa * scale;
+    if !value.is_finite() {
+        return Err(format!("value '{text}' overflows to a non-finite number"));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(text: &str) -> f64 {
+        parse_value(text).unwrap()
+    }
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(v("42"), 42.0);
+        assert_eq!(v("4.7"), 4.7);
+        assert_eq!(v("-3.5"), -3.5);
+        assert_eq!(v("+0.25"), 0.25);
+        assert_eq!(v(".5"), 0.5);
+        assert_eq!(v("2."), 2.0);
+        assert_eq!(v("1e-3"), 1e-3);
+        assert_eq!(v("2.5E6"), 2.5e6);
+        assert_eq!(v("1e+2"), 100.0);
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        assert_eq!(v("1k"), 1e3);
+        assert_eq!(v("4.7u"), 4.7e-6);
+        assert_eq!(v("2meg"), 2e6);
+        assert_eq!(v("2MEG"), 2e6);
+        assert_eq!(v("3m"), 3e-3);
+        assert_eq!(v("10n"), 1e-8);
+        assert_eq!(v("1p"), 1e-12);
+        assert_eq!(v("1f"), 1e-15);
+        assert_eq!(v("1t"), 1e12);
+        assert_eq!(v("5g"), 5e9);
+    }
+
+    #[test]
+    fn unit_annotations_are_ignored() {
+        assert_eq!(v("10pF"), 1e-11);
+        assert_eq!(v("5ohm"), 5.0);
+        assert_eq!(v("2.2kohm"), 2200.0);
+        assert_eq!(v("1uH"), 1e-6);
+        // `e` not followed by a digit is a unit letter, not an exponent.
+        assert_eq!(v("3e"), 3.0);
+    }
+
+    #[test]
+    fn exponent_and_suffix_combine() {
+        assert_eq!(v("1e3k"), 1e6);
+        assert_eq!(v("1.5e-2m"), 1.5e-5);
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("").is_err());
+        assert!(parse_value("1k2").is_err());
+        assert!(parse_value("1.2.3").is_err());
+        assert!(parse_value("-").is_err());
+        assert!(parse_value("1e400").is_err());
+        assert!(parse_value("1u-").is_err());
+    }
+}

@@ -13,7 +13,9 @@
 //!   structure-preserving transformations,
 //! * [`circuits`] (`ds-circuits`) — RLC/MNA workload generators (single-port
 //!   ladders/grids plus the multiport, coupled-mesh, transmission-line and
-//!   near-boundary families),
+//!   near-boundary families), with native `K` mutual-inductance couplings,
+//! * [`netlist`] (`ds-netlist`) — the SPICE-deck front-end: text parser with
+//!   line/column diagnostics, canonical renderer and content hashing,
 //! * [`lmi`] (`ds-lmi`) — the LMI / Riccati substrate,
 //! * [`passivity`] (`ds-passivity`) — the paper's fast test and the two
 //!   baselines,
@@ -41,6 +43,7 @@ pub use ds_descriptor as descriptor;
 pub use ds_harness as harness;
 pub use ds_linalg as linalg;
 pub use ds_lmi as lmi;
+pub use ds_netlist as netlist;
 pub use ds_passivity as passivity;
 pub use ds_shh as shh;
 

@@ -1,0 +1,168 @@
+//! Deck-workload conformance: every committed example deck must get
+//! *identical* verdicts from the proposed SHH test, the Weierstrass baseline
+//! and (at small orders, for expected-passive decks plus the pinned
+//! K-coupled acceptance deck) the LMI baseline — all matching the deck's
+//! declared/constructed ground truth.  Deck scenarios must also round-trip
+//! through the persistent result store (resume skips them by fingerprint),
+//! and the band-limited boundary family must be rejected through the
+//! finite-frequency Hamiltonian-eigenvalue path with a usable witness.
+
+use ds_passivity_suite::circuits::multiport;
+use ds_passivity_suite::descriptor::transfer;
+use ds_passivity_suite::harness::scenario::deck_scenarios_from_dir;
+use ds_passivity_suite::harness::store::{task_fingerprint, ResultStore};
+use ds_passivity_suite::harness::sweep::{run_sweep, SweepSpec};
+use ds_passivity_suite::harness::{run_method, scenario_matrix, FamilyKind, Method, Scenario};
+use ds_passivity_suite::linalg::decomp::symmetric;
+use ds_passivity_suite::passivity::NonPassivityReason;
+use std::path::{Path, PathBuf};
+
+fn decks_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/decks")
+}
+
+#[test]
+fn methods_agree_on_every_committed_deck() {
+    let scenarios = deck_scenarios_from_dir(&decks_dir()).unwrap();
+    assert!(scenarios.len() >= 4, "committed deck corpus shrank");
+    for scenario in &scenarios {
+        let spec = scenario.deck.as_ref().unwrap();
+        let model = scenario.build().unwrap();
+        let fast = run_method(Method::Proposed, &model).unwrap();
+        let weier = run_method(Method::Weierstrass, &model).unwrap();
+        assert_eq!(
+            fast.verdict.is_passive(),
+            spec.expected_passive,
+            "{}: proposed disagrees with ground truth ({})",
+            spec.name,
+            fast.verdict
+        );
+        assert_eq!(
+            fast.verdict.is_passive(),
+            weier.verdict.is_passive(),
+            "{}: proposed and weierstrass disagree",
+            spec.name
+        );
+        if spec.expected_passive && scenario.order() <= ds_passivity_suite::harness::LMI_MAX_ORDER {
+            let lmi = run_method(Method::Lmi, &model).unwrap();
+            assert!(
+                lmi.verdict.is_passive(),
+                "{}: lmi disagrees with SHH verdict",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn coupled_pair_deck_stamps_symmetric_psd_l_block_and_passes_all_methods() {
+    // The acceptance deck: two K-coupled inductors.
+    let scenarios = deck_scenarios_from_dir(&decks_dir()).unwrap();
+    let scenario = scenarios
+        .iter()
+        .find(|s| s.deck.as_ref().unwrap().name == "coupled_pair")
+        .expect("coupled_pair.cir is committed");
+    let spec = scenario.deck.as_ref().unwrap();
+    assert_eq!(spec.netlist.couplings.len(), 1);
+    let model = scenario.build().unwrap();
+
+    // The trailing L block of E is symmetric PSD with a genuine mutual term.
+    let n_nodes = spec.netlist.num_nodes;
+    let n = model.system.order();
+    let l = model.system.e().block(n_nodes, n, n_nodes, n);
+    assert!(l.is_symmetric(0.0));
+    assert!(l[(0, 1)] != 0.0, "no mutual inductance stamped");
+    let expected_m = 0.7 * (1.2f64 * 0.8).sqrt();
+    assert!((l[(0, 1)] - expected_m).abs() < 1e-15);
+    assert!(symmetric::min_eigenvalue(&l).unwrap() > 0.0);
+
+    // Identical verdicts under the SHH and LMI methods (and Weierstrass).
+    for method in Method::ALL {
+        let report = run_method(method, &model).unwrap();
+        assert!(
+            report.verdict.is_passive(),
+            "{method} rejected the coupled-pair deck: {}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn deck_scenarios_roundtrip_through_the_persistent_store() {
+    let scenarios = deck_scenarios_from_dir(&decks_dir()).unwrap();
+    let tasks = scenario_matrix(&scenarios, &[Method::Proposed, Method::Weierstrass]);
+    let dir = std::env::temp_dir().join(format!("ds-deck-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut store = ResultStore::open(&dir).unwrap();
+        let indexed: Vec<(usize, ds_passivity_suite::harness::SweepTask)> =
+            tasks.iter().cloned().enumerate().collect();
+        let (pending, skipped) = store.partition_pending(indexed);
+        assert_eq!(skipped, 0);
+        let ids: Vec<usize> = pending.iter().map(|(id, _)| *id).collect();
+        let list = pending.into_iter().map(|(_, t)| t).collect();
+        let result = run_sweep(&SweepSpec::new(list, 2).with_task_ids(ids));
+        assert!(result.records.iter().all(|r| r.agrees == Some(true)));
+        store.append_segment("deck-run", &result.records).unwrap();
+    }
+    // A fresh open resumes: every deck task is skipped by fingerprint.
+    let store = ResultStore::open(&dir).unwrap();
+    let indexed: Vec<(usize, ds_passivity_suite::harness::SweepTask)> =
+        tasks.iter().cloned().enumerate().collect();
+    let (pending, skipped) = store.partition_pending(indexed);
+    assert!(
+        pending.is_empty(),
+        "resume re-ran {} deck tasks",
+        pending.len()
+    );
+    assert_eq!(skipped, tasks.len());
+    // The fingerprint embeds the canonical-deck hash (scenario seed).
+    for task in &tasks {
+        let fp = task_fingerprint(task);
+        assert!(fp.starts_with("deck|"), "unexpected fingerprint {fp}");
+        assert!(fp.contains(&format!("|s{}|", task.scenario.seed)));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn banded_violation_is_found_through_the_finite_frequency_witness() {
+    // The band-limited model's violation is invisible at ω = 0 and ω = ∞:
+    // only the interior Hamiltonian-eigenvalue classification can find it.
+    let omega0 = 2.0;
+    let model = multiport::banded_boundary_model(2, 0.4, omega0, 3).unwrap();
+    let report = run_method(Method::Proposed, &model).unwrap();
+    let reason = match &report.verdict {
+        ds_passivity_suite::passivity::PassivityVerdict::NotPassive { reason } => reason,
+        other => panic!("banded model accepted: {other}"),
+    };
+    let NonPassivityReason::ProperPartNotPositiveReal {
+        witness_frequency: Some(w),
+        min_eigenvalue,
+    } = reason
+    else {
+        panic!("expected a finite-frequency witness, got: {reason}");
+    };
+    assert!(*min_eigenvalue < 0.0);
+    assert!(
+        w.is_finite() && *w > 0.0,
+        "witness frequency should be finite and positive, got {w}"
+    );
+    // The witness really violates: the Popov function is negative there, and
+    // the frequency sits in the band around ω₀ (well inside one decade).
+    let g = transfer::evaluate_jomega(&model.system, *w).unwrap();
+    assert!(g.popov_min_eigenvalue().unwrap() < 0.0);
+    assert!(
+        (*w / omega0).abs().log10().abs() < 1.0,
+        "witness ω = {w} is far from ω₀ = {omega0}"
+    );
+
+    // A scenario-level sanity check: the family is wired into the harness.
+    let scenario = Scenario::new(FamilyKind::BoundaryBand, 0)
+        .with_ports(2)
+        .with_margin(0.4)
+        .with_seed(3);
+    assert_eq!(scenario.order(), model.system.order());
+    let built = scenario.build().unwrap();
+    assert!(!built.expected_passive);
+}

@@ -1,0 +1,207 @@
+//! Parser golden tests: good decks parse to *exact* netlists, bad decks fail
+//! with *exact* line/column diagnostics, and every committed example deck
+//! parses and validates.
+
+use ds_passivity_suite::circuits::{Element, Netlist, Port};
+use ds_passivity_suite::netlist::{parse_deck, ParseError};
+use std::path::Path;
+
+#[test]
+fn good_deck_parses_to_the_exact_netlist() {
+    let deck = parse_deck(
+        "* title comment\n\
+         R1 in mid 1k        ; series resistor\n\
+         Lp mid out 10m\n\
+         C1 out 0 2u\n\
+         Gleak out gnd 1m\n\
+         .port in out\n\
+         .end\n",
+    )
+    .unwrap();
+    let mut expected = Netlist::new(3);
+    expected.add_named(
+        "R1",
+        Element::Resistor {
+            a: 1,
+            b: 2,
+            value: 1000.0,
+        },
+    );
+    expected.add_named(
+        "LP",
+        Element::Inductor {
+            a: 2,
+            b: 3,
+            value: 10e-3,
+        },
+    );
+    expected.add_named(
+        "C1",
+        Element::Capacitor {
+            a: 3,
+            b: 0,
+            value: 2e-6,
+        },
+    );
+    expected.add_named(
+        "GLEAK",
+        Element::Conductance {
+            a: 3,
+            b: 0,
+            value: 1e-3,
+        },
+    );
+    expected.port(Port {
+        node_plus: 1,
+        node_minus: 3,
+    });
+    assert_eq!(deck.netlist, expected);
+    assert_eq!(deck.node_names, vec!["IN", "MID", "OUT"]);
+    assert_eq!(deck.expect, None);
+}
+
+#[test]
+fn continuations_and_coupling_parse_exactly() {
+    let deck = parse_deck(
+        "L1 a 0\n\
+         + 1.5\n\
+         L2 b 0 2.5\n\
+         K1 L1\n\
+         +  L2  0.25\n\
+         R1 a b 4\n\
+         .port a\n",
+    )
+    .unwrap();
+    let mut expected = Netlist::new(2);
+    expected.named_inductor("L1", 1, 0, 1.5);
+    expected.named_inductor("L2", 2, 0, 2.5);
+    expected.couple("K1", "L1", "L2", 0.25);
+    // Element order is line order: couplings live in their own list.
+    expected.elements.insert(
+        2,
+        Element::Resistor {
+            a: 1,
+            b: 2,
+            value: 4.0,
+        },
+    );
+    expected.labels.insert(2, "R1".to_string());
+    expected.port(Port::to_ground(1));
+    assert_eq!(deck.netlist, expected);
+}
+
+/// Asserts the parse fails exactly at `(line, col)` with a message containing
+/// `needle`.
+fn assert_fails_at(source: &str, line: usize, col: usize, needle: &str) {
+    let err: ParseError = parse_deck(source).unwrap_err();
+    assert_eq!(
+        (err.line, err.col),
+        (line, col),
+        "wrong position for {source:?}: got {err}"
+    );
+    assert!(
+        err.message.contains(needle),
+        "error for {source:?} should mention {needle:?}, got: {err}"
+    );
+}
+
+#[test]
+fn bad_decks_report_exact_positions() {
+    // Unsupported element type, line 2 col 1.
+    assert_fails_at("R1 a 0 1\nV1 a 0 5\n.port a\n", 2, 1, "unsupported element");
+    // Bad value token: line 1, col 8 (the value field).
+    assert_fails_at("R1 a 0 bogus\n.port a\n", 1, 8, "invalid numeric value");
+    // Negative inductance: the value token of line 2 (col 9).
+    assert_fails_at(
+        "R1 a 0 1\nL1 a 0  -2m\n.port a\n",
+        2,
+        9,
+        "inductance must be positive",
+    );
+    // Coupling coefficient out of range: line 3 col 10.
+    assert_fails_at(
+        "L1 a 0 1\nL2 b 0 1\nK1 L1 L2 1.5\nR1 a b 1\n.port a\n",
+        3,
+        10,
+        "|k| ≤ 1",
+    );
+    // Unknown coupling target: reported at the K line, netlist-level message.
+    assert_fails_at(
+        "L1 a 0 1\nR1 a 0 1\nK1 L1 L9 0.5\n.port a\n",
+        3,
+        1,
+        "unknown inductor 'L9'",
+    );
+    // Duplicate element name, at the re-definition.
+    assert_fails_at(
+        "R1 a 0 1\nr1 b 0 2\n.port a\n",
+        2,
+        1,
+        "duplicate element name 'R1'",
+    );
+    // Wrong field count: too many tokens → the first extra token.
+    assert_fails_at("R1 a 0 1 junk\n.port a\n", 1, 10, "unexpected token 'junk'");
+    // Too few tokens → the element name.
+    assert_fails_at("C1 a 0\n.port a\n", 1, 1, "expects 3 fields");
+    // Unknown directive.
+    assert_fails_at("R1 a 0 1\n.bogus x\n.port a\n", 2, 1, "unknown directive");
+    // Continuation with nothing to continue (indented + is still col of '+').
+    assert_fails_at(
+        "* only a comment\n  + 1 2 3\nR1 a 0 1\n.port a\n",
+        2,
+        3,
+        "continuation",
+    );
+    // Content after .end.
+    assert_fails_at(
+        "R1 a 0 1\n.port a\n.end\nR2 b 0 1\n",
+        4,
+        1,
+        "content after .end",
+    );
+    // Missing ports.
+    assert_fails_at("R1 a 0 1\n.end\n", 2, 1, "no .port directive");
+    // Shorted element (same node twice).
+    assert_fails_at("R1 a a 1\n.port a\n", 1, 1, "shorted");
+    // Bad .expect argument.
+    assert_fails_at(
+        "R1 a 0 1\n.port a\n.expect maybe\n",
+        3,
+        9,
+        "unknown .expect argument",
+    );
+    // Duplicate coupling pair, reported at the second K line.
+    assert_fails_at(
+        "L1 a 0 1\nL2 b 0 1\nK1 L1 L2 0.5\nK2 L2 L1 0.1\nR1 a b 1\n.port a\n",
+        4,
+        1,
+        "duplicate coupling",
+    );
+    // Empty deck.
+    assert_fails_at("* nothing here\n", 1, 1, "no netlist lines");
+}
+
+#[test]
+fn every_committed_example_deck_parses_and_validates() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/decks");
+    let mut count = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("examples/decks exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "cir") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let deck =
+            parse_deck(&text).unwrap_or_else(|e| panic!("{} failed to parse: {e}", path.display()));
+        deck.netlist
+            .validate()
+            .unwrap_or_else(|e| panic!("{} failed to validate: {e}", path.display()));
+        // Canonical text is a parse↔render fixed point for every deck.
+        let canon = deck.canonical_text();
+        let reparsed = parse_deck(&canon).unwrap();
+        assert_eq!(reparsed.netlist, deck.netlist, "{}", path.display());
+        assert_eq!(reparsed.canonical_text(), canon, "{}", path.display());
+        count += 1;
+    }
+    assert!(count >= 4, "expected ≥ 4 committed decks, found {count}");
+}

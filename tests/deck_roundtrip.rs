@@ -1,0 +1,144 @@
+//! Property test: deck print ↔ parse round-trip.
+//!
+//! Randomized netlists (type-prefixed labels, nodes introduced in
+//! first-appearance order — i.e. already in canonical numbering) must render
+//! to a deck whose parse reproduces the netlist *exactly*, and the canonical
+//! text must be a fixed point of `parse ∘ render`.
+
+use ds_passivity_suite::circuits::{Netlist, Port};
+use ds_passivity_suite::netlist::{parse_deck, render_netlist};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random netlist whose node indices coincide with first-appearance
+/// order (so rendering does not renumber it).
+fn random_netlist(seed: u64) -> (Netlist, Option<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let n_elements = rng.gen_range(1usize..12);
+    let mut net = Netlist::new(0);
+    let mut max_node = 0usize;
+    let mut inductors: Vec<String> = Vec::new();
+    for i in 0..n_elements {
+        // Terminal a: an existing node (or ground once nodes exist); terminal
+        // b: a brand-new node (keeping first-appearance = index order) or an
+        // existing distinct node.
+        let a = if max_node == 0 {
+            max_node += 1;
+            max_node
+        } else {
+            rng.gen_range(0..max_node + 1)
+        };
+        let b = if max_node == 0 || rng.gen_bool(0.6) {
+            max_node += 1;
+            max_node
+        } else {
+            // Existing node distinct from a (ground allowed unless a is 0).
+            loop {
+                let candidate = rng.gen_range(0..max_node + 1);
+                if candidate != a {
+                    break candidate;
+                }
+            }
+        };
+        match rng.gen_range(0usize..4) {
+            0 => {
+                let magnitude = rng.gen_range(0.1..10.0);
+                let value = if rng.gen_bool(0.2) {
+                    -magnitude
+                } else {
+                    magnitude
+                };
+                net.add_named(
+                    format!("R{i}"),
+                    ds_passivity_suite::circuits::Element::Resistor { a, b, value },
+                );
+            }
+            1 => {
+                net.add_named(
+                    format!("C{i}"),
+                    ds_passivity_suite::circuits::Element::Capacitor {
+                        a,
+                        b,
+                        value: rng.gen_range(0.01..5.0),
+                    },
+                );
+            }
+            2 => {
+                let label = format!("L{i}");
+                inductors.push(label.clone());
+                net.add_named(
+                    label,
+                    ds_passivity_suite::circuits::Element::Inductor {
+                        a,
+                        b,
+                        value: rng.gen_range(0.01..5.0),
+                    },
+                );
+            }
+            _ => {
+                let magnitude = rng.gen_range(0.01..2.0);
+                let value = if rng.gen_bool(0.2) {
+                    -magnitude
+                } else {
+                    magnitude
+                };
+                net.add_named(
+                    format!("G{i}"),
+                    ds_passivity_suite::circuits::Element::Conductance { a, b, value },
+                );
+            }
+        }
+    }
+    net.num_nodes = max_node;
+    // Couplings over distinct inductor pairs, each pair at most once.
+    if inductors.len() >= 2 {
+        let n_couplings = rng.gen_range(0usize..inductors.len().min(3) + 1);
+        let mut used: Vec<(usize, usize)> = Vec::new();
+        for c in 0..n_couplings {
+            let p = rng.gen_range(0..inductors.len());
+            let q = rng.gen_range(0..inductors.len());
+            let pair = (p.min(q), p.max(q));
+            if p == q || used.contains(&pair) {
+                continue;
+            }
+            used.push(pair);
+            net.couple(
+                format!("K{c}"),
+                inductors[p].clone(),
+                inductors[q].clone(),
+                rng.gen_range(-1.0..1.0),
+            );
+        }
+    }
+    for _ in 0..rng.gen_range(1usize..3) {
+        net.port(Port::to_ground(rng.gen_range(1..max_node + 1)));
+    }
+    let expect = match rng.gen_range(0usize..3) {
+        0 => Some(true),
+        1 => Some(false),
+        _ => None,
+    };
+    (net, expect)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deck_print_parse_roundtrip(seed in 0u64..100_000) {
+        let (net, expect) = random_netlist(seed);
+        prop_assert!(net.validate().is_ok(), "generated netlist invalid (seed {})", seed);
+        let canon = render_netlist(&net, expect);
+        let deck = match parse_deck(&canon) {
+            Ok(deck) => deck,
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "seed {seed}: canonical text failed to parse: {e}\n{canon}"
+            ))),
+        };
+        prop_assert_eq!(&deck.netlist, &net);
+        prop_assert_eq!(deck.expect, expect);
+        // Fixed point: rendering the parsed netlist reproduces the text.
+        prop_assert_eq!(&deck.canonical_text(), &canon);
+    }
+}

@@ -64,6 +64,8 @@ fn fixture_is_valid_json_and_covers_every_family() {
         "coupled_mesh",
         "tline_chain",
         "perturbed_boundary",
+        "boundary_band",
+        "deck",
         "nonpassive_ladder",
         "negative_m1",
         "random_passive",
