@@ -1,0 +1,68 @@
+//! Micro-benchmark of the ds-linalg kernels behind the SHH hot path, pinning
+//! the two bit-exactness contracts of the PR-5 kernel layer on the way:
+//! the Q-free Schur path returns the full decomposition's `T` verbatim, and
+//! the V-free SVD path returns the full decomposition's `U`/`σ` verbatim.
+//!
+//! Run with `cargo run -p ds-bench --release --example bench_kernels`.
+
+use ds_linalg::decomp::{lu, schur, svd};
+use ds_linalg::Matrix;
+use std::time::Instant;
+
+fn main() {
+    let n = 400;
+    let a = Matrix::from_fn(n, n, |i, j| {
+        let v = ((i * 31 + j * 17 + 3) % 23) as f64 / 23.0 - 0.5;
+        0.1 * v + if i == j { 2.0 + 0.01 * i as f64 } else { 0.0 }
+    });
+
+    let t = Instant::now();
+    let full = schur::real_schur(&a).unwrap();
+    println!(
+        "real_schur({n}):        {:>8.1} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    let t = Instant::now();
+    let t_only = schur::real_schur_t_only(&a).unwrap();
+    println!(
+        "real_schur_t_only({n}): {:>8.1} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    assert_eq!(full.t.as_slice(), t_only.as_slice());
+    println!("T factors bit-identical: ok");
+
+    let t = Instant::now();
+    let factor = lu::factor(&a).unwrap();
+    let inverse = factor.inverse().unwrap();
+    println!(
+        "lu factor+inverse({n}): {:>8.1} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    let t = Instant::now();
+    let d = svd::svd(&a).unwrap();
+    println!(
+        "svd({n}):               {:>8.1} ms  (rank {})",
+        t.elapsed().as_secs_f64() * 1e3,
+        d.rank(1e-10)
+    );
+    let t = Instant::now();
+    let (u, s) = svd::svd_u_s(&a).unwrap();
+    println!(
+        "svd_u_s({n}):           {:>8.1} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    assert_eq!(u.as_slice(), d.u.as_slice());
+    assert_eq!(s, d.s);
+    println!("U/sigma bit-identical: ok");
+
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 29) % 19) as f64 / 5.0 - 1.8);
+    let t = Instant::now();
+    let c = a.matmul(&b).unwrap();
+    println!(
+        "matmul({n}):            {:>8.1} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    // Keep every result observable so nothing is optimized away.
+    assert!(c[(0, 0)].is_finite() && inverse[(0, 0)].is_finite());
+}

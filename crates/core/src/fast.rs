@@ -142,7 +142,7 @@ pub fn check_passivity(
     // Stage 2: residue extraction and definiteness check.
     let t = Instant::now();
     let extraction = residue::extract_m1(sys, tol)?;
-    let m1 = extraction.m1.clone();
+    let m1 = extraction.m1;
     let m1_sym = if m1.rows() > 0 {
         m1.symmetric_part()
     } else {

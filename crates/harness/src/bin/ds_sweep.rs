@@ -292,6 +292,13 @@ fn run() -> Result<(), String> {
         csv_path.display(),
         csv_records
     );
+    println!(
+        "# eigen workspace pools: {} hits / {} misses across {} workers ({:.0} KiB resident)",
+        result.workspace.hits,
+        result.workspace.misses,
+        result.threads,
+        result.workspace.resident_bytes as f64 / 1024.0
+    );
     if summary.total_errors > 0 {
         return Err(format!("{} tasks errored", summary.total_errors));
     }

@@ -11,6 +11,7 @@
 
 use crate::scenario::SweepTask;
 use ds_descriptor::{transfer, DescriptorSystem};
+use ds_linalg::workspace::{self, PoolStats};
 use ds_passivity::{NonPassivityReason, PassivityVerdict};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -142,6 +143,11 @@ pub struct SweepResult {
     pub wall: Duration,
     /// Number of workers actually used.
     pub threads: usize,
+    /// Aggregated eigen-workspace pool usage across the worker threads.  Every
+    /// worker owns a per-thread `ds_linalg` [`workspace::WorkspacePool`] keyed
+    /// by matrix dimension, so a stream of same-order tasks reuses warm
+    /// buffers: `hits` counts the kernel invocations that found one.
+    pub workspace: PoolStats,
 }
 
 /// The fixed frequency grid (rad/s) used for the deterministic
@@ -340,6 +346,7 @@ pub fn run_sweep_with_progress(
     }
     let cursor = AtomicUsize::new(0);
     let mut shards: Vec<Vec<SweepRecord>> = Vec::with_capacity(threads);
+    let mut workspace = PoolStats::default();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for worker in 0..threads {
@@ -359,11 +366,16 @@ pub fn run_sweep_with_progress(
                     }
                     shard.push(record);
                 }
-                shard
+                // Each worker thread owns one eigen-workspace pool (thread
+                // local in ds-linalg), reused across every task it claimed;
+                // report its usage so the engine can aggregate.
+                (shard, workspace::thread_pool_stats())
             }));
         }
         for handle in handles {
-            shards.push(handle.join().expect("sweep worker panicked"));
+            let (shard, stats) = handle.join().expect("sweep worker panicked");
+            shards.push(shard);
+            workspace = workspace.merged(stats);
         }
     });
     let wall = start.elapsed();
@@ -373,6 +385,7 @@ pub fn run_sweep_with_progress(
         records,
         wall,
         threads,
+        workspace,
     }
 }
 
@@ -483,6 +496,26 @@ mod tests {
         assert_eq!(ids, vec![3, 7]);
         assert_eq!(result.records[0].family, "tline_chain");
         assert_eq!(result.records[1].family, "rc_ladder");
+    }
+
+    #[test]
+    fn workspace_pool_is_reused_across_same_order_tasks() {
+        // Two tasks of the same scenario on one worker: the second task's
+        // eigen kernels must find warm per-dimension workspaces.
+        let scenarios = vec![Scenario::new(FamilyKind::ImpulsiveLadder, 12)];
+        let tasks = scenario_matrix(&scenarios, &[Method::Proposed, Method::Proposed]);
+        let result = run_sweep(&SweepSpec::new(tasks, 1));
+        assert!(
+            result.workspace.misses > 0,
+            "the first task must populate the pool"
+        );
+        assert!(
+            result.workspace.hits > result.workspace.misses,
+            "steady-state tasks must reuse pooled workspaces (hits {} misses {})",
+            result.workspace.hits,
+            result.workspace.misses
+        );
+        assert!(result.workspace.resident_bytes > 0);
     }
 
     #[test]

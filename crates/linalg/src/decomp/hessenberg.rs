@@ -19,84 +19,133 @@ pub struct Hessenberg {
 ///
 /// Returns [`LinalgError::NotSquare`] for rectangular input.
 pub fn reduce(a: &Matrix) -> Result<Hessenberg, LinalgError> {
-    if !a.is_square() {
+    let mut h = a.clone();
+    let mut q = Matrix::zeros(0, 0);
+    crate::workspace::with_thread_pool(|pool| {
+        let ws = pool.get(a.rows());
+        reduce_in(&mut h, Some(&mut q), &mut ws.hv, &mut ws.dots)
+    })?;
+    Ok(Hessenberg { q, h })
+}
+
+/// In-place Hessenberg reduction: overwrites `h` with its upper Hessenberg
+/// form and, when `q` is provided, overwrites `q` with the accumulated
+/// orthogonal factor (`q` is reset to the identity first, so any buffer can be
+/// passed).  Passing `q = None` skips all Q updates — the Q-free path used by
+/// pure eigenvalue computations.
+///
+/// `hv` and `dots` are scratch vectors (Householder vector and per-column dot
+/// products); they are resized as needed and can be reused across calls for
+/// zero steady-state allocation.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input.
+pub fn reduce_in(
+    h: &mut Matrix,
+    mut q: Option<&mut Matrix>,
+    hv: &mut Vec<f64>,
+    dots: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
+    if !h.is_square() {
         return Err(LinalgError::NotSquare {
             operation: "hessenberg::reduce",
-            shape: a.shape(),
+            shape: h.shape(),
         });
     }
-    let n = a.rows();
-    let mut h = a.clone();
-    let mut q = Matrix::identity(n);
-    if n <= 2 {
-        return Ok(Hessenberg { q, h });
+    let n = h.rows();
+    if let Some(q) = q.as_deref_mut() {
+        q.set_identity(n);
     }
+    if n <= 2 {
+        return Ok(());
+    }
+    hv.resize(n, 0.0);
+    dots.resize(n, 0.0);
+    let hd = h.as_mut_slice();
     for k in 0..(n - 2) {
         // Householder vector annihilating H[k+2.., k].
         let mut norm_x = 0.0;
         for i in (k + 1)..n {
-            norm_x += h[(i, k)] * h[(i, k)];
+            norm_x += hd[i * n + k] * hd[i * n + k];
         }
         norm_x = norm_x.sqrt();
         if norm_x == 0.0 {
             continue;
         }
-        let alpha = if h[(k + 1, k)] >= 0.0 {
+        let alpha = if hd[(k + 1) * n + k] >= 0.0 {
             -norm_x
         } else {
             norm_x
         };
-        let mut v = vec![0.0; n - k - 1];
-        v[0] = h[(k + 1, k)] - alpha;
+        let vlen = n - k - 1;
+        let v = &mut hv[..vlen];
+        v[0] = hd[(k + 1) * n + k] - alpha;
         for i in (k + 2)..n {
-            v[i - k - 1] = h[(i, k)];
+            v[i - k - 1] = hd[i * n + k];
         }
         let vnorm_sq: f64 = v.iter().map(|x| x * x).sum();
         if vnorm_sq <= f64::MIN_POSITIVE {
             continue;
         }
+        let v = &hv[..vlen];
         let beta = 2.0 / vnorm_sq;
-        // H ← P H (rows k+1..n, all columns)
-        for j in 0..n {
-            let mut dot = 0.0;
-            for i in (k + 1)..n {
-                dot += v[i - k - 1] * h[(i, j)];
-            }
-            let s = beta * dot;
-            for i in (k + 1)..n {
-                h[(i, j)] -= s * v[i - k - 1];
-            }
-        }
-        // H ← H P (columns k+1..n, all rows)
-        for i in 0..n {
-            let mut dot = 0.0;
-            for j in (k + 1)..n {
-                dot += h[(i, j)] * v[j - k - 1];
-            }
-            let s = beta * dot;
-            for j in (k + 1)..n {
-                h[(i, j)] -= s * v[j - k - 1];
+        // H ← P H (rows k+1..n).  Columns j < k are structurally zero below
+        // the subdiagonal — they are only ever written by this same update and
+        // wiped at the end — so the sweep starts at column k instead of 0.
+        // Row-major two-pass form: accumulate all column dot products first,
+        // then apply the rank-1 update; per column the additions happen in the
+        // same ascending-row order as the textbook column-at-a-time loop.
+        dots[k..n].fill(0.0);
+        for i in (k + 1)..n {
+            let vi = v[i - k - 1];
+            let row = &hd[i * n + k..(i + 1) * n];
+            for (d, &x) in dots[k..n].iter_mut().zip(row.iter()) {
+                *d += vi * x;
             }
         }
-        // Q ← Q P (columns k+1..n, all rows)
+        for i in (k + 1)..n {
+            let vi = v[i - k - 1];
+            let row = &mut hd[i * n + k..(i + 1) * n];
+            for (x, &d) in row.iter_mut().zip(dots[k..n].iter()) {
+                *x -= (beta * d) * vi;
+            }
+        }
+        // H ← H P (columns k+1..n, all rows).
         for i in 0..n {
+            let row = &mut hd[i * n + k + 1..(i + 1) * n];
             let mut dot = 0.0;
-            for j in (k + 1)..n {
-                dot += q[(i, j)] * v[j - k - 1];
+            for (&x, &vj) in row.iter().zip(v.iter()) {
+                dot += x * vj;
             }
             let s = beta * dot;
-            for j in (k + 1)..n {
-                q[(i, j)] -= s * v[j - k - 1];
+            for (x, &vj) in row.iter_mut().zip(v.iter()) {
+                *x -= s * vj;
+            }
+        }
+        // Q ← Q P (columns k+1..n, all rows).
+        if let Some(q) = q.as_deref_mut() {
+            let qd = q.as_mut_slice();
+            for i in 0..n {
+                let row = &mut qd[i * n + k + 1..(i + 1) * n];
+                let mut dot = 0.0;
+                for (&x, &vj) in row.iter().zip(v.iter()) {
+                    dot += x * vj;
+                }
+                let s = beta * dot;
+                for (x, &vj) in row.iter_mut().zip(v.iter()) {
+                    *x -= s * vj;
+                }
             }
         }
     }
     // Clean the entries that are structurally zero.
     for i in 2..n {
         for j in 0..(i - 1) {
-            h[(i, j)] = 0.0;
+            hd[i * n + j] = 0.0;
         }
     }
-    Ok(Hessenberg { q, h })
+    Ok(())
 }
 
 #[cfg(test)]
@@ -151,5 +200,41 @@ mod tests {
             reduce(&Matrix::zeros(2, 3)),
             Err(LinalgError::NotSquare { .. })
         ));
+        assert!(matches!(
+            reduce_in(
+                &mut Matrix::zeros(2, 3),
+                None,
+                &mut Vec::new(),
+                &mut Vec::new()
+            ),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn q_free_path_produces_identical_h() {
+        let a = sample(9);
+        let full = reduce(&a).unwrap();
+        let mut h = a.clone();
+        let mut hv = Vec::new();
+        let mut dots = Vec::new();
+        reduce_in(&mut h, None, &mut hv, &mut dots).unwrap();
+        // Skipping the Q accumulation must not change H in any bit.
+        assert_eq!(h.as_slice(), full.h.as_slice());
+    }
+
+    #[test]
+    fn reduce_in_reuses_buffers_across_sizes() {
+        let mut hv = Vec::new();
+        let mut dots = Vec::new();
+        for &n in &[8usize, 5, 8] {
+            let a = sample(n);
+            let mut h = a.clone();
+            let mut q = Matrix::zeros(0, 0);
+            reduce_in(&mut h, Some(&mut q), &mut hv, &mut dots).unwrap();
+            let reference = reduce(&a).unwrap();
+            assert_eq!(h.as_slice(), reference.h.as_slice());
+            assert_eq!(q.as_slice(), reference.q.as_slice());
+        }
     }
 }

@@ -28,6 +28,19 @@ pub struct Lu {
 ///
 /// Returns [`LinalgError::NotSquare`] if `a` is not square.
 pub fn factor(a: &Matrix) -> Result<Lu, LinalgError> {
+    let mut f = Lu::empty();
+    factor_into(a, &mut f)?;
+    Ok(f)
+}
+
+/// Computes the LU factorization of `a` into a caller-provided [`Lu`],
+/// reusing its matrix and pivot buffers (zero heap allocation in steady state
+/// when the dimension repeats).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] if `a` is not square.
+pub fn factor_into(a: &Matrix, f: &mut Lu) -> Result<(), LinalgError> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare {
             operation: "lu::factor",
@@ -35,51 +48,64 @@ pub fn factor(a: &Matrix) -> Result<Lu, LinalgError> {
         });
     }
     let n = a.rows();
-    let mut lu = a.clone();
-    let mut perm: Vec<usize> = (0..n).collect();
-    let mut perm_sign = 1.0;
-    let mut singular = false;
+    f.lu.copy_from(a);
+    f.perm.clear();
+    f.perm.extend(0..n);
+    f.perm_sign = 1.0;
+    f.singular = false;
     let scale = a.norm_max().max(1.0);
     let tol = f64::EPSILON * scale * (n as f64);
+    let lu = f.lu.as_mut_slice();
 
     for k in 0..n {
         // Partial pivoting: find the largest entry in column k at or below row k.
         let mut p = k;
-        let mut max_val = lu[(k, k)].abs();
+        let mut max_val = lu[k * n + k].abs();
         for i in (k + 1)..n {
-            if lu[(i, k)].abs() > max_val {
-                max_val = lu[(i, k)].abs();
+            if lu[i * n + k].abs() > max_val {
+                max_val = lu[i * n + k].abs();
                 p = i;
             }
         }
         if p != k {
-            lu.swap_rows(p, k);
-            perm.swap(p, k);
-            perm_sign = -perm_sign;
+            for j in 0..n {
+                lu.swap(p * n + j, k * n + j);
+            }
+            f.perm.swap(p, k);
+            f.perm_sign = -f.perm_sign;
         }
-        let pivot = lu[(k, k)];
+        let pivot = lu[k * n + k];
         if pivot.abs() <= tol {
-            singular = true;
+            f.singular = true;
             continue;
         }
-        for i in (k + 1)..n {
-            let factor = lu[(i, k)] / pivot;
-            lu[(i, k)] = factor;
+        // Eliminate below the pivot; row k is read-only while rows k+1.. are
+        // updated, so split the buffer once per step.
+        let (top, below) = lu.split_at_mut((k + 1) * n);
+        let row_k = &top[k * n..];
+        for row_i in below.chunks_exact_mut(n) {
+            let factor = row_i[k] / pivot;
+            row_i[k] = factor;
             for j in (k + 1)..n {
-                let delta = factor * lu[(k, j)];
-                lu[(i, j)] -= delta;
+                let delta = factor * row_k[j];
+                row_i[j] -= delta;
             }
         }
     }
-    Ok(Lu {
-        lu,
-        perm,
-        perm_sign,
-        singular,
-    })
+    Ok(())
 }
 
 impl Lu {
+    /// An empty factorization, used as reusable storage for [`factor_into`].
+    pub fn empty() -> Lu {
+        Lu {
+            lu: Matrix::zeros(0, 0),
+            perm: Vec::new(),
+            perm_sign: 1.0,
+            singular: false,
+        }
+    }
+
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.lu.rows()
@@ -101,6 +127,18 @@ impl Lu {
     /// Returns [`LinalgError::Singular`] when the factorization flagged a zero
     /// pivot, and [`LinalgError::ShapeMismatch`] when `b` has the wrong row count.
     pub fn solve(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut x = Matrix::zeros(0, 0);
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A X = B` into a caller-provided output matrix (reshaped and
+    /// fully overwritten; no allocation in steady state).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lu::solve`].
+    pub fn solve_into(&self, b: &Matrix, x: &mut Matrix) -> Result<(), LinalgError> {
         let n = self.dim();
         if self.singular {
             return Err(LinalgError::Singular {
@@ -116,41 +154,61 @@ impl Lu {
         }
         let nrhs = b.cols();
         // Apply permutation to B.
-        let mut x = Matrix::zeros(n, nrhs);
-        for i in 0..n {
-            for j in 0..nrhs {
-                x[(i, j)] = b[(self.perm[i], j)];
+        x.resize_uninit(n, nrhs);
+        {
+            let xd = x.as_mut_slice();
+            let bd = b.as_slice();
+            for i in 0..n {
+                xd[i * nrhs..(i + 1) * nrhs]
+                    .copy_from_slice(&bd[self.perm[i] * nrhs..(self.perm[i] + 1) * nrhs]);
             }
         }
+        self.substitute_in_place(x);
+        Ok(())
+    }
+
+    /// Forward/back substitution on a permuted right-hand side already stored
+    /// in `x` (shared by [`Lu::solve_into`] and [`Lu::inverse_into`]).
+    fn substitute_in_place(&self, x: &mut Matrix) {
+        let n = self.dim();
+        let nrhs = x.cols();
+        let lud = self.lu.as_slice();
+        let xd = x.as_mut_slice();
         // Forward substitution with unit lower triangular L.
         for i in 0..n {
-            for k in 0..i {
-                let lik = self.lu[(i, k)];
+            let (above, current) = xd.split_at_mut(i * nrhs);
+            let row_i = &mut current[..nrhs];
+            let lrow = &lud[i * n..i * n + i];
+            for (k, &lik) in lrow.iter().enumerate() {
                 if lik != 0.0 {
-                    for j in 0..nrhs {
-                        let delta = lik * x[(k, j)];
-                        x[(i, j)] -= delta;
+                    let row_k = &above[k * nrhs..(k + 1) * nrhs];
+                    for (xi, &xk) in row_i.iter_mut().zip(row_k.iter()) {
+                        let delta = lik * xk;
+                        *xi -= delta;
                     }
                 }
             }
         }
         // Back substitution with U.
         for i in (0..n).rev() {
+            let (head, tail) = xd.split_at_mut((i + 1) * nrhs);
+            let row_i = &mut head[i * nrhs..];
+            let urow = &lud[i * n..(i + 1) * n];
             for k in (i + 1)..n {
-                let uik = self.lu[(i, k)];
+                let uik = urow[k];
                 if uik != 0.0 {
-                    for j in 0..nrhs {
-                        let delta = uik * x[(k, j)];
-                        x[(i, j)] -= delta;
+                    let row_k = &tail[(k - i - 1) * nrhs..(k - i) * nrhs];
+                    for (xi, &xk) in row_i.iter_mut().zip(row_k.iter()) {
+                        let delta = uik * xk;
+                        *xi -= delta;
                     }
                 }
             }
-            let uii = self.lu[(i, i)];
-            for j in 0..nrhs {
-                x[(i, j)] /= uii;
+            let uii = urow[i];
+            for xi in row_i.iter_mut() {
+                *xi /= uii;
             }
         }
-        Ok(x)
     }
 
     /// Inverse of the factored matrix.
@@ -159,7 +217,35 @@ impl Lu {
     ///
     /// Returns [`LinalgError::Singular`] when the matrix is singular.
     pub fn inverse(&self) -> Result<Matrix, LinalgError> {
-        self.solve(&Matrix::identity(self.dim()))
+        let mut x = Matrix::zeros(0, 0);
+        self.inverse_into(&mut x)?;
+        Ok(x)
+    }
+
+    /// Inverse of the factored matrix into a caller-provided output
+    /// (reshaped and fully overwritten; no allocation in steady state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] when the matrix is singular.
+    pub fn inverse_into(&self, x: &mut Matrix) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if self.singular {
+            return Err(LinalgError::Singular {
+                operation: "lu::solve",
+            });
+        }
+        // The permuted identity right-hand side, written directly.
+        x.resize_uninit(n, n);
+        {
+            let xd = x.as_mut_slice();
+            xd.fill(0.0);
+            for i in 0..n {
+                xd[i * n + self.perm[i]] = 1.0;
+            }
+        }
+        self.substitute_in_place(x);
+        Ok(())
     }
 }
 
@@ -271,6 +357,27 @@ mod tests {
         let x = solve(&a, &Matrix::column(&[2.0, 3.0])).unwrap();
         assert!((x[(0, 0)] - 3.0).abs() < 1e-14);
         assert!((x[(1, 0)] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn factor_into_reuses_buffers_and_matches_factor() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let reference = factor(&a).unwrap();
+        let mut f = Lu::empty();
+        // Warm the buffers with a different matrix first.
+        factor_into(&Matrix::identity(3), &mut f).unwrap();
+        factor_into(&a, &mut f).unwrap();
+        assert_eq!(f.lu, reference.lu);
+        assert_eq!(f.perm, reference.perm);
+        assert_eq!(f.perm_sign, reference.perm_sign);
+        assert_eq!(f.singular, reference.singular);
+        let mut inv = Matrix::zeros(0, 0);
+        f.inverse_into(&mut inv).unwrap();
+        assert_eq!(inv, reference.inverse().unwrap());
+        let b = Matrix::from_fn(3, 2, |i, j| (i + 2 * j) as f64);
+        let mut x = Matrix::zeros(0, 0);
+        f.solve_into(&b, &mut x).unwrap();
+        assert_eq!(x, reference.solve(&b).unwrap());
     }
 
     #[test]

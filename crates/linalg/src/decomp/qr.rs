@@ -19,47 +19,69 @@ pub fn factor_full(a: &Matrix) -> Qr {
     let (m, n) = a.shape();
     let mut r = a.clone();
     let mut q = Matrix::identity(m);
+    let mut v = vec![0.0; m];
+    let mut dots = vec![0.0; n];
     for k in 0..n.min(m.saturating_sub(1)) {
+        let rd = r.as_mut_slice();
         // Householder vector for column k, rows k..m.
         let mut norm_x = 0.0;
         for i in k..m {
-            norm_x += r[(i, k)] * r[(i, k)];
+            norm_x += rd[i * n + k] * rd[i * n + k];
         }
         norm_x = norm_x.sqrt();
         if norm_x == 0.0 {
             continue;
         }
-        let alpha = if r[(k, k)] >= 0.0 { -norm_x } else { norm_x };
-        let mut v = vec![0.0; m - k];
-        v[0] = r[(k, k)] - alpha;
+        let alpha = if rd[k * n + k] >= 0.0 {
+            -norm_x
+        } else {
+            norm_x
+        };
+        let vlen = m - k;
+        let v = &mut v[..vlen];
+        v[0] = rd[k * n + k] - alpha;
         for i in (k + 1)..m {
-            v[i - k] = r[(i, k)];
+            v[i - k] = rd[i * n + k];
         }
         let vnorm_sq: f64 = v.iter().map(|x| x * x).sum();
         if vnorm_sq <= f64::MIN_POSITIVE {
             continue;
         }
         let beta = 2.0 / vnorm_sq;
-        // Apply H = I - beta v vᵀ to R (rows k..m, all columns).
-        for j in 0..n {
-            let mut dot = 0.0;
-            for i in k..m {
-                dot += v[i - k] * r[(i, j)];
+        // Apply H = I - beta v vᵀ to R (rows k..m) in the row-major two-pass
+        // form: all column dot products first, then the rank-1 update.  Per
+        // column the additions happen in the same ascending-row order as the
+        // column-at-a-time loop.  Columns j < k carry only self-contained
+        // round-off below the diagonal (never read again, wiped at the end),
+        // so the sweep starts at column k; both changes leave the returned
+        // factors bit-identical.
+        let jlo = k.min(n);
+        dots[jlo..n].fill(0.0);
+        for i in k..m {
+            let vi = v[i - k];
+            let row = &rd[i * n + jlo..(i + 1) * n];
+            for (d, &x) in dots[jlo..n].iter_mut().zip(row.iter()) {
+                *d += vi * x;
             }
-            let s = beta * dot;
-            for i in k..m {
-                r[(i, j)] -= s * v[i - k];
+        }
+        for i in k..m {
+            let vi = v[i - k];
+            let row = &mut rd[i * n + jlo..(i + 1) * n];
+            for (x, &d) in row.iter_mut().zip(dots[jlo..n].iter()) {
+                *x -= (beta * d) * vi;
             }
         }
         // Accumulate into Q: Q = Q * H (apply H on the right, i.e. to columns k..m of Q).
+        let qd = q.as_mut_slice();
         for i in 0..m {
+            let row = &mut qd[i * m + k..(i + 1) * m];
             let mut dot = 0.0;
-            for j in k..m {
-                dot += q[(i, j)] * v[j - k];
+            for (&x, &vj) in row.iter().zip(v.iter()) {
+                dot += x * vj;
             }
             let s = beta * dot;
-            for j in k..m {
-                q[(i, j)] -= s * v[j - k];
+            for (x, &vj) in row.iter_mut().zip(v.iter()) {
+                *x -= s * vj;
             }
         }
     }
@@ -147,27 +169,44 @@ pub fn least_squares(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
 /// Returns a matrix with orthonormal columns spanning the column space of `a`.
 pub fn orthonormalize_columns(a: &Matrix, tol: f64) -> Matrix {
     let (m, n) = a.shape();
-    let mut basis: Vec<Matrix> = Vec::new();
     let scale = a.norm_max().max(1.0);
+    // The accepted basis vectors live as contiguous rows of a flat buffer (the
+    // transposed basis); the projection loop then runs over slices with no
+    // per-step allocation.  Per element the arithmetic matches the former
+    // matrix-at-a-time version (`v ← v − q·(qᵀv)`, two passes) exactly.
+    let mut basis: Vec<f64> = Vec::new();
+    let mut kept = 0usize;
+    let mut v = vec![0.0; m];
     for j in 0..n {
-        let mut v = a.col(j);
+        for (i, value) in v.iter_mut().enumerate() {
+            *value = a[(i, j)];
+        }
         // Two passes of Gram–Schmidt for numerical robustness.
         for _ in 0..2 {
-            for q in &basis {
-                let coeff = q.dot(&v).expect("dimension match");
-                v = &v - &q.scale(coeff);
+            for q in basis.chunks_exact(m) {
+                let mut coeff = 0.0;
+                for (&qi, &vi) in q.iter().zip(v.iter()) {
+                    coeff += qi * vi;
+                }
+                for (x, &qi) in v.iter_mut().zip(q.iter()) {
+                    *x -= qi * coeff;
+                }
             }
         }
-        let norm = v.norm_fro();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
         if norm > tol * scale {
-            basis.push(v.scale(1.0 / norm));
+            let inv = 1.0 / norm;
+            basis.extend(v.iter().map(|&x| x * inv));
+            kept += 1;
         }
     }
-    if basis.is_empty() {
-        return Matrix::zeros(m, 0);
+    let mut out = Matrix::zeros(m, kept);
+    for (k, q) in basis.chunks_exact(m).enumerate() {
+        for (i, &x) in q.iter().enumerate() {
+            out[(i, k)] = x;
+        }
     }
-    let refs: Vec<&Matrix> = basis.iter().collect();
-    Matrix::hstack(&refs)
+    out
 }
 
 #[cfg(test)]

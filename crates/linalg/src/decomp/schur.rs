@@ -24,28 +24,71 @@ pub struct RealSchur {
 /// within `60 * n` iterations (extremely unusual for real data thanks to the
 /// exceptional-shift strategy).
 pub fn real_schur(a: &Matrix) -> Result<RealSchur, LinalgError> {
-    if !a.is_square() {
+    let mut t = a.clone();
+    let mut q = Matrix::zeros(0, 0);
+    crate::workspace::with_thread_pool(|pool| {
+        let ws = pool.get(a.rows());
+        real_schur_in(&mut t, Some(&mut q), &mut ws.hv, &mut ws.dots)
+    })?;
+    Ok(RealSchur { q, t })
+}
+
+/// Computes only the quasi-triangular factor `T` of the real Schur
+/// decomposition, skipping every update of the orthogonal factor `Q` (the
+/// Hessenberg-Q accumulation and all Q rotations in the Francis sweeps).
+///
+/// The `T` iterates never read `Q`, so this returns exactly the `T` of
+/// [`real_schur`] — bit for bit — at roughly two thirds of the flops.  This is
+/// the path behind [`crate::eigen::eigenvalues`], which only needs the
+/// diagonal blocks.
+///
+/// # Errors
+///
+/// Same as [`real_schur`].
+pub fn real_schur_t_only(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let mut t = a.clone();
+    crate::workspace::with_thread_pool(|pool| {
+        let ws = pool.get(a.rows());
+        real_schur_in(&mut t, None, &mut ws.hv, &mut ws.dots)
+    })?;
+    Ok(t)
+}
+
+/// In-place real Schur iteration: overwrites `h` with the quasi-triangular
+/// factor and, when `q` is provided, overwrites `q` with the accumulated
+/// orthogonal factor (any buffer can be passed; it is reset to the identity).
+/// `hv`/`dots` are reusable scratch vectors (see
+/// [`hessenberg::reduce_in`]).
+///
+/// # Errors
+///
+/// Same as [`real_schur`].
+pub fn real_schur_in(
+    h: &mut Matrix,
+    mut q: Option<&mut Matrix>,
+    hv: &mut Vec<f64>,
+    dots: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
+    if !h.is_square() {
         return Err(LinalgError::NotSquare {
             operation: "schur::real_schur",
-            shape: a.shape(),
+            shape: h.shape(),
         });
     }
-    let n = a.rows();
+    let n = h.rows();
     if n == 0 {
-        return Ok(RealSchur {
-            q: Matrix::zeros(0, 0),
-            t: Matrix::zeros(0, 0),
-        });
+        if let Some(q) = q {
+            q.resize_uninit(0, 0);
+        }
+        return Ok(());
     }
     if n == 1 {
-        return Ok(RealSchur {
-            q: Matrix::identity(1),
-            t: a.clone(),
-        });
+        if let Some(q) = q {
+            q.set_identity(1);
+        }
+        return Ok(());
     }
-    let hess = hessenberg::reduce(a)?;
-    let mut h = hess.h;
-    let mut q = hess.q;
+    hessenberg::reduce_in(h, q.as_deref_mut(), hv, dots)?;
     let norm = h.norm_fro().max(f64::MIN_POSITIVE);
     let eps = f64::EPSILON;
 
@@ -124,30 +167,38 @@ pub fn real_schur(a: &Matrix) -> Result<RealSchur, LinalgError> {
             let (v, beta) = householder3(x, y, z);
             if beta != 0.0 {
                 let col_start = if k > lo { k - 1 } else { lo };
+                let hd = h.as_mut_slice();
                 // Apply P from the left to rows k..k+2.
-                for j in col_start..n {
-                    let dot = v[0] * h[(k, j)] + v[1] * h[(k + 1, j)] + v[2] * h[(k + 2, j)];
-                    let sfac = beta * dot;
-                    h[(k, j)] -= sfac * v[0];
-                    h[(k + 1, j)] -= sfac * v[1];
-                    h[(k + 2, j)] -= sfac * v[2];
+                {
+                    let (head, tail) = hd.split_at_mut((k + 1) * n);
+                    let r0 = &mut head[k * n..];
+                    let (r1, r2) = tail.split_at_mut(n);
+                    for j in col_start..n {
+                        let dot = v[0] * r0[j] + v[1] * r1[j] + v[2] * r2[j];
+                        let sfac = beta * dot;
+                        r0[j] -= sfac * v[0];
+                        r1[j] -= sfac * v[1];
+                        r2[j] -= sfac * v[2];
+                    }
                 }
                 // Apply P from the right to columns k..k+2.
                 let row_end = (k + 3).min(hi);
-                for i in 0..=row_end {
-                    let dot = v[0] * h[(i, k)] + v[1] * h[(i, k + 1)] + v[2] * h[(i, k + 2)];
+                for row in hd.chunks_exact_mut(n).take(row_end + 1) {
+                    let dot = v[0] * row[k] + v[1] * row[k + 1] + v[2] * row[k + 2];
                     let sfac = beta * dot;
-                    h[(i, k)] -= sfac * v[0];
-                    h[(i, k + 1)] -= sfac * v[1];
-                    h[(i, k + 2)] -= sfac * v[2];
+                    row[k] -= sfac * v[0];
+                    row[k + 1] -= sfac * v[1];
+                    row[k + 2] -= sfac * v[2];
                 }
                 // Accumulate into Q.
-                for i in 0..n {
-                    let dot = v[0] * q[(i, k)] + v[1] * q[(i, k + 1)] + v[2] * q[(i, k + 2)];
-                    let sfac = beta * dot;
-                    q[(i, k)] -= sfac * v[0];
-                    q[(i, k + 1)] -= sfac * v[1];
-                    q[(i, k + 2)] -= sfac * v[2];
+                if let Some(q) = q.as_deref_mut() {
+                    for row in q.as_mut_slice().chunks_exact_mut(n) {
+                        let dot = v[0] * row[k] + v[1] * row[k + 1] + v[2] * row[k + 2];
+                        let sfac = beta * dot;
+                        row[k] -= sfac * v[0];
+                        row[k + 1] -= sfac * v[1];
+                        row[k + 2] -= sfac * v[2];
+                    }
                 }
             }
             x = h[(k + 1, k)];
@@ -163,23 +214,31 @@ pub fn real_schur(a: &Matrix) -> Result<RealSchur, LinalgError> {
         let (v, beta) = householder2(x, y);
         if beta != 0.0 {
             let k = hi - 1;
-            for j in (hi - 2)..n {
-                let dot = v[0] * h[(k, j)] + v[1] * h[(k + 1, j)];
-                let sfac = beta * dot;
-                h[(k, j)] -= sfac * v[0];
-                h[(k + 1, j)] -= sfac * v[1];
+            let hd = h.as_mut_slice();
+            {
+                let (head, tail) = hd.split_at_mut((k + 1) * n);
+                let r0 = &mut head[k * n..];
+                let r1 = &mut tail[..n];
+                for j in (hi - 2)..n {
+                    let dot = v[0] * r0[j] + v[1] * r1[j];
+                    let sfac = beta * dot;
+                    r0[j] -= sfac * v[0];
+                    r1[j] -= sfac * v[1];
+                }
             }
-            for i in 0..=hi {
-                let dot = v[0] * h[(i, k)] + v[1] * h[(i, k + 1)];
+            for row in hd.chunks_exact_mut(n).take(hi + 1) {
+                let dot = v[0] * row[k] + v[1] * row[k + 1];
                 let sfac = beta * dot;
-                h[(i, k)] -= sfac * v[0];
-                h[(i, k + 1)] -= sfac * v[1];
+                row[k] -= sfac * v[0];
+                row[k + 1] -= sfac * v[1];
             }
-            for i in 0..n {
-                let dot = v[0] * q[(i, k)] + v[1] * q[(i, k + 1)];
-                let sfac = beta * dot;
-                q[(i, k)] -= sfac * v[0];
-                q[(i, k + 1)] -= sfac * v[1];
+            if let Some(q) = q.as_deref_mut() {
+                for row in q.as_mut_slice().chunks_exact_mut(n) {
+                    let dot = v[0] * row[k] + v[1] * row[k + 1];
+                    let sfac = beta * dot;
+                    row[k] -= sfac * v[0];
+                    row[k + 1] -= sfac * v[1];
+                }
             }
         }
     }
@@ -192,12 +251,15 @@ pub fn real_schur(a: &Matrix) -> Result<RealSchur, LinalgError> {
             h[(i, i - 1)] = 0.0;
         }
     }
-    for i in 2..n {
-        for j in 0..(i - 1) {
-            h[(i, j)] = 0.0;
+    {
+        let hd = h.as_mut_slice();
+        for i in 2..n {
+            for j in 0..(i - 1) {
+                hd[i * n + j] = 0.0;
+            }
         }
     }
-    Ok(RealSchur { q, t: h })
+    Ok(())
 }
 
 /// Householder reflector for a 3-vector: returns `(v, beta)` such that

@@ -38,6 +38,27 @@ const MAX_SWEEPS: usize = 60;
 /// Returns [`LinalgError::ConvergenceFailure`] if the Jacobi sweeps fail to
 /// converge (does not happen for finite input in practice).
 pub fn svd(a: &Matrix) -> Result<Svd, LinalgError> {
+    jacobi_svd(a, true)
+}
+
+/// Computes only the left factor and the singular values of `a`, skipping the
+/// accumulation of `V` when possible.
+///
+/// The one-sided Jacobi rotations applied to the working matrix never read
+/// `V`, so `u` and `s` are bit-for-bit identical to [`svd`]'s — at roughly
+/// half the rotation work for square input.  This is the path behind the
+/// rank / range-basis decisions in [`crate::subspace`], which never look at
+/// `V`.
+///
+/// # Errors
+///
+/// Same as [`svd`].
+pub fn svd_u_s(a: &Matrix) -> Result<(Matrix, Vec<f64>), LinalgError> {
+    let d = jacobi_svd(a, false)?;
+    Ok((d.u, d.s))
+}
+
+fn jacobi_svd(a: &Matrix, want_v: bool) -> Result<Svd, LinalgError> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Ok(Svd {
@@ -48,7 +69,9 @@ pub fn svd(a: &Matrix) -> Result<Svd, LinalgError> {
     }
     if m < n {
         // Work on the transpose and swap the factors: Aᵀ = U Σ Vᵀ  ⇒  A = V Σ Uᵀ.
-        let t = svd(&a.transpose())?;
+        // The wide case needs the transposed problem's V (it becomes this U),
+        // so the full decomposition is always requested.
+        let t = jacobi_svd(&a.transpose(), true)?;
         return Ok(Svd {
             u: t.v.block(0, m, 0, t.s.len().min(m)),
             s: t.s,
@@ -56,9 +79,17 @@ pub fn svd(a: &Matrix) -> Result<Svd, LinalgError> {
         });
     }
 
-    // One-sided Jacobi on the columns of W (m x n, m >= n).
-    let mut w = a.clone();
-    let mut v = Matrix::identity(n);
+    // One-sided Jacobi on the columns of W (m x n, m >= n).  The working
+    // matrices are stored TRANSPOSED (`wt` is n x m: row j of `wt` is column j
+    // of W) so that every column dot product and rotation runs over two
+    // contiguous rows instead of two stride-n walks; the arithmetic per
+    // element — and therefore the result, bit for bit — is unchanged.
+    let mut wt = a.transpose();
+    let mut vt = if want_v {
+        Matrix::identity(n)
+    } else {
+        Matrix::zeros(0, 0)
+    };
     let eps = f64::EPSILON;
     // Columns whose norm has dropped below this are treated as exactly zero;
     // without the floor, pairs of negligible columns keep rotating forever.
@@ -69,13 +100,16 @@ pub fn svd(a: &Matrix) -> Result<Svd, LinalgError> {
         let mut rotated = false;
         for p in 0..n.saturating_sub(1) {
             for q in (p + 1)..n {
+                let wd = wt.as_mut_slice();
+                // Rows p and q of the transposed buffer are columns p, q of W.
+                let (head, tail) = wd.split_at_mut(q * m);
+                let row_p = &mut head[p * m..(p + 1) * m];
+                let row_q = &mut tail[..m];
                 // Column inner products.
                 let mut app = 0.0;
                 let mut aqq = 0.0;
                 let mut apq = 0.0;
-                for i in 0..m {
-                    let wp = w[(i, p)];
-                    let wq = w[(i, q)];
+                for (&wp, &wq) in row_p.iter().zip(row_q.iter()) {
                     app += wp * wp;
                     aqq += wq * wq;
                     apq += wp * wq;
@@ -92,17 +126,23 @@ pub fn svd(a: &Matrix) -> Result<Svd, LinalgError> {
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
                 // Rotate columns p and q of W and V.
-                for i in 0..m {
-                    let wp = w[(i, p)];
-                    let wq = w[(i, q)];
-                    w[(i, p)] = c * wp - s * wq;
-                    w[(i, q)] = s * wp + c * wq;
+                for (xp, xq) in row_p.iter_mut().zip(row_q.iter_mut()) {
+                    let wp = *xp;
+                    let wq = *xq;
+                    *xp = c * wp - s * wq;
+                    *xq = s * wp + c * wq;
                 }
-                for i in 0..n {
-                    let vp = v[(i, p)];
-                    let vq = v[(i, q)];
-                    v[(i, p)] = c * vp - s * vq;
-                    v[(i, q)] = s * vp + c * vq;
+                if want_v {
+                    let vd = vt.as_mut_slice();
+                    let (vhead, vtail) = vd.split_at_mut(q * n);
+                    let vrow_p = &mut vhead[p * n..(p + 1) * n];
+                    let vrow_q = &mut vtail[..n];
+                    for (xp, xq) in vrow_p.iter_mut().zip(vrow_q.iter_mut()) {
+                        let vp = *xp;
+                        let vq = *xq;
+                        *xp = c * vp - s * vq;
+                        *xq = s * vp + c * vq;
+                    }
                 }
             }
         }
@@ -118,29 +158,44 @@ pub fn svd(a: &Matrix) -> Result<Svd, LinalgError> {
         });
     }
 
-    // Extract singular values and left vectors.
+    // Extract singular values.
     let mut sigma: Vec<f64> = Vec::with_capacity(n);
-    let mut u = Matrix::zeros(m, n);
     for j in 0..n {
+        let row = &wt.as_slice()[j * m..(j + 1) * m];
         let mut norm = 0.0;
-        for i in 0..m {
-            norm += w[(i, j)] * w[(i, j)];
+        for &x in row {
+            norm += x * x;
         }
-        let norm = norm.sqrt();
-        sigma.push(norm);
-        if norm > 0.0 {
-            for i in 0..m {
-                u[(i, j)] = w[(i, j)] / norm;
-            }
-        }
+        sigma.push(norm.sqrt());
     }
 
-    // Sort in non-increasing order of singular values.
+    // Sort in non-increasing order of singular values and assemble the sorted
+    // factors directly from the transposed buffers.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
     let s_sorted: Vec<f64> = order.iter().map(|&i| sigma[i]).collect();
-    let u_sorted = u.select_columns(&order);
-    let v_sorted = v.select_columns(&order);
+    let mut u_sorted = Matrix::zeros(m, n);
+    for (jj, &src) in order.iter().enumerate() {
+        let norm = sigma[src];
+        if norm > 0.0 {
+            let row = &wt.as_slice()[src * m..(src + 1) * m];
+            for (i, &x) in row.iter().enumerate() {
+                u_sorted[(i, jj)] = x / norm;
+            }
+        }
+    }
+    let v_sorted = if want_v {
+        let mut v_sorted = Matrix::zeros(n, n);
+        for (jj, &src) in order.iter().enumerate() {
+            let row = &vt.as_slice()[src * n..(src + 1) * n];
+            for (i, &x) in row.iter().enumerate() {
+                v_sorted[(i, jj)] = x;
+            }
+        }
+        v_sorted
+    } else {
+        Matrix::zeros(n, 0)
+    };
 
     Ok(Svd {
         u: u_sorted,
@@ -149,19 +204,25 @@ pub fn svd(a: &Matrix) -> Result<Svd, LinalgError> {
     })
 }
 
+/// Numerical rank of a non-increasing singular-value sequence with the same
+/// decision rule as [`Svd::rank`].
+pub fn rank_from_singular_values(s: &[f64], rel_tol: f64) -> usize {
+    if s.is_empty() {
+        return 0;
+    }
+    let smax = s[0];
+    if smax == 0.0 {
+        return 0;
+    }
+    let threshold = smax * rel_tol.max(f64::EPSILON);
+    s.iter().filter(|&&x| x > threshold).count()
+}
+
 impl Svd {
     /// Numerical rank using the tolerance `tol * max(s)` (or an absolute floor
     /// scaled by machine epsilon if all singular values are tiny).
     pub fn rank(&self, rel_tol: f64) -> usize {
-        if self.s.is_empty() {
-            return 0;
-        }
-        let smax = self.s[0];
-        if smax == 0.0 {
-            return 0;
-        }
-        let threshold = smax * rel_tol.max(f64::EPSILON);
-        self.s.iter().filter(|&&x| x > threshold).count()
+        rank_from_singular_values(&self.s, rel_tol)
     }
 
     /// Reconstructs `U diag(s) Vᵀ` (for testing / diagnostics).
@@ -268,5 +329,18 @@ mod tests {
         let n = 25;
         let a = Matrix::from_fn(n, n, |i, j| ((i + 2 * j) % 13) as f64 * 0.3 - 1.7);
         check_svd(&a, 1e-9);
+    }
+
+    #[test]
+    fn u_only_path_is_bitwise_identical() {
+        for &(m, n) in &[(6usize, 4usize), (12, 12), (3, 7), (9, 1)] {
+            let a = Matrix::from_fn(m, n, |i, j| {
+                ((i * 11 + j * 5 + m + n) % 17) as f64 * 0.4 - 3.0
+            });
+            let full = svd(&a).unwrap();
+            let (u, s) = svd_u_s(&a).unwrap();
+            assert_eq!(u.as_slice(), full.u.as_slice(), "U differs at {m}x{n}");
+            assert_eq!(s, full.s, "singular values differ at {m}x{n}");
+        }
     }
 }

@@ -4,6 +4,7 @@ use crate::decomp::schur::{self, RealSchur};
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::scalar::Complex;
+use crate::workspace::{self, EigenWorkspace};
 
 /// Computes all eigenvalues of a square real matrix.
 ///
@@ -24,14 +25,54 @@ use crate::scalar::Complex;
 /// # }
 /// ```
 pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>, LinalgError> {
-    let s = schur::real_schur(a)?;
-    Ok(eigenvalues_from_schur(&s.t))
+    workspace::with_thread_pool(|pool| eigenvalues_in(a, pool.get(a.rows())))
+}
+
+/// Computes all eigenvalues of `a` using caller-provided scratch buffers.
+///
+/// Runs the Q-free Schur iteration ([`schur::real_schur_t_only`]) entirely
+/// inside the workspace: the only allocation is the returned vector (use
+/// [`eigenvalues_into`] to avoid even that).
+///
+/// # Errors
+///
+/// Propagates the errors of [`schur::real_schur`].
+pub fn eigenvalues_in(a: &Matrix, ws: &mut EigenWorkspace) -> Result<Vec<Complex>, LinalgError> {
+    let mut out = Vec::with_capacity(a.rows());
+    eigenvalues_into(a, ws, &mut out)?;
+    Ok(out)
+}
+
+/// Computes all eigenvalues of `a` into a caller-provided vector (cleared
+/// first) using caller-provided scratch buffers — zero heap allocation in
+/// steady state.
+///
+/// # Errors
+///
+/// Propagates the errors of [`schur::real_schur`].
+pub fn eigenvalues_into(
+    a: &Matrix,
+    ws: &mut EigenWorkspace,
+    out: &mut Vec<Complex>,
+) -> Result<(), LinalgError> {
+    out.clear();
+    ws.t.copy_from(a);
+    schur::real_schur_in(&mut ws.t, None, &mut ws.hv, &mut ws.dots)?;
+    push_eigenvalues_from_schur(&ws.t, out);
+    Ok(())
 }
 
 /// Extracts eigenvalues from a quasi-upper-triangular (real Schur) matrix.
 pub fn eigenvalues_from_schur(t: &Matrix) -> Vec<Complex> {
+    let mut out = Vec::with_capacity(t.rows());
+    push_eigenvalues_from_schur(t, &mut out);
+    out
+}
+
+/// Appends the eigenvalues of a quasi-upper-triangular matrix to `out`.
+fn push_eigenvalues_from_schur(t: &Matrix, out: &mut Vec<Complex>) {
     let n = t.rows();
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     let mut i = 0;
     while i < n {
         if i + 1 < n && t[(i + 1, i)] != 0.0 {
@@ -44,7 +85,6 @@ pub fn eigenvalues_from_schur(t: &Matrix) -> Vec<Complex> {
             i += 1;
         }
     }
-    out
 }
 
 /// Eigenvalues of the 2x2 matrix `[[a, b], [c, d]]`.

@@ -14,7 +14,11 @@
 //!   complements ([`subspace`]),
 //! * the matrix sign function for invariant-subspace splitting ([`sign`]),
 //! * Lyapunov/Sylvester solvers via Bartels–Stewart ([`lyapunov`]),
-//! * Moore–Penrose pseudo-inverse ([`pinv`]).
+//! * Moore–Penrose pseudo-inverse ([`pinv`]),
+//! * reusable per-dimension scratch buffers for the eigen/sign hot path
+//!   ([`workspace`]): the `_in` kernel variants run with zero heap allocation
+//!   in steady state, and the classic entry points route their scratch
+//!   through a per-thread [`workspace::WorkspacePool`] automatically.
 //!
 //! # Example
 //!
@@ -42,6 +46,7 @@ pub mod pinv;
 pub mod scalar;
 pub mod sign;
 pub mod subspace;
+pub mod workspace;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;

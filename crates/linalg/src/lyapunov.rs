@@ -52,32 +52,69 @@ pub fn solve_sylvester(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, Lin
 
     // Solve T Y + Y S = F by processing the columns of Y in blocks determined
     // by the quasi-triangular structure of S (left to right) and, within each
-    // column block, the rows of Y in blocks of T (bottom to top).
+    // column block, the rows of Y in blocks of T (bottom to top).  The
+    // couplings to already-solved blocks are accumulated straight out of T, S
+    // and Y (same multiply-accumulate order as the former explicit `block` /
+    // `matmul` calls, so the result is bit-identical) — the per-block copies
+    // used to dominate the allocator profile of the split stage.
     let t_blocks = sa.diagonal_blocks();
     let s_blocks = sb.diagonal_blocks();
     let mut y = Matrix::zeros(n, m);
+    let mut small = SmallSylvesterScratch::new();
 
     for &(cj, cw) in &s_blocks {
         for &(ri, rh) in t_blocks.iter().rev() {
-            // Right-hand side for this block:
+            // Right-hand side for this block (at most 2x2):
             // F_block - T[ri, ri+rh..n] * Y[ri+rh..n, cols] - Y[rows, 0..cj] * S[0..cj, cols]
-            let mut rhs = f.block(ri, ri + rh, cj, cj + cw);
+            let mut rhs = [[0.0f64; 2]; 2];
+            for (ii, row) in rhs.iter_mut().enumerate().take(rh) {
+                for (jj, value) in row.iter_mut().enumerate().take(cw) {
+                    *value = f[(ri + ii, cj + jj)];
+                }
+            }
             if ri + rh < n {
-                let t_right = t.block(ri, ri + rh, ri + rh, n);
-                let y_below = y.block(ri + rh, n, cj, cj + cw);
-                rhs = &rhs - &(&t_right * &y_below);
+                // product = T_right * Y_below, accumulated in ascending-k
+                // order with the matmul kernel's zero skip.
+                let mut product = [[0.0f64; 2]; 2];
+                for (ii, row) in product.iter_mut().enumerate().take(rh) {
+                    for k in (ri + rh)..n {
+                        let tik = t[(ri + ii, k)];
+                        if tik == 0.0 {
+                            continue;
+                        }
+                        for (jj, value) in row.iter_mut().enumerate().take(cw) {
+                            *value += tik * y[(k, cj + jj)];
+                        }
+                    }
+                }
+                for ii in 0..rh {
+                    for jj in 0..cw {
+                        rhs[ii][jj] -= product[ii][jj];
+                    }
+                }
             }
             if cj > 0 {
-                let y_left = y.block(ri, ri + rh, 0, cj);
-                let s_above = s.block(0, cj, cj, cj + cw);
-                rhs = &rhs - &(&y_left * &s_above);
+                let mut product = [[0.0f64; 2]; 2];
+                for (ii, row) in product.iter_mut().enumerate().take(rh) {
+                    for k in 0..cj {
+                        let yik = y[(ri + ii, k)];
+                        if yik == 0.0 {
+                            continue;
+                        }
+                        for (jj, value) in row.iter_mut().enumerate().take(cw) {
+                            *value += yik * s[(k, cj + jj)];
+                        }
+                    }
+                }
+                for ii in 0..rh {
+                    for jj in 0..cw {
+                        rhs[ii][jj] -= product[ii][jj];
+                    }
+                }
             }
             // Solve the small equation T_ii Y_b + Y_b S_jj = rhs via the
-            // Kronecker system (at most 4x4).
-            let t_ii = t.block(ri, ri + rh, ri, ri + rh);
-            let s_jj = s.block(cj, cj + cw, cj, cj + cw);
-            let y_block = solve_small_sylvester(&t_ii, &s_jj, &rhs)?;
-            y.set_block(ri, cj, &y_block);
+            // Kronecker system (at most 4x4) and write the block into Y.
+            small.solve(t, ri, rh, s, cj, cw, &rhs, &mut y)?;
         }
     }
 
@@ -85,43 +122,76 @@ pub fn solve_sylvester(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, Lin
     Ok(&(&sa.q * &y) * &sb.q.transpose())
 }
 
-/// Solves the small Sylvester equation `P Y + Y Q = R` (dimensions at most 2x2)
-/// through its Kronecker-product linear system.
-fn solve_small_sylvester(p: &Matrix, q: &Matrix, r: &Matrix) -> Result<Matrix, LinalgError> {
-    let np = p.rows();
-    let nq = q.rows();
-    let dim = np * nq;
-    // Unknowns ordered as vec(Y) column-major: y[(i, j)] ↦ index j*np + i.
-    let mut k = Matrix::zeros(dim, dim);
-    for j in 0..nq {
-        for i in 0..np {
-            let row = j * np + i;
-            // (P Y)[i, j] = Σ_k P[i, k] Y[k, j]
-            for kk in 0..np {
-                k[(row, j * np + kk)] += p[(i, kk)];
+/// Reusable buffers for the small (≤ 2x2 blocks, ≤ 4x4 Kronecker system)
+/// Sylvester solves inside the Bartels–Stewart back substitution.
+struct SmallSylvesterScratch {
+    k: Matrix,
+    rhs: Matrix,
+    sol: Matrix,
+    factor: lu::Lu,
+}
+
+impl SmallSylvesterScratch {
+    fn new() -> Self {
+        SmallSylvesterScratch {
+            k: Matrix::zeros(0, 0),
+            rhs: Matrix::zeros(0, 0),
+            sol: Matrix::zeros(0, 0),
+            factor: lu::Lu::empty(),
+        }
+    }
+
+    /// Solves `P Y_b + Y_b Q = R` where `P = T[ri.., ri..]` and
+    /// `Q = S[cj.., cj..]` are diagonal blocks of the Schur factors, writing
+    /// the solution block into `y` at `(ri, cj)`.
+    #[allow(clippy::too_many_arguments)]
+    fn solve(
+        &mut self,
+        t: &Matrix,
+        ri: usize,
+        rh: usize,
+        s: &Matrix,
+        cj: usize,
+        cw: usize,
+        r: &[[f64; 2]; 2],
+        y: &mut Matrix,
+    ) -> Result<(), LinalgError> {
+        let dim = rh * cw;
+        // Unknowns ordered as vec(Y) column-major: y[(i, j)] ↦ index j*rh + i.
+        self.k.resize_uninit(dim, dim);
+        self.k.as_mut_slice().fill(0.0);
+        for j in 0..cw {
+            for i in 0..rh {
+                let row = j * rh + i;
+                // (P Y)[i, j] = Σ_k P[i, k] Y[k, j]
+                for kk in 0..rh {
+                    self.k[(row, j * rh + kk)] += t[(ri + i, ri + kk)];
+                }
+                // (Y Q)[i, j] = Σ_k Y[i, k] Q[k, j]
+                for kk in 0..cw {
+                    self.k[(row, kk * rh + i)] += s[(cj + kk, cj + j)];
+                }
             }
-            // (Y Q)[i, j] = Σ_k Y[i, k] Q[k, j]
-            for kk in 0..nq {
-                k[(row, kk * np + i)] += q[(kk, j)];
+        }
+        self.rhs.resize_uninit(dim, 1);
+        for (j, col) in (0..cw).map(|j| (j, j * rh)) {
+            for (i, row) in r.iter().enumerate().take(rh) {
+                self.rhs[(col + i, 0)] = row[j];
             }
         }
-    }
-    let mut rhs = Matrix::zeros(dim, 1);
-    for j in 0..nq {
-        for i in 0..np {
-            rhs[(j * np + i, 0)] = r[(i, j)];
+        lu::factor_into(&self.k, &mut self.factor)?;
+        self.factor
+            .solve_into(&self.rhs, &mut self.sol)
+            .map_err(|_| LinalgError::Singular {
+                operation: "lyapunov::solve_sylvester (A and -B share an eigenvalue)",
+            })?;
+        for j in 0..cw {
+            for i in 0..rh {
+                y[(ri + i, cj + j)] = self.sol[(j * rh + i, 0)];
+            }
         }
+        Ok(())
     }
-    let sol = lu::solve(&k, &rhs).map_err(|_| LinalgError::Singular {
-        operation: "lyapunov::solve_sylvester (A and -B share an eigenvalue)",
-    })?;
-    let mut y = Matrix::zeros(np, nq);
-    for j in 0..nq {
-        for i in 0..np {
-            y[(i, j)] = sol[(j * np + i, 0)];
-        }
-    }
-    Ok(y)
 }
 
 /// Solves the continuous-time Lyapunov equation `A X + X Aᵀ + Q = 0`.

@@ -26,6 +26,10 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+/// Inner-dimension block size of the cache-blocked matmul kernels: a band of
+/// 32 rows of a 400-column `f64` matrix is ~100 KiB, comfortably inside L2.
+const MATMUL_BLOCK: usize = 32;
+
 impl Matrix {
     // ------------------------------------------------------------------
     // Constructors
@@ -239,6 +243,40 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable access to the underlying row-major data.
+    ///
+    /// Intended for the in-place (`_in`) kernels; the shape is not changed.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Reshapes the matrix to `rows x cols`, reusing the existing buffer.
+    ///
+    /// The contents after the call are unspecified (a mix of old data and
+    /// zeros); every caller is expected to overwrite them.  No allocation
+    /// happens when the buffer capacity already suffices.
+    pub fn resize_uninit(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` a copy of `src`, reusing the existing buffer when its
+    /// capacity suffices.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize_uninit(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Overwrites `self` with the `n x n` identity matrix, reusing the buffer.
+    pub fn set_identity(&mut self, n: usize) {
+        self.resize_uninit(n, n);
+        self.data.fill(0.0);
+        for i in 0..n {
+            self.data[i * n + i] = 1.0;
+        }
+    }
+
     /// Consumes the matrix and returns its row-major data.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -423,6 +461,27 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if the inner dimensions differ.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs` written into a caller-provided output.
+    ///
+    /// `out` is reshaped to `self.rows x rhs.cols` (reusing its buffer when the
+    /// capacity suffices) and fully overwritten, so a workspace matrix can be
+    /// reused across calls without heap allocation in steady state.
+    ///
+    /// The kernel is cache-blocked over the inner dimension: a fixed band of
+    /// `rhs` rows stays resident while all output rows accumulate its
+    /// contribution.  Per output element the additions happen in the same
+    /// (ascending-`k`) order as the unblocked row-slice kernel, so the result
+    /// is bit-for-bit identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the inner dimensions differ.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 operation: "matmul",
@@ -430,21 +489,28 @@ impl Matrix {
                 right: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self.data[i * self.cols + k];
-                if aik == 0.0 {
-                    continue;
-                }
-                let row_out = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                let row_rhs = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &r) in row_out.iter_mut().zip(row_rhs.iter()) {
-                    *o += aik * r;
+        let (m, n, p) = (self.rows, self.cols, rhs.cols);
+        out.resize_uninit(m, p);
+        out.data.fill(0.0);
+        let mut k0 = 0;
+        while k0 < n {
+            let k1 = (k0 + MATMUL_BLOCK).min(n);
+            for i in 0..m {
+                let row_a = &self.data[i * n..(i + 1) * n];
+                let row_out = &mut out.data[i * p..(i + 1) * p];
+                for (k, &aik) in row_a.iter().enumerate().take(k1).skip(k0) {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let row_rhs = &rhs.data[k * p..(k + 1) * p];
+                    for (o, &r) in row_out.iter_mut().zip(row_rhs.iter()) {
+                        *o += aik * r;
+                    }
                 }
             }
+            k0 = k1;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// `selfᵀ * rhs` without forming the transpose explicitly.
@@ -453,6 +519,18 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.rows != rhs.rows`.
     pub fn transpose_matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// `selfᵀ * rhs` written into a caller-provided output (see
+    /// [`Matrix::matmul_into`] for the reuse and blocking contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows != rhs.rows`.
+    pub fn transpose_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 operation: "transpose_matmul",
@@ -460,21 +538,31 @@ impl Matrix {
                 right: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            for i in 0..self.cols {
-                let aki = self.data[k * self.cols + i];
-                if aki == 0.0 {
-                    continue;
-                }
-                let row_out = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                let row_rhs = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &r) in row_out.iter_mut().zip(row_rhs.iter()) {
-                    *o += aki * r;
+        let (m, n, p) = (self.rows, self.cols, rhs.cols);
+        out.resize_uninit(n, p);
+        out.data.fill(0.0);
+        // Block over the output rows: the resident output band accumulates the
+        // full ascending-`k` sweep before moving on, which keeps the additions
+        // in the exact order of the unblocked kernel.
+        let mut i0 = 0;
+        while i0 < n {
+            let i1 = (i0 + MATMUL_BLOCK).min(n);
+            for k in 0..m {
+                let row_a = &self.data[k * n..(k + 1) * n];
+                let row_rhs = &rhs.data[k * p..(k + 1) * p];
+                for (i, &aki) in row_a.iter().enumerate().take(i1).skip(i0) {
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let row_out = &mut out.data[i * p..(i + 1) * p];
+                    for (o, &r) in row_out.iter_mut().zip(row_rhs.iter()) {
+                        *o += aki * r;
+                    }
                 }
             }
+            i0 = i1;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Element-wise sum.
@@ -937,5 +1025,67 @@ mod tests {
         assert!(e.is_empty());
         let h = Matrix::hstack(&[]);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches_matmul() {
+        let a = Matrix::from_fn(37, 53, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let b = Matrix::from_fn(53, 41, |i, j| ((i * 5 + j * 13) % 9) as f64 * 0.25 - 1.0);
+        let mut out = Matrix::zeros(64, 64); // wrong shape on purpose
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        // Second call with a correctly shaped buffer must also be exact.
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        assert!(a.matmul_into(&a, &mut out).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_identical_to_reference() {
+        // Reference kernel: the plain i-k-j row-slice loop the blocked kernel
+        // must reproduce bit for bit (same per-element addition order).
+        let n = 70; // larger than one block so the blocking actually kicks in
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 23) as f64 / 7.0 - 1.5);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 29) % 19) as f64 / 5.0 - 1.8);
+        let mut reference = Matrix::zeros(n, n);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = a[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    reference[(i, j)] += aik * b[(k, j)];
+                }
+            }
+        }
+        let fast = a.matmul(&b).unwrap();
+        assert_eq!(fast.as_slice(), reference.as_slice());
+        let mut tref = Matrix::zeros(n, n);
+        for k in 0..n {
+            for i in 0..n {
+                let aki = a[(k, i)];
+                if aki == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    tref[(i, j)] += aki * b[(k, j)];
+                }
+            }
+        }
+        let tfast = a.transpose_matmul(&b).unwrap();
+        assert_eq!(tfast.as_slice(), tref.as_slice());
+    }
+
+    #[test]
+    fn copy_from_and_set_identity_reuse() {
+        let src = sample();
+        let mut dst = Matrix::zeros(1, 1);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.set_identity(3);
+        assert_eq!(dst, Matrix::identity(3));
+        dst.resize_uninit(2, 2);
+        assert_eq!(dst.shape(), (2, 2));
     }
 }

@@ -11,6 +11,7 @@ use crate::decomp::lu;
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::subspace;
+use crate::workspace::{self, EigenWorkspace};
 
 /// Options controlling the Newton iteration for the matrix sign function.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +42,25 @@ impl Default for SignOptions {
 ///   axis, for which the sign function is undefined.
 /// * [`LinalgError::ConvergenceFailure`] if the iteration stalls.
 pub fn matrix_sign(a: &Matrix, options: &SignOptions) -> Result<Matrix, LinalgError> {
+    let mut out = Matrix::zeros(0, 0);
+    workspace::with_thread_pool(|pool| matrix_sign_into(a, options, pool.get(a.rows()), &mut out))?;
+    Ok(out)
+}
+
+/// Computes the matrix sign function into a caller-provided output matrix
+/// using caller-provided scratch buffers: the scaled Newton iteration runs
+/// with zero heap allocation in steady state (the LU factorization, the
+/// inverse and the next iterate all live in the workspace).
+///
+/// # Errors
+///
+/// Same as [`matrix_sign`].
+pub fn matrix_sign_into(
+    a: &Matrix,
+    options: &SignOptions,
+    ws: &mut EigenWorkspace,
+    out: &mut Matrix,
+) -> Result<(), LinalgError> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare {
             operation: "sign::matrix_sign",
@@ -49,30 +69,51 @@ pub fn matrix_sign(a: &Matrix, options: &SignOptions) -> Result<Matrix, LinalgEr
     }
     let n = a.rows();
     if n == 0 {
-        return Ok(Matrix::zeros(0, 0));
+        out.resize_uninit(0, 0);
+        return Ok(());
     }
-    let mut z = a.clone();
+    // `out` is the iterate Z; ws.w1 the inverse, ws.w2 the next iterate.
+    out.copy_from(a);
     for _ in 0..options.max_iterations {
-        let f = lu::factor(&z)?;
-        if f.singular {
+        lu::factor_into(out, &mut ws.lu)?;
+        if ws.lu.singular {
             return Err(LinalgError::Singular {
                 operation: "sign::matrix_sign (eigenvalue on the imaginary axis?)",
             });
         }
         // Determinantal scaling accelerates convergence dramatically.
-        let det = f.det().abs();
+        let det = ws.lu.det().abs();
         let c = if det > 0.0 && det.is_finite() {
             det.powf(-1.0 / n as f64)
         } else {
             1.0
         };
-        let z_inv = f.inverse()?;
-        let next = &z.scale(c * 0.5) + &z_inv.scale(0.5 / c);
-        let diff = (&next - &z).norm_fro();
-        let scale = next.norm_fro().max(f64::MIN_POSITIVE);
-        z = next;
+        ws.lu.inverse_into(&mut ws.w1)?;
+        // next = Z·(c/2) + Z⁻¹·(1/(2c)), with the running difference and norm
+        // accumulated in the same element order as the matrix-level formula.
+        ws.w2.resize_uninit(n, n);
+        let cz = c * 0.5;
+        let ci = 0.5 / c;
+        let mut diff_sq = 0.0;
+        let mut norm_sq = 0.0;
+        for ((nx, &z), &zi) in ws
+            .w2
+            .as_mut_slice()
+            .iter_mut()
+            .zip(out.as_slice())
+            .zip(ws.w1.as_slice())
+        {
+            let value = z * cz + zi * ci;
+            let delta = value - z;
+            diff_sq += delta * delta;
+            norm_sq += value * value;
+            *nx = value;
+        }
+        let diff = diff_sq.sqrt();
+        let scale = norm_sq.sqrt().max(f64::MIN_POSITIVE);
+        std::mem::swap(out, &mut ws.w2);
         if diff <= options.tolerance * scale {
-            return Ok(z);
+            return Ok(());
         }
     }
     Err(LinalgError::ConvergenceFailure {

@@ -7,7 +7,7 @@
 //! relative tolerance.
 
 use crate::decomp::qr;
-use crate::decomp::svd::svd;
+use crate::decomp::svd::{rank_from_singular_values, svd, svd_u_s};
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::DEFAULT_RELATIVE_TOLERANCE;
@@ -22,7 +22,16 @@ pub fn rank(a: &Matrix, rel_tol: f64) -> Result<usize, LinalgError> {
     if a.is_empty() {
         return Ok(0);
     }
-    Ok(svd(a)?.rank(rel_tol))
+    // The rank decision only needs the singular values; skip the V factor.
+    // Singular values are transpose-invariant, so wide input is transposed
+    // first — the tall orientation is the one where the V-free Jacobi path
+    // actually skips work (the wide branch must accumulate V to build U).
+    let (_, s) = if a.rows() < a.cols() {
+        svd_u_s(&a.transpose())?
+    } else {
+        svd_u_s(a)?
+    };
+    Ok(rank_from_singular_values(&s, rel_tol))
 }
 
 /// Orthonormal basis of the column space (range) of `a`.
@@ -34,9 +43,11 @@ pub fn range_basis(a: &Matrix, rel_tol: f64) -> Result<Matrix, LinalgError> {
     if a.is_empty() {
         return Ok(Matrix::zeros(a.rows(), 0));
     }
-    let d = svd(a)?;
-    let r = d.rank(rel_tol);
-    Ok(d.u.block(0, a.rows(), 0, r))
+    // The range basis lives in U; the V-free Jacobi path produces the exact
+    // same U and singular values at roughly half the rotation work.
+    let (u, s) = svd_u_s(a)?;
+    let r = rank_from_singular_values(&s, rel_tol);
+    Ok(u.block(0, a.rows(), 0, r))
 }
 
 /// Orthonormal basis of the null space (kernel) of `a`: all `x` with `a x = 0`.

@@ -110,7 +110,7 @@ pub fn test_positive_real(
         });
     }
 
-    let r = &(ss.d.clone()) + &ss.d.transpose();
+    let r = &ss.d + &ss.d.transpose();
     let m = r.rows();
     // Check the behaviour at ω = ∞ first: Φ(∞) = D + Dᵀ must be PSD.
     let r_min = if m > 0 {

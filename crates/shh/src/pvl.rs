@@ -49,6 +49,7 @@ impl PvlForm {
 
 /// Applies a symplectic Householder similarity `diag(P, P)` where
 /// `P = I − β v vᵀ` acts on the index range `lo..n` of each half.
+#[allow(clippy::too_many_arguments)]
 fn apply_symplectic_householder(
     w: &mut Matrix,
     z: &mut Matrix,
@@ -56,62 +57,70 @@ fn apply_symplectic_householder(
     lo: usize,
     v: &[f64],
     beta: f64,
+    dots_top: &mut Vec<f64>,
+    dots_bot: &mut Vec<f64>,
 ) {
     if beta == 0.0 {
         return;
     }
     let dim = 2 * n;
-    let act = |idx: usize| -> (usize, usize) { (lo + idx, n + lo + idx) };
-    // Left multiplication: rows (lo..n) and (n+lo..2n).
-    for col in 0..dim {
-        let mut dot_top = 0.0;
-        let mut dot_bot = 0.0;
+    // Left multiplication: rows (lo..lo+len) and (n+lo..n+lo+len).  Row-major
+    // two-pass form: accumulate every column's dot product while streaming the
+    // affected rows, then apply the rank-1 update the same way.  Per column
+    // the additions happen in the same ascending-`k` order as the former
+    // column-at-a-time loop, so the result is bit-identical.
+    dots_top.clear();
+    dots_top.resize(dim, 0.0);
+    dots_bot.clear();
+    dots_bot.resize(dim, 0.0);
+    {
+        let wd = w.as_mut_slice();
         for (k, &vk) in v.iter().enumerate() {
-            let (it, ib) = act(k);
-            dot_top += vk * w[(it, col)];
-            dot_bot += vk * w[(ib, col)];
+            let row_top = &wd[(lo + k) * dim..(lo + k + 1) * dim];
+            for (d, &x) in dots_top.iter_mut().zip(row_top.iter()) {
+                *d += vk * x;
+            }
         }
-        let st = beta * dot_top;
-        let sb = beta * dot_bot;
         for (k, &vk) in v.iter().enumerate() {
-            let (it, ib) = act(k);
-            w[(it, col)] -= st * vk;
-            w[(ib, col)] -= sb * vk;
+            let row_bot = &wd[(n + lo + k) * dim..(n + lo + k + 1) * dim];
+            for (d, &x) in dots_bot.iter_mut().zip(row_bot.iter()) {
+                *d += vk * x;
+            }
         }
-    }
-    // Right multiplication: columns (lo..n) and (n+lo..2n) of W and Z.
-    for row in 0..dim {
-        let mut dot_top = 0.0;
-        let mut dot_bot = 0.0;
         for (k, &vk) in v.iter().enumerate() {
-            let (jt, jb) = act(k);
-            dot_top += w[(row, jt)] * vk;
-            dot_bot += w[(row, jb)] * vk;
+            let row_top = &mut wd[(lo + k) * dim..(lo + k + 1) * dim];
+            for (x, &d) in row_top.iter_mut().zip(dots_top.iter()) {
+                *x -= (beta * d) * vk;
+            }
         }
-        let st = beta * dot_top;
-        let sb = beta * dot_bot;
         for (k, &vk) in v.iter().enumerate() {
-            let (jt, jb) = act(k);
-            w[(row, jt)] -= st * vk;
-            w[(row, jb)] -= sb * vk;
-        }
-    }
-    for row in 0..dim {
-        let mut dot_top = 0.0;
-        let mut dot_bot = 0.0;
-        for (k, &vk) in v.iter().enumerate() {
-            let (jt, jb) = act(k);
-            dot_top += z[(row, jt)] * vk;
-            dot_bot += z[(row, jb)] * vk;
-        }
-        let st = beta * dot_top;
-        let sb = beta * dot_bot;
-        for (k, &vk) in v.iter().enumerate() {
-            let (jt, jb) = act(k);
-            z[(row, jt)] -= st * vk;
-            z[(row, jb)] -= sb * vk;
+            let row_bot = &mut wd[(n + lo + k) * dim..(n + lo + k + 1) * dim];
+            for (x, &d) in row_bot.iter_mut().zip(dots_bot.iter()) {
+                *x -= (beta * d) * vk;
+            }
         }
     }
+    // Right multiplication: columns (lo..lo+len) and (n+lo..n+lo+len) of W
+    // and Z; both column ranges are contiguous within each row.
+    let apply_right = |mat: &mut Matrix| {
+        let md = mat.as_mut_slice();
+        for row in md.chunks_exact_mut(dim) {
+            let mut dot_top = 0.0;
+            let mut dot_bot = 0.0;
+            for (k, &vk) in v.iter().enumerate() {
+                dot_top += row[lo + k] * vk;
+                dot_bot += row[n + lo + k] * vk;
+            }
+            let st = beta * dot_top;
+            let sb = beta * dot_bot;
+            for (k, &vk) in v.iter().enumerate() {
+                row[lo + k] -= st * vk;
+                row[n + lo + k] -= sb * vk;
+            }
+        }
+    };
+    apply_right(w);
+    apply_right(z);
 }
 
 /// Applies a symplectic Givens similarity in the `(i, n+i)` plane with cosine
@@ -178,6 +187,10 @@ pub fn reduce(w: &Matrix, tol: f64) -> Result<PvlForm, ShhError> {
     }
     let mut work = w.clone();
     let mut z = Matrix::identity(2 * n);
+    // Reusable dot-product scratch for the reflector applications (hoisted so
+    // the O(n) reflectors of one reduction allocate nothing per step).
+    let mut dots_top: Vec<f64> = Vec::new();
+    let mut dots_bot: Vec<f64> = Vec::new();
 
     for j in 0..n.saturating_sub(1) {
         // Entries of the lower-left block in column j live in rows n+j+1 .. 2n.
@@ -186,7 +199,16 @@ pub fn reduce(w: &Matrix, tol: f64) -> Result<PvlForm, ShhError> {
         if n - (j + 1) > 1 {
             let col: Vec<f64> = ((j + 1)..n).map(|i| work[(n + i, j)]).collect();
             let (v, beta) = householder(&col);
-            apply_symplectic_householder(&mut work, &mut z, n, j + 1, &v, beta);
+            apply_symplectic_householder(
+                &mut work,
+                &mut z,
+                n,
+                j + 1,
+                &v,
+                beta,
+                &mut dots_top,
+                &mut dots_bot,
+            );
         }
         // (2) Symplectic Givens in the (j+1, n+j+1) plane to rotate Q(j+1, j)
         //     into A(j+1, j).
@@ -205,7 +227,16 @@ pub fn reduce(w: &Matrix, tol: f64) -> Result<PvlForm, ShhError> {
         if n - (j + 1) > 1 {
             let col: Vec<f64> = ((j + 1)..n).map(|i| work[(i, j)]).collect();
             let (v, beta) = householder(&col);
-            apply_symplectic_householder(&mut work, &mut z, n, j + 1, &v, beta);
+            apply_symplectic_householder(
+                &mut work,
+                &mut z,
+                n,
+                j + 1,
+                &v,
+                beta,
+                &mut dots_top,
+                &mut dots_bot,
+            );
         }
     }
 

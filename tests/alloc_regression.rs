@@ -1,0 +1,141 @@
+//! Allocation-count regression tests for the workspace-reuse kernel layer.
+//!
+//! A counting global allocator wraps the system allocator; the `_in` eigen
+//! kernels (Hessenberg / Francis QR, LU, sign iteration, matmul-into) are run
+//! once to warm a [`WorkspacePool`] and then again in steady state, where the
+//! second pass must perform **zero** heap allocations.  A second test pins the
+//! harness-level effect: the second identical passivity task on a thread must
+//! allocate strictly less than the first (the per-thread pools are warm).
+
+use ds_circuits::generators;
+use ds_linalg::decomp::{hessenberg, lu, schur};
+use ds_linalg::sign::{self, SignOptions};
+use ds_linalg::workspace::WorkspacePool;
+use ds_linalg::{eigen, Complex, Matrix};
+use ds_passivity::fast::{check_passivity, FastTestOptions};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The counter is process-global, so the two tests must not overlap: libtest
+/// runs them on separate threads by default, and a concurrent test's
+/// allocations would land inside the other's measured window.
+static SERIALIZE: Mutex<()> = Mutex::new(());
+
+struct CountingAllocator;
+
+// SAFETY: delegates directly to the system allocator; the counter is a relaxed
+// atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A stable, well-conditioned test matrix (sign iteration converges, Schur
+/// iteration converges, LU is nonsingular).
+fn stable_matrix(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let v = ((i * 31 + j * 17 + 3) % 23) as f64 / 23.0 - 0.5;
+        0.2 * v + if i == j { -2.0 - 0.05 * i as f64 } else { 0.0 }
+    })
+}
+
+#[test]
+fn eigen_kernels_are_allocation_free_in_steady_state() {
+    let _guard = SERIALIZE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let n = 48;
+    let a = stable_matrix(n);
+    let mut pool = WorkspacePool::new();
+    let mut evals: Vec<Complex> = Vec::with_capacity(n);
+    let mut h = Matrix::zeros(n, n);
+    let mut q = Matrix::zeros(n, n);
+    let mut hv: Vec<f64> = Vec::with_capacity(n);
+    let mut dots: Vec<f64> = Vec::with_capacity(n);
+    let mut factor = lu::Lu::empty();
+    let mut inverse = Matrix::zeros(n, n);
+    let mut solution = Matrix::zeros(n, n);
+    let mut sign_out = Matrix::zeros(n, n);
+    let mut product = Matrix::zeros(n, n);
+
+    let mut run_all = |pool: &mut WorkspacePool| {
+        eigen::eigenvalues_into(&a, pool.get(n), &mut evals).unwrap();
+        h.copy_from(&a);
+        hessenberg::reduce_in(&mut h, Some(&mut q), &mut hv, &mut dots).unwrap();
+        h.copy_from(&a);
+        schur::real_schur_in(&mut h, None, &mut hv, &mut dots).unwrap();
+        lu::factor_into(&a, &mut factor).unwrap();
+        factor.inverse_into(&mut inverse).unwrap();
+        factor.solve_into(&inverse, &mut solution).unwrap();
+        sign::matrix_sign_into(&a, &SignOptions::default(), pool.get(n), &mut sign_out).unwrap();
+        a.matmul_into(&inverse, &mut product).unwrap();
+        a.transpose_matmul_into(&inverse, &mut product).unwrap();
+    };
+
+    // Warm-up: populates the pool and sizes every explicit buffer.
+    run_all(&mut pool);
+    let before = allocations();
+    run_all(&mut pool);
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state eigen kernels performed {} heap allocations",
+        after - before
+    );
+    // Sanity: the warm pass still computed real results.
+    assert_eq!(evals.len(), n);
+    assert!(sign_out
+        .as_slice()
+        .iter()
+        .all(|&x| x.is_finite() && x < 0.5));
+}
+
+#[test]
+fn second_harness_task_of_same_order_allocates_less() {
+    // One full passivity task on a fresh thread state, then the identical task
+    // again: the second run hits the warm per-thread workspace pools (and the
+    // warm buffers inside them), so its allocation count must drop.  The exact
+    // counts vary with the flow's data-dependent branches, so only the
+    // direction is pinned, not a constant.
+    let _guard = SERIALIZE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let model = generators::rlc_ladder_with_impulsive(20).unwrap();
+    let options = FastTestOptions::default();
+
+    let start = allocations();
+    let first_report = check_passivity(&model.system, &options).unwrap();
+    let first = allocations() - start;
+
+    let start = allocations();
+    let second_report = check_passivity(&model.system, &options).unwrap();
+    let second = allocations() - start;
+
+    assert_eq!(first_report.verdict, second_report.verdict);
+    assert!(
+        second < first,
+        "steady-state task allocated no less than the cold task ({second} vs {first})"
+    );
+}
