@@ -20,7 +20,7 @@
 
 use ds_bench::{table1_model, time_method, Method, LMI_MAX_ORDER};
 use ds_harness::json;
-use ds_passivity::fast::{check_passivity, FastTestOptions};
+use ds_passivity_suite::PassivityCheck;
 use std::process::ExitCode;
 
 const STAGES: [&str; 8] = [
@@ -61,8 +61,13 @@ fn measure_stages(order: usize, repeats: usize) -> Result<[f64; 8], String> {
     let model = table1_model(order).map_err(|e| format!("order {order}: {e}"))?;
     let mut best: Option<[f64; 8]> = None;
     for _ in 0..repeats {
-        let report = check_passivity(&model.system, &FastTestOptions::default())
+        let outcome = PassivityCheck::model(model.clone())
+            .run()
             .map_err(|e| format!("order {order}: {e}"))?;
+        let report = outcome
+            .report
+            .as_ref()
+            .ok_or_else(|| format!("order {order}: {}", outcome.reason))?;
         let t = &report.timings;
         let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
         let row = [

@@ -1,10 +1,12 @@
 //! EXP-A2: per-stage wall-clock profile of the proposed test across model
 //! orders (which stage of the Fig. 1 flow dominates as the order grows).
+//! Checks run through the unified [`PassivityCheck`] pipeline, which keeps
+//! the full stage-timed report for in-memory sources.
 //!
 //! Run with `cargo run -p ds-bench --release --bin stage_profile [--quick]`.
 
 use ds_bench::table1_model;
-use ds_passivity::fast::{check_passivity, FastTestOptions};
+use ds_passivity_suite::PassivityCheck;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -26,8 +28,12 @@ fn main() {
                 continue;
             }
         };
-        match check_passivity(&model.system, &FastTestOptions::default()) {
-            Ok(report) => {
+        match PassivityCheck::model(model).run() {
+            Ok(outcome) => {
+                let Some(report) = &outcome.report else {
+                    eprintln!("order {order}: test failed: {}", outcome.reason);
+                    continue;
+                };
                 let t = &report.timings;
                 let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
                 println!(

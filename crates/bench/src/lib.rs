@@ -18,8 +18,8 @@
 
 use ds_circuits::generators::{self, CircuitModel};
 use ds_circuits::CircuitError;
-use ds_passivity::PassivityError;
-use std::time::{Duration, Instant};
+use ds_passivity_suite::{PassivityCheck, SuiteError};
+use std::time::Duration;
 
 pub use ds_harness::{run_method, Method, LMI_MAX_ORDER};
 
@@ -49,20 +49,30 @@ pub struct TimedRun {
     pub verdict_correct: bool,
 }
 
-/// Times one method on one model.
+/// Times one method on one model through the unified [`PassivityCheck`]
+/// pipeline — the same entry point `ds-sweep` and the `ds-serve` daemon use,
+/// so benchmark timings measure the path production verdicts actually take.
 ///
 /// # Errors
 ///
-/// Propagates structural test failures.
-pub fn time_method(method: Method, model: &CircuitModel) -> Result<TimedRun, PassivityError> {
-    let start = Instant::now();
-    let report = run_method(method, model)?;
-    let elapsed = start.elapsed();
+/// Propagates structural test failures (a method error recorded in the
+/// outcome is lifted back into an error here: a benchmark row without a
+/// verdict is meaningless).
+pub fn time_method(method: Method, model: &CircuitModel) -> Result<TimedRun, SuiteError> {
+    let outcome = PassivityCheck::model(model.clone()).method(method).run()?;
+    if outcome.passive.is_none() {
+        return Err(SuiteError::Harness(format!(
+            "{} failed on {}: {}",
+            method.name(),
+            outcome.name,
+            outcome.reason
+        )));
+    }
     Ok(TimedRun {
         method,
-        order: model.system.order(),
-        elapsed,
-        verdict_correct: report.verdict.is_passive() == model.expected_passive,
+        order: outcome.order,
+        elapsed: outcome.elapsed,
+        verdict_correct: outcome.agrees == Some(true),
     })
 }
 

@@ -59,7 +59,9 @@ pub use scenario::{
     ScenarioKey, SweepTask,
 };
 pub use store::{record_fingerprint, shard_tasks, task_fingerprint, ResultStore};
-pub use sweep::{run_sweep, run_sweep_with_progress, SweepRecord, SweepResult, SweepSpec};
+pub use sweep::{
+    run_single, run_sweep, run_sweep_with_progress, SweepRecord, SweepResult, SweepSpec,
+};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
@@ -71,6 +73,6 @@ pub mod prelude {
     };
     pub use crate::store::{record_fingerprint, shard_tasks, task_fingerprint, ResultStore};
     pub use crate::sweep::{
-        run_sweep, run_sweep_with_progress, SweepRecord, SweepResult, SweepSpec,
+        run_single, run_sweep, run_sweep_with_progress, SweepRecord, SweepResult, SweepSpec,
     };
 }

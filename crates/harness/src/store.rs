@@ -37,7 +37,7 @@ use crate::json;
 use crate::method::Method;
 use crate::scenario::{FamilyKind, SweepTask};
 use crate::sweep::{SweepRecord, TaskStatus};
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -205,7 +205,7 @@ pub fn record_from_jsonl_line(line: &str) -> Result<SweepRecord, String> {
 pub struct ResultStore {
     dir: PathBuf,
     records: Vec<SweepRecord>,
-    fingerprints: HashSet<String>,
+    fingerprints: HashMap<String, usize>,
 }
 
 impl ResultStore {
@@ -234,7 +234,7 @@ impl ResultStore {
         let mut store = ResultStore {
             dir,
             records: Vec::new(),
-            fingerprints: HashSet::new(),
+            fingerprints: HashMap::new(),
         };
         for path in segment_paths {
             let text = std::fs::read_to_string(&path)
@@ -268,7 +268,17 @@ impl ResultStore {
 
     /// Whether a record with this fingerprint is already stored.
     pub fn contains(&self, fingerprint: &str) -> bool {
-        self.fingerprints.contains(fingerprint)
+        self.fingerprints.contains_key(fingerprint)
+    }
+
+    /// The stored record with this fingerprint, if any — the persistent cache
+    /// tier of the `ds-serve` daemon: a verdict computed in any earlier run
+    /// (or by any earlier server process) is answered from here without
+    /// recomputation.
+    pub fn get(&self, fingerprint: &str) -> Option<&SweepRecord> {
+        self.fingerprints
+            .get(fingerprint)
+            .map(|&index| &self.records[index])
     }
 
     /// Inserts a record unless its fingerprint is already present (duplicate
@@ -276,7 +286,10 @@ impl ResultStore {
     /// lossless).  Returns whether the record was new.
     fn insert(&mut self, record: SweepRecord) -> bool {
         let fingerprint = record_fingerprint(&record);
-        if self.fingerprints.insert(fingerprint) {
+        if let std::collections::hash_map::Entry::Vacant(entry) =
+            self.fingerprints.entry(fingerprint)
+        {
+            entry.insert(self.records.len());
             self.records.push(record);
             true
         } else {
@@ -385,6 +398,7 @@ mod tests {
     use crate::method::Method;
     use crate::scenario::{scenario_matrix, FamilyKind, Scenario};
     use crate::sweep::{run_sweep, SweepSpec};
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn temp_store_dir(tag: &str) -> PathBuf {

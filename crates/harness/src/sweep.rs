@@ -263,6 +263,18 @@ fn run_task(
     record
 }
 
+/// Runs a single task outside the worker pool and returns its record — the
+/// entry point the unified `CheckRequest` pipeline (and through it the
+/// `ds-serve` daemon) shares with the sweep engine, so a verdict computed for
+/// one request is field-for-field identical to the record a sweep over the
+/// same scenario would emit.
+///
+/// The violation-frequency sampling pre-pass is skipped (`violation_count`
+/// stays `None`): it is a sweep diagnostic, not part of the verdict.
+pub fn run_single(task: &SweepTask, task_id: usize) -> SweepRecord {
+    run_task(task_id, task, 0, None)
+}
+
 /// Deduplicates scenarios across the task list and computes the deterministic
 /// violation-frequency count once per unique scenario, in parallel on the
 /// same worker-pool pattern.  Returns the per-task counts.

@@ -1,0 +1,110 @@
+//! A small in-memory LRU for rendered verdict reports — the hot tier in
+//! front of the persistent result store.
+//!
+//! Keys are cache fingerprints (store fingerprint plus the repair flag),
+//! values are the exact serialized report bodies, so a hit is a pure byte
+//! copy: no recomputation, no re-serialization, byte-identical to the miss
+//! that filled it.
+//!
+//! Recency is a monotone tick per entry; eviction scans for the minimum.
+//! That is O(capacity), which at the daemon's cache sizes (hundreds to a few
+//! thousand entries) is cheaper and far simpler than an intrusive list —
+//! eviction only happens on insert after the cache is full.
+
+use std::collections::HashMap;
+
+/// Least-recently-used map from fingerprint to serialized report body.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, (u64, String)>,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a body and marks it most-recently used.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|entry| {
+            entry.0 = tick;
+            entry.1.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used one
+    /// when full.
+    pub fn put(&mut self, key: &str, value: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key.to_string(), (self.tick, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_the_least_recently_used_entry() {
+        let mut cache = LruCache::new(2);
+        cache.put("a", "A".into());
+        cache.put("b", "B".into());
+        assert_eq!(cache.get("a"), Some("A".into())); // refresh a
+        cache.put("c", "C".into()); // evicts b
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("a"), Some("A".into()));
+        assert_eq!(cache.get("c"), Some("C".into()));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsertion_refreshes_instead_of_evicting() {
+        let mut cache = LruCache::new(2);
+        cache.put("a", "A".into());
+        cache.put("b", "B".into());
+        cache.put("a", "A2".into());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a"), Some("A2".into()));
+        assert_eq!(cache.get("b"), Some("B".into()));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache = LruCache::new(0);
+        cache.put("a", "A".into());
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("a"), None);
+    }
+}

@@ -1,0 +1,48 @@
+//! # ds-serve
+//!
+//! A long-running passivity-check daemon over the suite's unified pipeline
+//! API: POST a SPICE deck, get back a versioned JSON verdict report
+//! (`ds-check-report/v1`) keyed by the deck's canonical content hash.
+//!
+//! The stack is deliberately dependency-free (the build environment has no
+//! registry access): a hand-rolled, hard-limited HTTP/1.1 layer over
+//! `std::net::TcpListener` with a blocking accept loop and a thread per
+//! connection, handing checks to a bounded worker pool.  Verdicts are served
+//! from a two-tier cache — an in-memory LRU in front of the persistent
+//! result store shared with `ds-sweep` — so a re-POSTed deck (even
+//! reformatted: keys are *canonical* hashes) never recomputes, and a
+//! restarted server still remembers every verdict it ever produced.
+//! Overload answers 429 with `Retry-After`; SIGTERM/SIGINT (or
+//! `POST /shutdown`) drain the queue, flush the store segment, and exit 0.
+//!
+//! ```no_run
+//! use ds_serve::{client, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = Server::start(ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..ServerConfig::default()
+//! })?;
+//! let reply = client::post(
+//!     server.local_addr(),
+//!     "/check?method=proposed",
+//!     "R1 in 0 50\n.port in\n.end\n",
+//! )?;
+//! assert_eq!(reply.status, 200);
+//! server.stop()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod service;
+pub mod signal;
+
+pub use server::{Server, ServerConfig};
+pub use service::{CheckJob, CheckReply, CheckService, SubmitError, STATS_SCHEMA};

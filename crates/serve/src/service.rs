@@ -1,0 +1,577 @@
+//! The check service: a bounded job queue, a worker pool, a two-tier verdict
+//! cache, and the persistent result store.
+//!
+//! Every deck check is keyed by the same content fingerprint the sweep
+//! engine's result store uses (`family|order|ports|seed|margin|method`, with
+//! the canonical deck hash riding in the seed), so the three tiers answer
+//! identically:
+//!
+//! 1. **memory** — an [`LruCache`] of rendered report bodies (`X-Cache: hit`);
+//! 2. **store** — the persistent [`ResultStore`] shared with `ds-sweep`
+//!    (`X-Cache: hit-store`): verdicts computed by *any* earlier run, or by a
+//!    server process since restarted, are replayed without recomputation;
+//! 3. **compute** — the unified pipeline (`X-Cache: miss`), through the very
+//!    same `run_single` entry point the sweep engine uses, so a served
+//!    verdict can never diverge from `ds-sweep --decks`.
+//!
+//! Identical decks arriving concurrently are *coalesced*: one computes, the
+//! rest wait on the in-flight slot and receive the same bytes
+//! (`X-Cache: coalesced`).
+
+use crate::cache::LruCache;
+use ds_passivity_suite::harness::json;
+use ds_passivity_suite::harness::{task_fingerprint, Method, ResultStore, SweepRecord, SweepTask};
+use ds_passivity_suite::netlist::Deck;
+use ds_passivity_suite::{CheckOutcome, PassivityCheck, RepairOutcome, SuiteError};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Version tag of the `/stats` response body.
+pub const STATS_SCHEMA: &str = "ds-serve-stats/v1";
+
+/// Pending store records are flushed to a segment once this many accumulate
+/// (and unconditionally on shutdown).
+pub const FLUSH_THRESHOLD: usize = 64;
+
+/// One deck check to run.
+#[derive(Debug, Clone)]
+pub struct CheckJob {
+    /// Display name (by convention the canonical hash in hex — names are not
+    /// part of the serialized report).
+    pub name: String,
+    /// The parsed deck.
+    pub deck: Deck,
+    /// The passivity test to run.
+    pub method: Method,
+    /// Whether to attempt enforcement on non-passive verdicts.
+    pub repair: bool,
+}
+
+impl CheckJob {
+    /// The store fingerprint of this job — identical to the fingerprint
+    /// `ds-sweep --decks` records the same canonical deck under.
+    pub fn fingerprint(&self) -> String {
+        let scenario =
+            ds_passivity_suite::harness::scenario::Scenario::from_deck(&self.name, &self.deck);
+        task_fingerprint(&SweepTask {
+            scenario,
+            method: self.method,
+        })
+    }
+
+    /// The cache key: the store fingerprint plus the repair flag (repair
+    /// changes the response body, so repaired and plain verdicts cache
+    /// separately).
+    pub fn cache_key(&self) -> String {
+        let mut key = self.fingerprint();
+        if self.repair {
+            key.push_str("|repair");
+        }
+        key
+    }
+}
+
+/// What a submitted job resolves to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckReply {
+    /// The verdict report, with the cache tier that answered it
+    /// (`"hit"`, `"hit-store"`, `"coalesced"`, or `"miss"`).
+    Done {
+        /// Serialized report body.
+        body: String,
+        /// Cache tier slug for the `X-Cache` header.
+        cache: &'static str,
+    },
+    /// The check failed; maps directly to an HTTP status + JSON error body.
+    Failed {
+        /// HTTP status code.
+        status: u16,
+        /// JSON error body.
+        body: String,
+    },
+}
+
+/// Why a job could not be accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — the caller should answer 429.
+    QueueFull,
+    /// The service is shutting down — the caller should answer 503.
+    ShuttingDown,
+}
+
+struct QueuedJob {
+    job: CheckJob,
+    fingerprint: String,
+    cache_key: String,
+    reply: Sender<CheckReply>,
+}
+
+struct StoreState {
+    store: ResultStore,
+    pending: Vec<SweepRecord>,
+    pending_fingerprints: HashSet<String>,
+    flushes: u64,
+}
+
+/// Monotone counters exposed on `/stats`.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Total `/check` jobs submitted (all tiers).
+    pub checks: AtomicU64,
+    /// Answered from the in-memory LRU.
+    pub hits_memory: AtomicU64,
+    /// Answered from the persistent store.
+    pub hits_store: AtomicU64,
+    /// Attached to an identical in-flight computation.
+    pub coalesced: AtomicU64,
+    /// Computed fresh through the pipeline.
+    pub computed: AtomicU64,
+    /// Rejected with 429 because the queue was full.
+    pub rejected: AtomicU64,
+    /// Jobs that ended in a pipeline error.
+    pub errors: AtomicU64,
+    /// Jobs answered 503 because shutdown drained them (workers = 0 only;
+    /// with workers the queue is drained by computing, not discarding).
+    pub drained: AtomicU64,
+}
+
+struct Inner {
+    queue: Mutex<VecDeque<QueuedJob>>,
+    available: Condvar,
+    queue_capacity: usize,
+    workers: usize,
+    shutdown: AtomicBool,
+    cache: Mutex<LruCache>,
+    inflight: Mutex<HashMap<String, Vec<Sender<CheckReply>>>>,
+    store: Option<Mutex<StoreState>>,
+    stats: ServiceStats,
+}
+
+/// The worker-pool service behind the daemon's `/check` endpoint.
+pub struct CheckService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A passive verdict needs no perturbation: the repair outcome is a constant,
+/// so store-tier hits can answer repair requests for passive decks without
+/// recomputation (byte-identical to the fresh path in `pipeline::run_deck`).
+fn trivial_repair(passive: bool) -> RepairOutcome {
+    RepairOutcome {
+        enforced: false,
+        resistance: 0.0,
+        passive_after: passive,
+        reason: String::new(),
+    }
+}
+
+/// Maps a pipeline error to the HTTP status and JSON body of an error
+/// response; parse failures keep their line/column as structured fields.
+pub fn error_response(error: &SuiteError) -> (u16, String) {
+    let status = match error {
+        SuiteError::Parse(_) | SuiteError::InvalidRequest(_) => 400,
+        SuiteError::Unsupported(_) => 422,
+        _ => 500,
+    };
+    let mut body = format!(
+        "{{\"error\":{},\"kind\":{}",
+        json::quote(&error.to_string()),
+        json::quote(error.kind())
+    );
+    if let Some((line, column)) = error.parse_location() {
+        body.push_str(&format!(",\"line\":{line},\"column\":{column}"));
+    }
+    body.push('}');
+    (status, body)
+}
+
+fn immediate(reply: CheckReply) -> Receiver<CheckReply> {
+    let (tx, rx) = channel();
+    let _ = tx.send(reply);
+    rx
+}
+
+impl CheckService {
+    /// Starts the worker pool.  `store_dir` opens (or creates) the persistent
+    /// result store; `None` runs memory-only.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the store directory cannot be opened.
+    pub fn start(
+        workers: usize,
+        queue_capacity: usize,
+        cache_capacity: usize,
+        store_dir: Option<&std::path::Path>,
+    ) -> Result<Self, SuiteError> {
+        let store = match store_dir {
+            Some(dir) => Some(Mutex::new(StoreState {
+                store: ResultStore::open(dir).map_err(SuiteError::Harness)?,
+                pending: Vec::new(),
+                pending_fingerprints: HashSet::new(),
+                flushes: 0,
+            })),
+            None => None,
+        };
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            queue_capacity: queue_capacity.max(1),
+            workers,
+            shutdown: AtomicBool::new(false),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            inflight: Mutex::new(HashMap::new()),
+            store,
+            stats: ServiceStats::default(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ds-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        Ok(CheckService {
+            inner,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// Submits a job; the reply arrives on the returned channel (immediately
+    /// for cache hits).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] (429) when the bounded queue is at
+    /// capacity, [`SubmitError::ShuttingDown`] (503) after shutdown began.
+    pub fn submit(&self, job: CheckJob) -> Result<Receiver<CheckReply>, SubmitError> {
+        let inner = &self.inner;
+        inner.stats.checks.fetch_add(1, Ordering::Relaxed);
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let fingerprint = job.fingerprint();
+        let cache_key = job.cache_key();
+
+        // Tier 1: memory.
+        if let Some(body) = inner.cache.lock().unwrap().get(&cache_key) {
+            inner.stats.hits_memory.fetch_add(1, Ordering::Relaxed);
+            return Ok(immediate(CheckReply::Done { body, cache: "hit" }));
+        }
+
+        // Tier 2: the persistent store.  Repair requests can only be answered
+        // here when the stored verdict is passive (no perturbation to
+        // compute); non-passive repairs carry enforcement results that the
+        // store's record schema does not persist, so they recompute.
+        if let Some(store) = &inner.store {
+            let state = store.lock().unwrap();
+            if let Some(record) = state.store.get(&fingerprint) {
+                let passive = record.passive;
+                let usable = !job.repair || passive == Some(true);
+                if usable {
+                    let mut outcome = CheckOutcome::from_record(record);
+                    if job.repair {
+                        outcome.repair = Some(trivial_repair(true));
+                    }
+                    let body = outcome.report_json();
+                    drop(state);
+                    inner.cache.lock().unwrap().put(&cache_key, body.clone());
+                    inner.stats.hits_store.fetch_add(1, Ordering::Relaxed);
+                    return Ok(immediate(CheckReply::Done {
+                        body,
+                        cache: "hit-store",
+                    }));
+                }
+            }
+        }
+
+        // Tier 3: compute, coalescing identical in-flight decks.
+        let (tx, rx) = channel();
+        {
+            let mut inflight = inner.inflight.lock().unwrap();
+            if let Some(waiters) = inflight.get_mut(&cache_key) {
+                waiters.push(tx);
+                inner.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Ok(rx);
+            }
+            let mut queue = inner.queue.lock().unwrap();
+            if queue.len() >= inner.queue_capacity {
+                inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::QueueFull);
+            }
+            inflight.insert(cache_key.clone(), Vec::new());
+            queue.push_back(QueuedJob {
+                job,
+                fingerprint,
+                cache_key,
+                reply: tx,
+            });
+            inner.available.notify_one();
+        }
+        Ok(rx)
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: workers finish every queued job, leftovers (when
+    /// running with zero workers) are answered 503, and all pending store
+    /// records are flushed to a segment with the merged artifacts rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Reports store-flush failures (the queue is always drained).
+    /// Idempotent: a second call finds nothing left to drain or flush.
+    pub fn stop(&self) -> Result<(), SuiteError> {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        let handles: Vec<JoinHandle<()>> = self.workers.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // With zero workers the queue may still hold jobs: answer 503.
+        let leftovers: Vec<QueuedJob> = self.inner.queue.lock().unwrap().drain(..).collect();
+        for queued in leftovers {
+            self.inner.stats.drained.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .inflight
+                .lock()
+                .unwrap()
+                .remove(&queued.cache_key);
+            let _ = queued.reply.send(CheckReply::Failed {
+                status: 503,
+                body: "{\"error\":\"server shutting down\",\"kind\":\"shutdown\"}".to_string(),
+            });
+        }
+        if let Some(store) = &self.inner.store {
+            let mut state = store.lock().unwrap();
+            flush_locked(&mut state).map_err(SuiteError::Harness)?;
+            state.store.write_merged().map_err(SuiteError::Harness)?;
+        }
+        Ok(())
+    }
+
+    /// The store segments flushed so far (for observability and tests).
+    pub fn store_dir(&self) -> Option<PathBuf> {
+        self.inner
+            .store
+            .as_ref()
+            .map(|s| s.lock().unwrap().store.dir().to_path_buf())
+    }
+
+    /// Renders the `/stats` body.
+    pub fn stats_json(&self) -> String {
+        let inner = &self.inner;
+        let stats = &inner.stats;
+        let queue_depth = inner.queue.lock().unwrap().len();
+        let cache_entries = inner.cache.lock().unwrap().len();
+        let store_records = inner.store.as_ref().map(|s| s.lock().unwrap().store.len());
+        format!(
+            "{{\"schema\":{},\"checks\":{},\"hits_memory\":{},\"hits_store\":{},\"coalesced\":{},\"computed\":{},\"rejected\":{},\"errors\":{},\"drained\":{},\"queue_depth\":{queue_depth},\"queue_capacity\":{},\"workers\":{},\"cache_entries\":{cache_entries},\"store_records\":{}}}",
+            json::quote(STATS_SCHEMA),
+            stats.checks.load(Ordering::Relaxed),
+            stats.hits_memory.load(Ordering::Relaxed),
+            stats.hits_store.load(Ordering::Relaxed),
+            stats.coalesced.load(Ordering::Relaxed),
+            stats.computed.load(Ordering::Relaxed),
+            stats.rejected.load(Ordering::Relaxed),
+            stats.errors.load(Ordering::Relaxed),
+            stats.drained.load(Ordering::Relaxed),
+            inner.queue_capacity,
+            inner.workers,
+            json::opt_usize(store_records),
+        )
+    }
+}
+
+fn flush_locked(state: &mut StoreState) -> Result<(), String> {
+    if state.pending.is_empty() {
+        return Ok(());
+    }
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos());
+    let stamp = format!("{nanos}-{}-{}", std::process::id(), state.flushes);
+    state.flushes += 1;
+    let pending = std::mem::take(&mut state.pending);
+    state.pending_fingerprints.clear();
+    state.store.append_segment(&stamp, &pending)?;
+    Ok(())
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let queued = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = inner
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap();
+                queue = guard;
+            }
+        };
+        let reply = run_job(inner, &queued);
+        let waiters = inner
+            .inflight
+            .lock()
+            .unwrap()
+            .remove(&queued.cache_key)
+            .unwrap_or_default();
+        let coalesced_reply = match &reply {
+            CheckReply::Done { body, .. } => CheckReply::Done {
+                body: body.clone(),
+                cache: "coalesced",
+            },
+            failed => failed.clone(),
+        };
+        for waiter in waiters {
+            let _ = waiter.send(coalesced_reply.clone());
+        }
+        let _ = queued.reply.send(reply);
+    }
+}
+
+fn run_job(inner: &Inner, queued: &QueuedJob) -> CheckReply {
+    let job = &queued.job;
+    let result = PassivityCheck::deck(&job.name, job.deck.clone())
+        .method(job.method)
+        .repair(job.repair)
+        .run();
+    match result {
+        Ok(outcome) => {
+            inner.stats.computed.fetch_add(1, Ordering::Relaxed);
+            let body = outcome.report_json();
+            if let (Some(store), Some(record)) = (&inner.store, &outcome.record) {
+                let mut state = store.lock().unwrap();
+                if !state.store.contains(&queued.fingerprint)
+                    && !state.pending_fingerprints.contains(&queued.fingerprint)
+                {
+                    state.pending.push(record.clone());
+                    state
+                        .pending_fingerprints
+                        .insert(queued.fingerprint.clone());
+                    if state.pending.len() >= FLUSH_THRESHOLD {
+                        if let Err(e) = flush_locked(&mut state) {
+                            eprintln!("ds-serve: store flush failed: {e}");
+                        }
+                    }
+                }
+            }
+            inner
+                .cache
+                .lock()
+                .unwrap()
+                .put(&queued.cache_key, body.clone());
+            CheckReply::Done {
+                body,
+                cache: "miss",
+            }
+        }
+        Err(error) => {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            let (status, body) = error_response(&error);
+            CheckReply::Failed { status, body }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_passivity_suite::netlist::parse_deck;
+
+    const DECK: &str = "R1 in mid 2\nL1 mid out 0.5\nC1 out 0 1\nR2 out 0 10\n.port in\n.end\n";
+
+    fn job(method: Method, repair: bool) -> CheckJob {
+        let deck = parse_deck(DECK).unwrap();
+        CheckJob {
+            name: format!("{:016x}", deck.content_hash()),
+            deck,
+            method,
+            repair,
+        }
+    }
+
+    #[test]
+    fn fingerprints_match_the_sweep_engine() {
+        let job = job(Method::Proposed, false);
+        assert!(job.fingerprint().starts_with("deck|"));
+        assert!(job.fingerprint().ends_with("|proposed"));
+        assert_eq!(job.cache_key(), job.fingerprint());
+        let repair = CheckJob {
+            repair: true,
+            ..job
+        };
+        assert!(repair.cache_key().ends_with("|repair"));
+    }
+
+    #[test]
+    fn second_submit_hits_the_memory_cache() {
+        let service = CheckService::start(1, 8, 16, None).unwrap();
+        let first = service.submit(job(Method::Proposed, false)).unwrap();
+        let CheckReply::Done { body, cache } = first.recv().unwrap() else {
+            panic!("first check failed");
+        };
+        assert_eq!(cache, "miss");
+        let second = service.submit(job(Method::Proposed, false)).unwrap();
+        let CheckReply::Done {
+            body: cached,
+            cache,
+        } = second.recv().unwrap()
+        else {
+            panic!("second check failed");
+        };
+        assert_eq!(cache, "hit");
+        assert_eq!(cached, body);
+        service.stop().unwrap();
+    }
+
+    #[test]
+    fn zero_workers_fill_the_queue_and_reject() {
+        let service = CheckService::start(0, 1, 16, None).unwrap();
+        let _queued = service.submit(job(Method::Proposed, false)).unwrap();
+        // Identical jobs coalesce instead of queueing, so overflow with a
+        // different method.
+        let err = service.submit(job(Method::Lmi, false)).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull);
+        service.stop().unwrap();
+    }
+
+    #[test]
+    fn drained_jobs_answer_503() {
+        let service = CheckService::start(0, 4, 16, None).unwrap();
+        let rx = service.submit(job(Method::Proposed, false)).unwrap();
+        service.stop().unwrap();
+        let CheckReply::Failed { status, .. } = rx.recv().unwrap() else {
+            panic!("drained job should fail");
+        };
+        assert_eq!(status, 503);
+    }
+
+    #[test]
+    fn error_responses_carry_parse_positions() {
+        let err = SuiteError::from(ds_passivity_suite::netlist::ParseError::new(3, 7, "boom"));
+        let (status, body) = error_response(&err);
+        assert_eq!(status, 400);
+        assert!(body.contains("\"kind\":\"parse\""));
+        assert!(body.contains("\"line\":3"));
+        assert!(body.contains("\"column\":7"));
+    }
+}

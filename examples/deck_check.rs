@@ -1,18 +1,18 @@
-//! Parse a SPICE deck, stamp it into a descriptor system, and run the
-//! passivity tests on it — the whole "any circuit you can write down"
-//! pipeline in one page.
+//! Parse a SPICE deck and check it through the unified pipeline — the whole
+//! "any circuit you can write down" flow in one page, with verdicts from the
+//! proposed test cross-checked against the Weierstrass baseline exactly the
+//! way the `ds-serve` daemon would answer them.
 //!
 //! ```console
 //! $ cargo run --example deck_check
 //! ```
 
-use ds_passivity_suite::circuits::mna;
-use ds_passivity_suite::cross_check;
 use ds_passivity_suite::netlist::parse_deck;
+use ds_passivity_suite::prelude::*;
 
 const DECK: &str = include_str!("decks/coupled_pair.cir");
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SuiteError> {
     let deck = parse_deck(DECK)?;
     println!(
         "parsed deck: {} nodes ({}), {} elements, {} coupling(s), {} port(s)",
@@ -24,17 +24,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("canonical content hash: {:016x}", deck.content_hash());
 
-    let system = mna::stamp(&deck.netlist)?;
+    let proposed = PassivityCheck::deck("coupled_pair", deck.clone())
+        .method(Method::Proposed)
+        .run()?;
     println!(
-        "stamped MNA descriptor system: order {}, {} port(s), rank E = {}",
-        system.order(),
-        system.num_inputs(),
-        system.rank_e(1e-12)?
+        "stamped MNA descriptor system: order {}, {} port(s)",
+        proposed.order, proposed.ports
     );
 
-    let (fast, weierstrass) = cross_check(&system)?;
-    println!("proposed (SHH) verdict:    {}", fast.verdict);
-    println!("weierstrass verdict:       {}", weierstrass.verdict);
+    let weierstrass = PassivityCheck::deck("coupled_pair", deck.clone())
+        .method(Method::Weierstrass)
+        .run()?;
+    println!(
+        "proposed (SHH) verdict:    passive = {:?}",
+        proposed.passive
+    );
+    println!(
+        "weierstrass verdict:       passive = {:?}",
+        weierstrass.passive
+    );
     println!(
         "ground truth (by construction): {}",
         if deck.expected_passive() {
@@ -43,5 +51,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "not passive"
         }
     );
+    println!("served report body: {}", proposed.report_json());
     Ok(())
 }

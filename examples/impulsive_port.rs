@@ -2,19 +2,22 @@
 //! model (`Z(s) ≈ R + sL` at high frequency).  This example shows how the
 //! proposed test handles the impulsive part: the residue matrix `M₁` is
 //! extracted and checked for positive semidefiniteness, and the stable proper
-//! part is recovered as a by-product.
+//! part is recovered as a by-product.  The check itself runs through the
+//! unified [`PassivityCheck`] pipeline; the descriptor-level analysis around
+//! it (`impulse::analyze`, transfer sampling) stays direct because it is
+//! introspection, not a verdict.
 //!
 //! Run with `cargo run --example impulsive_port`.
 
-use ds_circuits::generators;
-use ds_descriptor::{impulse, transfer};
-use ds_passivity::fast::{check_passivity, FastTestOptions};
+use ds_passivity_suite::circuits::generators;
+use ds_passivity_suite::descriptor::{impulse, transfer};
+use ds_passivity_suite::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SuiteError> {
     let model = generators::rlc_ladder_with_impulsive(12)?;
-    let system = &model.system;
+    let system = model.system.clone();
 
-    let report_impulse = impulse::analyze(system, 1e-10)?;
+    let report_impulse = impulse::analyze(&system, 1e-10)?;
     println!(
         "model '{}': order {}, rank(E) = {}, impulse-free = {}",
         model.name,
@@ -23,11 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report_impulse.impulse_free
     );
 
-    let report = check_passivity(system, &FastTestOptions::default())?;
+    let outcome = PassivityCheck::model(model).run()?;
+    let report = outcome.report.as_ref().expect("full report");
     println!("verdict: {}", report.verdict);
 
     let m1 = report.m1.as_ref().expect("flow reached M1 extraction");
-    let sampled = transfer::sample_m1(system, 1e5)?;
+    let sampled = transfer::sample_m1(&system, 1e5)?;
     println!(
         "M1 (chain-based) = {:.6}, M1 (high-frequency sampling) = {:.6}",
         m1[(0, 0)],
@@ -40,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         proper.order()
     );
     for &w in &[0.0, 1.0, 10.0] {
-        let g = transfer::evaluate_jomega(system, w)?;
+        let g = transfer::evaluate_jomega(&system, w)?;
         let gp = transfer::evaluate_jomega(&proper.to_descriptor(), w)?;
         println!(
             "  ω = {w:>5}: Re G(jω) = {:+.6}, Re G_p(jω) = {:+.6}",

@@ -1,50 +1,26 @@
 //! Runs all three passivity tests (proposed SHH test, Weierstrass baseline,
 //! extended-LMI baseline) on the same model and compares verdicts and runtime —
-//! a miniature version of the paper's Table 1.
+//! a miniature version of the paper's Table 1, driven entirely through the
+//! unified [`PassivityCheck`] pipeline.
 //!
 //! Run with `cargo run --release --example method_comparison`.
 
-use ds_circuits::generators;
-use ds_lmi::positive_real_lmi::LmiOptions;
-use ds_passivity::fast::{check_passivity, FastTestOptions};
-use ds_passivity::lmi_test::{check_passivity_lmi, LmiTestOptions};
-use ds_passivity::weierstrass_test::{check_passivity_weierstrass, WeierstrassTestOptions};
-use std::time::Instant;
+use ds_passivity_suite::circuits::generators;
+use ds_passivity_suite::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SuiteError> {
     let model = generators::rlc_ladder_with_impulsive(20)?;
     println!("model: {} (order {})", model.name, model.system.order());
     println!("{:<14} {:>12} {:>10}", "method", "time (ms)", "passive");
 
-    let start = Instant::now();
-    let fast = check_passivity(&model.system, &FastTestOptions::default())?;
-    print_row("proposed", start.elapsed(), fast.verdict.is_passive());
-
-    let start = Instant::now();
-    let weierstrass =
-        check_passivity_weierstrass(&model.system, &WeierstrassTestOptions::default())?;
-    print_row(
-        "weierstrass",
-        start.elapsed(),
-        weierstrass.verdict.is_passive(),
-    );
-
-    let start = Instant::now();
-    let lmi = check_passivity_lmi(
-        &model.system,
-        &LmiTestOptions {
-            lmi: LmiOptions::default(),
-        },
-    )?;
-    print_row("lmi", start.elapsed(), lmi.verdict.is_passive());
+    for method in [Method::Proposed, Method::Weierstrass, Method::Lmi] {
+        let outcome = PassivityCheck::model(model.clone()).method(method).run()?;
+        println!(
+            "{:<14} {:>12.2} {:>10}",
+            method.name(),
+            outcome.elapsed.as_secs_f64() * 1e3,
+            outcome.passive == Some(true)
+        );
+    }
     Ok(())
-}
-
-fn print_row(name: &str, elapsed: std::time::Duration, passive: bool) {
-    println!(
-        "{:<14} {:>12.2} {:>10}",
-        name,
-        elapsed.as_secs_f64() * 1e3,
-        passive
-    );
 }

@@ -1,22 +1,34 @@
 //! Detection of non-passive models: a ladder with a negative series resistance
 //! (violation at DC / finite frequency) and a macromodel with a negative port
-//! inductance (violation at infinity, non-PSD `M₁`).
+//! inductance (violation at infinity, non-PSD `M₁`) — each checked through the
+//! unified [`PassivityCheck`] pipeline, with the repair flag showing which
+//! violations `ds-core::enforce` can perturb back to the passive side.
 //!
 //! Run with `cargo run --example nonpassive_detection`.
 
-use ds_circuits::generators;
-use ds_passivity::fast::{check_passivity, FastTestOptions};
+use ds_passivity_suite::circuits::generators;
+use ds_passivity_suite::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SuiteError> {
     for model in [
         generators::nonpassive_ladder(10)?,
         generators::negative_m1_model(10)?,
         generators::rlc_ladder_with_impulsive(10)?, // passive control case
     ] {
-        let report = check_passivity(&model.system, &FastTestOptions::default())?;
+        let expected = model.expected_passive;
+        let outcome = PassivityCheck::model(model).repair(true).run()?;
+        let repair = outcome.repair.as_ref().expect("repair was requested");
         println!(
-            "{:<40} expected passive = {:<5} verdict = {}",
-            model.name, model.expected_passive, report.verdict
+            "{:<40} expected passive = {:<5} passive = {:<5} reason = {:<24} repairable = {}",
+            outcome.name,
+            expected,
+            outcome.passive == Some(true),
+            if outcome.reason.is_empty() {
+                "-"
+            } else {
+                &outcome.reason
+            },
+            repair.passive_after
         );
     }
     Ok(())

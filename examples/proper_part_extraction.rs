@@ -1,25 +1,28 @@
 //! The paper's "sidetrack": the SHH reduction conveniently extracts the stable
 //! proper part of a passive descriptor system.  This example compares the
-//! proper part delivered by the proposed flow against the classical
-//! Weierstrass additive decomposition on the imaginary axis.
+//! proper part delivered by the proposed flow (via the unified
+//! [`PassivityCheck`] pipeline, which keeps the full report for in-memory
+//! sources) against the classical Weierstrass additive decomposition on the
+//! imaginary axis.
 //!
 //! Run with `cargo run --example proper_part_extraction`.
 
-use ds_circuits::generators;
-use ds_descriptor::transfer;
-use ds_descriptor::weierstrass::{decompose, WeierstrassOptions};
-use ds_passivity::fast::{check_passivity, FastTestOptions};
+use ds_passivity_suite::circuits::generators;
+use ds_passivity_suite::descriptor::transfer;
+use ds_passivity_suite::descriptor::weierstrass::{decompose, WeierstrassOptions};
+use ds_passivity_suite::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SuiteError> {
     let model = generators::rlc_ladder_with_impulsive(14)?;
-    let system = &model.system;
+    let system = model.system.clone();
 
     // Proper part via the proposed structured flow.
-    let report = check_passivity(system, &FastTestOptions::default())?;
+    let outcome = PassivityCheck::model(model).run()?;
+    let report = outcome.report.as_ref().expect("full report");
     let shh_proper = report.proper_part.as_ref().expect("proper part").clone();
 
     // Proper part via the Weierstrass decomposition (non-orthogonal baseline).
-    let weierstrass = decompose(system, &WeierstrassOptions::default())?;
+    let weierstrass = decompose(&system, &WeierstrassOptions::default())?;
     let weier_proper = weierstrass.proper.clone();
 
     println!(
@@ -33,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "omega", "Re G(jw)", "Re Gp_shh(jw)", "Re Gp_weier(jw)"
     );
     for &w in &[0.0, 0.1, 1.0, 10.0, 100.0] {
-        let g = transfer::evaluate_jomega(system, w)?;
+        let g = transfer::evaluate_jomega(&system, w)?;
         let shh = transfer::evaluate_jomega(&shh_proper.to_descriptor(), w)?;
         let weier = transfer::evaluate_jomega(&weier_proper.to_descriptor(), w)?;
         println!(

@@ -1,13 +1,13 @@
-//! Quickstart: build a small RLC circuit model with MNA, run the proposed
-//! SHH-pencil passivity test and print the report.
+//! Quickstart: build a small RLC circuit model with MNA and check it through
+//! the suite's unified pipeline API — the same [`PassivityCheck`] entry point
+//! the `ds-serve` daemon and `ds-sweep` route every verdict through.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use ds_circuits::mna;
-use ds_circuits::netlist::{Netlist, Port};
-use ds_passivity::fast::{check_passivity, FastTestOptions};
+use ds_passivity_suite::circuits::netlist::{Netlist, Port};
+use ds_passivity_suite::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SuiteError> {
     // A two-node circuit: a series R-L branch connects the port node 1 to
     // node 2 and an R ∥ C tank loads node 2.
     let mut netlist = Netlist::new(2);
@@ -17,16 +17,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .capacitor(2, 0, 1.0)
         .resistor(2, 0, 10.0)
         .port(Port::to_ground(1));
-    let system = mna::stamp(&netlist)?;
+
+    let outcome = PassivityCheck::netlist("quickstart", netlist).run()?;
     println!(
-        "MNA descriptor model: order {}, rank(E) = {}",
-        system.order(),
-        system.rank_e(1e-12)?
+        "MNA descriptor model: order {}, {} port(s)",
+        outcome.order, outcome.ports
     );
 
-    let report = check_passivity(&system, &FastTestOptions::default())?;
+    let report = outcome
+        .report
+        .as_ref()
+        .expect("in-memory checks keep the full report");
     println!("{report}");
     println!("verdict: {}", report.verdict);
+    println!("passive: {}", outcome.passive == Some(true));
     if let Some(m1) = &report.m1 {
         println!("residue matrix M1 = {:.6}", m1[(0, 0)]);
     }
@@ -37,5 +41,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             proper.is_stable(1e-10)?
         );
     }
+    println!("serialized verdict report: {}", outcome.report_json());
     Ok(())
 }

@@ -1,7 +1,13 @@
 //! `ds-sweep`: the parallel sweep driver.
 //!
+//! Lives in the umbrella crate since the pipeline-API redesign: deck
+//! ingestion and error handling route through the unified
+//! `ds_passivity_suite` pipeline ([`load_deck_scenarios`] / [`SuiteError`]),
+//! the same entry points the `ds-serve` daemon answers requests from, so a
+//! sweep verdict and a served verdict can never diverge.
+//!
 //! ```console
-//! $ cargo run -p ds-harness --release --bin ds-sweep -- \
+//! $ cargo run -p ds-passivity-suite --release --bin ds-sweep -- \
 //!       --preset standard --threads 4 --out-dir target/sweep
 //! ```
 //!
@@ -33,9 +39,9 @@
 //! The binary self-validates every artifact it wrote (JSONL and CSV are
 //! parsed back with the in-tree parsers) and exits non-zero on any error.
 
-use ds_harness::artifacts::{self, SweepSummary};
-use ds_harness::golden;
-use ds_harness::prelude::*;
+use ds_passivity_suite::harness::artifacts::{self, SweepSummary};
+use ds_passivity_suite::harness::{self as ds_harness, golden, prelude::*};
+use ds_passivity_suite::{load_deck_scenarios, SuiteError};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -56,23 +62,25 @@ struct Args {
     compare_single_thread: bool,
 }
 
-fn parse_shard(text: &str) -> Result<(usize, usize), String> {
+fn parse_shard(text: &str) -> Result<(usize, usize), SuiteError> {
     let (index, modulus) = text
         .split_once('/')
-        .ok_or_else(|| format!("--shard expects I/M, got '{text}'"))?;
-    let index: usize = index.parse().map_err(|e| format!("--shard index: {e}"))?;
+        .ok_or_else(|| SuiteError::InvalidRequest(format!("--shard expects I/M, got '{text}'")))?;
+    let index: usize = index
+        .parse()
+        .map_err(|e| SuiteError::InvalidRequest(format!("--shard index: {e}")))?;
     let modulus: usize = modulus
         .parse()
-        .map_err(|e| format!("--shard modulus: {e}"))?;
+        .map_err(|e| SuiteError::InvalidRequest(format!("--shard modulus: {e}")))?;
     if modulus == 0 || index >= modulus {
-        return Err(format!(
+        return Err(SuiteError::InvalidRequest(format!(
             "--shard {index}/{modulus}: index must be < modulus and modulus > 0"
-        ));
+        )));
     }
     Ok((index, modulus))
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, SuiteError> {
     let mut args = Args {
         preset: None,
         decks_dir: None,
@@ -88,7 +96,10 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
-        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| SuiteError::InvalidRequest(format!("{name} needs a value")))
+        };
         match arg.as_str() {
             "--preset" => args.preset = Some(value("--preset")?),
             "--decks" => args.decks_dir = Some(PathBuf::from(value("--decks")?)),
@@ -96,13 +107,13 @@ fn parse_args() -> Result<Args, String> {
                 args.tasks_target = Some(
                     value("--tasks")?
                         .parse()
-                        .map_err(|e| format!("--tasks: {e}"))?,
+                        .map_err(|e| SuiteError::InvalidRequest(format!("--tasks: {e}")))?,
                 )
             }
             "--threads" => {
                 args.threads = value("--threads")?
                     .parse()
-                    .map_err(|e| format!("--threads: {e}"))?
+                    .map_err(|e| SuiteError::InvalidRequest(format!("--threads: {e}")))?
             }
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
             "--store" => args.store_dir = Some(PathBuf::from(value("--store")?)),
@@ -112,25 +123,30 @@ fn parse_args() -> Result<Args, String> {
             "--no-violations" => args.sample_violations = false,
             "--compare-single-thread" => args.compare_single_thread = true,
             "--quick" => args.preset = Some("quick".to_string()),
-            other => return Err(format!("unknown argument: {other}")),
+            other => {
+                return Err(SuiteError::InvalidRequest(format!(
+                    "unknown argument: {other}"
+                )))
+            }
         }
     }
     if args.resume && args.store_dir.is_none() {
-        return Err("--resume requires --store DIR".to_string());
+        return Err(SuiteError::InvalidRequest(
+            "--resume requires --store DIR".into(),
+        ));
     }
     if args.decks_dir.is_some() && (args.preset.is_some() || args.tasks_target.is_some()) {
-        return Err(
-            "--decks builds the matrix from the deck files; drop --preset/--quick/--tasks"
-                .to_string(),
-        );
+        return Err(SuiteError::InvalidRequest(
+            "--decks builds the matrix from the deck files; drop --preset/--quick/--tasks".into(),
+        ));
     }
     Ok(args)
 }
 
-fn build_tasks(args: &Args) -> Result<Vec<SweepTask>, String> {
+fn build_tasks(args: &Args) -> Result<Vec<SweepTask>, SuiteError> {
     let methods = [Method::Proposed, Method::Weierstrass, Method::Lmi];
     if let Some(dir) = &args.decks_dir {
-        let scenarios = ds_harness::scenario::deck_scenarios_from_dir(dir)?;
+        let scenarios = load_deck_scenarios(dir)?;
         eprintln!("# decks: {} parsed from {}", scenarios.len(), dir.display());
         return Ok(scenario_matrix(&scenarios, &methods));
     }
@@ -144,7 +160,9 @@ fn build_tasks(args: &Args) -> Result<Vec<SweepTask>, String> {
             Some(target) => standard_tasks(target),
             None => scenario_matrix(&standard_scenarios(2), &methods),
         }),
-        other => Err(format!("unknown preset: {other}")),
+        other => Err(SuiteError::InvalidRequest(format!(
+            "unknown preset: {other}"
+        ))),
     }
 }
 
@@ -158,7 +176,7 @@ fn run_stamp() -> String {
     format!("{nanos}-{}", std::process::id())
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), SuiteError> {
     let args = parse_args()?;
     let full_matrix = build_tasks(&args)?;
     let matrix_len = full_matrix.len();
@@ -177,7 +195,7 @@ fn run() -> Result<(), String> {
     }
 
     let mut store = match &args.store_dir {
-        Some(dir) => Some(ds_harness::ResultStore::open(dir)?),
+        Some(dir) => Some(ds_harness::ResultStore::open(dir).map_err(SuiteError::Harness)?),
         None => None,
     };
     let mut skipped = 0usize;
@@ -223,7 +241,7 @@ fn run() -> Result<(), String> {
     let result = run_sweep_with_progress(&spec, if args.stream { Some(&stream_cb) } else { None });
 
     std::fs::create_dir_all(&args.out_dir)
-        .map_err(|e| format!("creating {}: {e}", args.out_dir.display()))?;
+        .map_err(|e| SuiteError::Io(format!("creating {}: {e}", args.out_dir.display())))?;
     let jsonl_path = args.out_dir.join("sweep.jsonl");
     let csv_path = args.out_dir.join("sweep.csv");
     let summary_path = args.out_dir.join("summary.txt");
@@ -231,30 +249,35 @@ fn run() -> Result<(), String> {
     let jsonl = ds_harness::render_jsonl(&result.records);
     let csv = ds_harness::render_csv(&result.records);
     std::fs::write(&jsonl_path, &jsonl)
-        .map_err(|e| format!("writing {}: {e}", jsonl_path.display()))?;
-    std::fs::write(&csv_path, &csv).map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
+        .map_err(|e| SuiteError::Io(format!("writing {}: {e}", jsonl_path.display())))?;
+    std::fs::write(&csv_path, &csv)
+        .map_err(|e| SuiteError::Io(format!("writing {}: {e}", csv_path.display())))?;
 
     // Self-validation: read the artifacts back and parse them.
     let jsonl_back = std::fs::read_to_string(&jsonl_path)
-        .map_err(|e| format!("reading back {}: {e}", jsonl_path.display()))?;
+        .map_err(|e| SuiteError::Io(format!("reading back {}: {e}", jsonl_path.display())))?;
     let jsonl_records = ds_harness::validate_jsonl(&jsonl_back)
-        .map_err(|e| format!("JSONL artifact invalid: {e}"))?;
+        .map_err(|e| SuiteError::Harness(format!("JSONL artifact invalid: {e}")))?;
     let csv_back = std::fs::read_to_string(&csv_path)
-        .map_err(|e| format!("reading back {}: {e}", csv_path.display()))?;
-    let csv_records =
-        ds_harness::validate_csv(&csv_back).map_err(|e| format!("CSV artifact invalid: {e}"))?;
+        .map_err(|e| SuiteError::Io(format!("reading back {}: {e}", csv_path.display())))?;
+    let csv_records = ds_harness::validate_csv(&csv_back)
+        .map_err(|e| SuiteError::Harness(format!("CSV artifact invalid: {e}")))?;
     if jsonl_records != result.records.len() || csv_records != result.records.len() {
-        return Err(format!(
+        return Err(SuiteError::Harness(format!(
             "artifact record counts diverge: jsonl={jsonl_records} csv={csv_records} expected={}",
             result.records.len()
-        ));
+        )));
     }
 
     if let Some(store) = store.as_mut() {
-        if let Some(segment) = store.append_segment(&run_stamp(), &result.records)? {
+        if let Some(segment) = store
+            .append_segment(&run_stamp(), &result.records)
+            .map_err(SuiteError::Harness)?
+        {
             eprintln!("# store: appended segment {}", segment.display());
         }
-        let (merged_jsonl, merged_csv, merged_count) = store.write_merged()?;
+        let (merged_jsonl, merged_csv, merged_count) =
+            store.write_merged().map_err(SuiteError::Harness)?;
         println!(
             "# store: {} records across all segments -> {} / {}",
             merged_count,
@@ -277,7 +300,7 @@ fn run() -> Result<(), String> {
     }
 
     std::fs::write(&summary_path, &summary_text)
-        .map_err(|e| format!("writing {}: {e}", summary_path.display()))?;
+        .map_err(|e| SuiteError::Io(format!("writing {}: {e}", summary_path.display())))?;
     print!("{summary_text}");
     println!(
         "# executed: {} tasks (skipped {} already stored) of {} in matrix",
@@ -300,7 +323,10 @@ fn run() -> Result<(), String> {
         result.workspace.resident_bytes as f64 / 1024.0
     );
     if summary.total_errors > 0 {
-        return Err(format!("{} tasks errored", summary.total_errors));
+        return Err(SuiteError::Harness(format!(
+            "{} tasks errored",
+            summary.total_errors
+        )));
     }
     Ok(())
 }

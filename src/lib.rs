@@ -38,6 +38,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
+pub mod pipeline;
+
+pub use error::SuiteError;
+pub use pipeline::{
+    load_deck_scenarios, CheckOutcome, CheckRequest, CheckSource, PassivityCheck, RepairOutcome,
+    REPORT_SCHEMA,
+};
+
 pub use ds_circuits as circuits;
 pub use ds_descriptor as descriptor;
 pub use ds_harness as harness;
@@ -49,6 +58,10 @@ pub use ds_shh as shh;
 
 /// The most common imports for users of the suite.
 pub mod prelude {
+    pub use crate::error::SuiteError;
+    pub use crate::pipeline::{
+        load_deck_scenarios, CheckOutcome, CheckRequest, CheckSource, PassivityCheck, RepairOutcome,
+    };
     pub use ds_descriptor::prelude::*;
     pub use ds_harness::prelude::*;
     pub use ds_linalg::prelude::*;

@@ -1,0 +1,620 @@
+//! The unified check pipeline: one request/outcome API for every consumer.
+//!
+//! Historically each binary re-assembled the pipeline by hand — `ds-netlist`
+//! parse → `ds-circuits` stamp → method dispatch → ad-hoc verdict formatting
+//! — with per-crate error types glued together stringly.  This module is the
+//! one true assembly: a [`PassivityCheck`] builder produces a
+//! [`CheckRequest`], and [`CheckRequest::run`] produces a [`CheckOutcome`]
+//! whose deterministic fields are *identical* to the record the sweep engine
+//! would emit for the same input (deck sources literally execute through
+//! [`ds_harness::run_single`]).  The `ds-serve` daemon, `ds-sweep`, the bench
+//! binaries and the examples all route through here.
+//!
+//! ```
+//! use ds_passivity_suite::prelude::*;
+//!
+//! # fn main() -> Result<(), ds_passivity_suite::SuiteError> {
+//! let outcome = PassivityCheck::deck_text("R1 in 0 50\n.port in\n.end\n")
+//!     .method(Method::Proposed)
+//!     .run()?;
+//! assert_eq!(outcome.passive, Some(true));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::SuiteError;
+use ds_circuits::generators::CircuitModel;
+use ds_circuits::{mna, Netlist};
+use ds_descriptor::DescriptorSystem;
+use ds_harness::json;
+use ds_harness::scenario::Scenario;
+use ds_harness::sweep::{verdict_fields, TaskStatus};
+use ds_harness::{run_method, run_single, Method, SweepRecord, SweepTask, LMI_MAX_ORDER};
+use ds_netlist::Deck;
+use ds_passivity::enforce::{enforce_passivity, EnforcementOptions, EnforcementOutcome};
+use ds_passivity::{PassivityReport, PassivityVerdict};
+use std::time::{Duration, Instant};
+
+/// Version tag of the serialized verdict report ([`CheckOutcome::report_json`]).
+pub const REPORT_SCHEMA: &str = "ds-check-report/v1";
+
+/// What a [`CheckRequest`] checks: a deck in some stage of parsing, or an
+/// in-memory model.
+#[derive(Debug, Clone)]
+pub enum CheckSource {
+    /// Raw SPICE deck text (parsed by the pipeline, so parse diagnostics flow
+    /// through [`SuiteError::Parse`]).
+    DeckText {
+        /// Display name; defaults to the canonical content hash in hex.
+        name: Option<String>,
+        /// The deck text.
+        text: String,
+    },
+    /// An already-parsed deck.
+    Deck {
+        /// Display name.
+        name: String,
+        /// The parsed deck.
+        deck: Deck,
+    },
+    /// An in-memory netlist (ground truth taken as passivity-by-construction).
+    Netlist {
+        /// Display name.
+        name: String,
+        /// The netlist to stamp.
+        netlist: Netlist,
+    },
+    /// A generated circuit model with its ground truth.
+    Model(Box<CircuitModel>),
+    /// A bare descriptor system (no ground truth, so `agrees` stays `None`).
+    System {
+        /// Display name.
+        name: String,
+        /// The system to test.
+        system: Box<DescriptorSystem>,
+    },
+}
+
+/// A fully-specified check: source, method, repair flag.
+#[derive(Debug, Clone)]
+pub struct CheckRequest {
+    /// What to check.
+    pub source: CheckSource,
+    /// Which passivity test to run.
+    pub method: Method,
+    /// Whether to attempt passivity *enforcement* (`ds-core::enforce`) when
+    /// the verdict is non-passive, reporting the perturbation in
+    /// [`CheckOutcome::repair`].
+    pub repair: bool,
+}
+
+/// Outcome of a passivity-enforcement attempt riding on a check
+/// (`repair = true`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// Whether a perturbation was applied (false when the model was already
+    /// passive or the violation is not enforceable).
+    pub enforced: bool,
+    /// The series resistance added at every port (0 when none).
+    pub resistance: f64,
+    /// Whether the (possibly perturbed) model is passive.
+    pub passive_after: bool,
+    /// Stable reason slug when the violation is not enforceable, else empty.
+    pub reason: String,
+}
+
+/// The result of one check: the verdict plus everything a consumer needs to
+/// report, cache, or cross-check it.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Display name of the source (not part of the serialized report: the
+    /// same canonical deck checked under different file names must produce
+    /// byte-identical reports).
+    pub name: String,
+    /// Source family (`"deck"` for deck sources — matching the sweep engine's
+    /// family — `"netlist"` / `"model"` / `"system"` for in-memory ones).
+    pub family: &'static str,
+    /// Cache key: the 53-bit truncated canonical content hash for decks
+    /// (exactly the `seed` the sweep engine fingerprints deck tasks under),
+    /// 0 for in-memory sources.
+    pub key: u64,
+    /// Full 64-bit canonical content hash, for deck sources.
+    pub canonical_hash: Option<u64>,
+    /// The method that produced the verdict.
+    pub method: Method,
+    /// How the check ended (method errors are recorded, not thrown, matching
+    /// the sweep engine).
+    pub status: TaskStatus,
+    /// MNA/state order of the checked system.
+    pub order: usize,
+    /// Port count.
+    pub ports: usize,
+    /// The verdict (`None` when the method errored).
+    pub passive: Option<bool>,
+    /// Whether a passive verdict was strict.
+    pub strict: bool,
+    /// Stable reason slug for non-passive verdicts, or the error text.
+    pub reason: String,
+    /// Ground truth, when the source carries one.
+    pub expected_passive: Option<bool>,
+    /// Whether the verdict matched the ground truth.
+    pub agrees: Option<bool>,
+    /// Wall-clock time of the method run.
+    pub elapsed: Duration,
+    /// Enforcement outcome when the request asked for repair.
+    pub repair: Option<RepairOutcome>,
+    /// The full report of the underlying test, when the outcome was computed
+    /// through the in-memory path (absent for deck sources — which execute
+    /// through the sweep engine — and for outcomes reloaded from a store).
+    pub report: Option<PassivityReport>,
+    /// The exact sweep-engine record this outcome corresponds to (present
+    /// for deck sources; the `ds-serve` daemon persists it in its result
+    /// store so restarted servers remember every verdict).
+    pub record: Option<SweepRecord>,
+}
+
+impl CheckOutcome {
+    /// Reconstructs an outcome from a persisted sweep record — the store tier
+    /// of the `ds-serve` cache.  [`CheckOutcome::report_json`] of the
+    /// reconstruction is byte-identical to the freshly-computed report.
+    pub fn from_record(record: &SweepRecord) -> CheckOutcome {
+        CheckOutcome {
+            name: record.scenario.clone(),
+            family: record.family,
+            key: record.seed,
+            canonical_hash: None,
+            method: Method::parse(record.method).unwrap_or(Method::Proposed),
+            status: record.status,
+            order: record.order,
+            ports: record.ports,
+            passive: record.passive,
+            strict: record.strict,
+            reason: record.reason.clone(),
+            expected_passive: record.expected_passive,
+            agrees: record.agrees,
+            elapsed: record.elapsed,
+            repair: None,
+            report: None,
+            record: Some(record.clone()),
+        }
+    }
+
+    /// Serializes the deterministic verdict fields as one JSON object — the
+    /// response body of the `ds-serve` daemon.  Volatile fields (name,
+    /// elapsed time) are excluded so identical checks render byte-identical
+    /// reports, whether computed fresh, replayed from cache, or rebuilt from
+    /// a persisted record.
+    pub fn report_json(&self) -> String {
+        let repair = match &self.repair {
+            None => "null".to_string(),
+            Some(r) => format!(
+                "{{\"enforced\":{},\"resistance\":{},\"passive_after\":{},\"reason\":{}}}",
+                r.enforced,
+                json::number(r.resistance),
+                r.passive_after,
+                json::quote(&r.reason)
+            ),
+        };
+        format!(
+            "{{\"schema\":{},\"family\":{},\"key\":{},\"method\":{},\"status\":{},\"order\":{},\"ports\":{},\"passive\":{},\"strict\":{},\"reason\":{},\"expected_passive\":{},\"agrees\":{},\"repair\":{}}}",
+            json::quote(REPORT_SCHEMA),
+            json::quote(self.family),
+            self.key,
+            json::quote(self.method.name()),
+            json::quote(self.status.name()),
+            self.order,
+            self.ports,
+            json::opt_bool(self.passive),
+            self.strict,
+            json::quote(&self.reason),
+            json::opt_bool(self.expected_passive),
+            json::opt_bool(self.agrees),
+            repair
+        )
+    }
+}
+
+/// Builder for a [`CheckRequest`].
+#[derive(Debug, Clone)]
+pub struct PassivityCheck {
+    request: CheckRequest,
+}
+
+impl PassivityCheck {
+    fn from_source(source: CheckSource) -> Self {
+        PassivityCheck {
+            request: CheckRequest {
+                source,
+                method: Method::Proposed,
+                repair: false,
+            },
+        }
+    }
+
+    /// Checks raw SPICE deck text.
+    pub fn deck_text(text: impl Into<String>) -> Self {
+        Self::from_source(CheckSource::DeckText {
+            name: None,
+            text: text.into(),
+        })
+    }
+
+    /// Checks an already-parsed deck.
+    pub fn deck(name: impl Into<String>, deck: Deck) -> Self {
+        Self::from_source(CheckSource::Deck {
+            name: name.into(),
+            deck,
+        })
+    }
+
+    /// Checks an in-memory netlist.
+    pub fn netlist(name: impl Into<String>, netlist: Netlist) -> Self {
+        Self::from_source(CheckSource::Netlist {
+            name: name.into(),
+            netlist,
+        })
+    }
+
+    /// Checks a generated circuit model (keeps its ground truth).
+    pub fn model(model: CircuitModel) -> Self {
+        Self::from_source(CheckSource::Model(Box::new(model)))
+    }
+
+    /// Checks a bare descriptor system.
+    pub fn system(name: impl Into<String>, system: DescriptorSystem) -> Self {
+        Self::from_source(CheckSource::System {
+            name: name.into(),
+            system: Box::new(system),
+        })
+    }
+
+    /// Overrides the display name (deck-text sources default to the canonical
+    /// content hash).
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        match &mut self.request.source {
+            CheckSource::DeckText { name: slot, .. } => *slot = Some(name),
+            CheckSource::Deck { name: slot, .. }
+            | CheckSource::Netlist { name: slot, .. }
+            | CheckSource::System { name: slot, .. } => *slot = name,
+            CheckSource::Model(model) => model.name = name,
+        }
+        self
+    }
+
+    /// Selects the passivity test (default: the paper's proposed SHH test).
+    #[must_use]
+    pub fn method(mut self, method: Method) -> Self {
+        self.request.method = method;
+        self
+    }
+
+    /// Enables passivity enforcement on non-passive verdicts.
+    #[must_use]
+    pub fn repair(mut self, repair: bool) -> Self {
+        self.request.repair = repair;
+        self
+    }
+
+    /// Finalizes the request without running it.
+    pub fn build(self) -> CheckRequest {
+        self.request
+    }
+
+    /// Builds and runs the request.
+    ///
+    /// # Errors
+    ///
+    /// See [`CheckRequest::run`].
+    pub fn run(self) -> Result<CheckOutcome, SuiteError> {
+        self.request.run()
+    }
+}
+
+fn gate_lmi(method: Method, order: usize) -> Result<(), SuiteError> {
+    if method == Method::Lmi && order > LMI_MAX_ORDER {
+        return Err(SuiteError::Unsupported(format!(
+            "the LMI baseline is gated to orders <= {LMI_MAX_ORDER} (requested order {order})"
+        )));
+    }
+    Ok(())
+}
+
+fn repair_outcome(system: &DescriptorSystem) -> Result<RepairOutcome, SuiteError> {
+    match enforce_passivity(system, &EnforcementOptions::default())? {
+        EnforcementOutcome::AlreadyPassive { .. } => Ok(RepairOutcome {
+            enforced: false,
+            resistance: 0.0,
+            passive_after: true,
+            reason: String::new(),
+        }),
+        EnforcementOutcome::Enforced { resistance, .. } => Ok(RepairOutcome {
+            enforced: true,
+            resistance,
+            passive_after: true,
+            reason: String::new(),
+        }),
+        EnforcementOutcome::NotEnforceable { reason } => {
+            let verdict = PassivityVerdict::NotPassive { reason };
+            let (_, _, slug) = verdict_fields(&verdict);
+            Ok(RepairOutcome {
+                enforced: false,
+                resistance: 0.0,
+                passive_after: false,
+                reason: slug.to_string(),
+            })
+        }
+    }
+}
+
+impl CheckRequest {
+    /// Runs the check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SuiteError::Parse`] (with line/column) for malformed deck
+    /// text, [`SuiteError::Circuit`] for stamping failures, and
+    /// [`SuiteError::Unsupported`] for the LMI baseline above its practical
+    /// order limit.  A *structurally failing method* is not an error: it is
+    /// recorded in [`CheckOutcome::status`], matching the sweep engine.
+    pub fn run(&self) -> Result<CheckOutcome, SuiteError> {
+        match &self.source {
+            CheckSource::DeckText { name, text } => {
+                let deck = ds_netlist::parse_deck(text)?;
+                let name = name
+                    .clone()
+                    .unwrap_or_else(|| format!("{:016x}", deck.content_hash()));
+                self.run_deck(&name, &deck)
+            }
+            CheckSource::Deck { name, deck } => self.run_deck(name, deck),
+            CheckSource::Netlist { name, netlist } => {
+                let system = mna::stamp(netlist)?;
+                let model = CircuitModel {
+                    name: name.clone(),
+                    system,
+                    expected_passive: netlist.is_passive_by_construction(),
+                    has_impulsive_modes: false,
+                };
+                self.run_model(&model, "netlist", true)
+            }
+            CheckSource::Model(model) => self.run_model(model, "model", true),
+            CheckSource::System { name, system } => {
+                let model = CircuitModel {
+                    name: name.clone(),
+                    system: system.as_ref().clone(),
+                    expected_passive: false,
+                    has_impulsive_modes: false,
+                };
+                self.run_model(&model, "system", false)
+            }
+        }
+    }
+
+    /// Deck sources execute through the sweep engine's single-task entry
+    /// point, so the outcome's deterministic fields — and therefore the
+    /// daemon's cached reports — are identical to what `ds-sweep --decks`
+    /// records for the same canonical deck.
+    fn run_deck(&self, name: &str, deck: &Deck) -> Result<CheckOutcome, SuiteError> {
+        let scenario = Scenario::from_deck(name, deck);
+        gate_lmi(self.method, scenario.order())?;
+        let task = SweepTask {
+            scenario,
+            method: self.method,
+        };
+        let record = run_single(&task, 0);
+        if record.status == TaskStatus::BuildError {
+            // The deck parsed but cannot be stamped (e.g. an indefinite
+            // coupled-inductance block): surface it as a circuit error.
+            return Err(SuiteError::Harness(format!(
+                "stamping deck '{name}': {}",
+                record.reason
+            )));
+        }
+        let mut outcome = CheckOutcome::from_record(&record);
+        outcome.name = name.to_string();
+        outcome.canonical_hash = Some(deck.content_hash());
+        if self.repair {
+            outcome.repair = Some(if outcome.passive == Some(false) {
+                let system = mna::stamp(&deck.netlist)?;
+                repair_outcome(&system)?
+            } else {
+                RepairOutcome {
+                    enforced: false,
+                    resistance: 0.0,
+                    passive_after: outcome.passive == Some(true),
+                    reason: String::new(),
+                }
+            });
+        }
+        Ok(outcome)
+    }
+
+    fn run_model(
+        &self,
+        model: &CircuitModel,
+        family: &'static str,
+        has_ground_truth: bool,
+    ) -> Result<CheckOutcome, SuiteError> {
+        gate_lmi(self.method, model.system.order())?;
+        let mut outcome = CheckOutcome {
+            name: model.name.clone(),
+            family,
+            key: 0,
+            canonical_hash: None,
+            method: self.method,
+            status: TaskStatus::Ok,
+            order: model.system.order(),
+            ports: model.system.num_inputs(),
+            passive: None,
+            strict: false,
+            reason: String::new(),
+            expected_passive: has_ground_truth.then_some(model.expected_passive),
+            agrees: None,
+            elapsed: Duration::ZERO,
+            repair: None,
+            report: None,
+            record: None,
+        };
+        let start = Instant::now();
+        match run_method(self.method, model) {
+            Ok(report) => {
+                outcome.elapsed = start.elapsed();
+                let (passive, strict, slug) = verdict_fields(&report.verdict);
+                outcome.passive = Some(passive);
+                outcome.strict = strict;
+                outcome.reason = slug.to_string();
+                if has_ground_truth {
+                    outcome.agrees = Some(passive == model.expected_passive);
+                }
+                outcome.report = Some(report);
+            }
+            Err(e) => {
+                outcome.elapsed = start.elapsed();
+                outcome.status = TaskStatus::MethodError;
+                outcome.reason = e.to_string();
+            }
+        }
+        if self.repair {
+            outcome.repair = Some(if outcome.passive == Some(false) {
+                repair_outcome(&model.system)?
+            } else {
+                RepairOutcome {
+                    enforced: false,
+                    resistance: 0.0,
+                    passive_after: outcome.passive == Some(true),
+                    reason: String::new(),
+                }
+            });
+        }
+        Ok(outcome)
+    }
+}
+
+/// Loads every `*.cir` deck under `dir` as sweep scenarios, with harness
+/// errors lifted into [`SuiteError`] — the deck-ingestion entry point shared
+/// by `ds-sweep --decks`, the daemon's corpus warm-up, and the load
+/// generator.
+///
+/// # Errors
+///
+/// Reports I/O failures and the first parse failure (with its file path).
+pub fn load_deck_scenarios(dir: &std::path::Path) -> Result<Vec<Scenario>, SuiteError> {
+    ds_harness::deck_scenarios_from_dir(dir).map_err(SuiteError::Harness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_circuits::generators;
+    use ds_harness::{run_sweep, scenario_matrix, SweepSpec};
+
+    const DECK: &str =
+        "* divider\nR1 in mid 2\nL1 mid out 0.5\nC1 out 0 1\nR2 out 0 10\n.port in\n.end\n";
+
+    #[test]
+    fn deck_text_checks_and_names_default_to_the_hash() {
+        let outcome = PassivityCheck::deck_text(DECK).run().unwrap();
+        assert_eq!(outcome.family, "deck");
+        assert_eq!(outcome.status, TaskStatus::Ok);
+        assert_eq!(outcome.passive, Some(true));
+        assert_eq!(outcome.agrees, Some(true));
+        let hash = outcome.canonical_hash.unwrap();
+        assert_eq!(outcome.name, format!("{hash:016x}"));
+        assert_eq!(outcome.key, ds_harness::deck_seed(hash));
+        assert!(outcome.record.is_some());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = PassivityCheck::deck_text("R1 in 0 nonsense\n.port in\n.end\n")
+            .run()
+            .unwrap_err();
+        let (line, col) = err.parse_location().expect("parse location");
+        assert_eq!(line, 1);
+        assert!(col > 1);
+    }
+
+    #[test]
+    fn deck_outcomes_match_sweep_records_field_for_field() {
+        let deck = ds_netlist::parse_deck(DECK).unwrap();
+        let scenario = Scenario::from_deck("divider", &deck);
+        for method in [Method::Proposed, Method::Weierstrass, Method::Lmi] {
+            let tasks = scenario_matrix(std::slice::from_ref(&scenario), &[method]);
+            let sweep = run_sweep(&SweepSpec::new(tasks, 1));
+            let from_sweep = CheckOutcome::from_record(&sweep.records[0]).report_json();
+            let fresh = PassivityCheck::deck("divider", deck.clone())
+                .method(method)
+                .run()
+                .unwrap()
+                .report_json();
+            assert_eq!(fresh, from_sweep, "{method} diverged from the engine");
+        }
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_name_free() {
+        let a = PassivityCheck::deck_text(DECK).run().unwrap();
+        let b = PassivityCheck::deck_text(DECK).name("other").run().unwrap();
+        assert_eq!(a.report_json(), b.report_json());
+        assert!(a
+            .report_json()
+            .starts_with("{\"schema\":\"ds-check-report/v1\""));
+    }
+
+    #[test]
+    fn model_sources_keep_ground_truth_and_report() {
+        let model = generators::nonpassive_ladder(8).unwrap();
+        let outcome = PassivityCheck::model(model).run().unwrap();
+        assert_eq!(outcome.passive, Some(false));
+        assert_eq!(outcome.agrees, Some(true));
+        assert!(outcome.report.is_some());
+        assert!(!outcome.reason.is_empty());
+    }
+
+    #[test]
+    fn system_sources_have_no_ground_truth() {
+        let model = generators::rc_ladder(4, 1.0, 1.0).unwrap();
+        let outcome = PassivityCheck::system("bare", model.system).run().unwrap();
+        assert_eq!(outcome.passive, Some(true));
+        assert_eq!(outcome.expected_passive, None);
+        assert_eq!(outcome.agrees, None);
+    }
+
+    #[test]
+    fn repair_enforces_a_repairable_violation() {
+        let model = generators::nonpassive_ladder(8).unwrap();
+        let outcome = PassivityCheck::model(model).repair(true).run().unwrap();
+        let repair = outcome.repair.expect("repair outcome");
+        assert!(repair.enforced);
+        assert!(repair.resistance > 0.0);
+        assert!(repair.passive_after);
+        // A passive model asks for no perturbation.
+        let passive = generators::rc_ladder(4, 1.0, 1.0).unwrap();
+        let outcome = PassivityCheck::model(passive).repair(true).run().unwrap();
+        let repair = outcome.repair.expect("repair outcome");
+        assert!(!repair.enforced);
+        assert_eq!(repair.resistance, 0.0);
+        assert!(repair.passive_after);
+    }
+
+    #[test]
+    fn repair_reports_unenforceable_violations() {
+        let model = generators::negative_m1_model(8).unwrap();
+        let outcome = PassivityCheck::model(model).repair(true).run().unwrap();
+        let repair = outcome.repair.expect("repair outcome");
+        assert!(!repair.enforced);
+        assert!(!repair.passive_after);
+        assert!(!repair.reason.is_empty());
+    }
+
+    #[test]
+    fn lmi_is_gated_above_its_practical_order() {
+        let model = generators::rlc_ladder_with_impulsive(80).unwrap();
+        let err = PassivityCheck::model(model)
+            .method(Method::Lmi)
+            .run()
+            .unwrap_err();
+        assert_eq!(err.kind(), "unsupported");
+    }
+}
