@@ -1,4 +1,4 @@
-//! Machine-readable performance baseline for the SHH hot path (`BENCH_PR5.json`).
+//! Machine-readable performance baseline for the SHH hot path (`BENCH_PR7.json`).
 //!
 //! Runs the stage-profile matrix — the Table-1 workload at orders 20–200 —
 //! through the proposed test, records the per-stage wall-clock of the fastest
@@ -8,9 +8,10 @@
 //!
 //! ```text
 //! cargo run -p ds-bench --release --bin perf_baseline -- [--quick]
-//!     [--out PATH]        # where to write the artifact (default BENCH_PR5.json)
+//!     [--out PATH]        # where to write the artifact (default BENCH_PR7.json)
 //!     [--check PATH]      # compare against a committed artifact; exit 2 when
-//!                         # any stage regresses more than 3x (CI perf-smoke)
+//!                         # any stage regresses more than 1.3x, or when the
+//!                         # order-200 impulse/split absolute gates fail
 //! ```
 //!
 //! The embedded `SEED_STAGE_MS` numbers are the pre-PR5 seed timings (commit
@@ -119,7 +120,7 @@ fn run() -> Result<ExitCode, String> {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let check_path = flag_value("--check");
     let orders: &[usize] = if quick { &QUICK_ORDERS } else { &FULL_ORDERS };
 
@@ -259,13 +260,32 @@ fn run() -> Result<ExitCode, String> {
                         "{reference_path}: missing {stage} at order {order}"
                     ));
                 };
-                // Loose 3x bound with a 0.5 ms floor: CI boxes are noisy and
+                // 1.3x bound with a 0.5 ms floor: enough headroom for CI box
+                // noise, tight enough that a real per-stage regression trips;
                 // sub-millisecond stages are pure jitter.
-                let bound = 3.0 * reference_ms.max(0.5);
+                let bound = 1.3 * reference_ms.max(0.5);
                 if *fresh > bound {
                     regressions.push(format!(
-                        "order {order} stage {stage}: {fresh:.2} ms vs committed {reference_ms:.2} ms (>3x)"
+                        "order {order} stage {stage}: {fresh:.2} ms vs committed {reference_ms:.2} ms (>1.3x)"
                     ));
+                }
+            }
+            // Absolute order-200 gates on the two stages this repo has
+            // optimized hardest (≥1.5x vs their BENCH_PR5.json values of
+            // 403.74 / 476.705 ms): relative bounds alone would let them
+            // creep back up across a chain of sub-1.3x regressions.
+            if *order == 200 {
+                for (stage, limit_ms) in [("impulse", 269.0), ("split", 318.0)] {
+                    let idx = STAGES
+                        .iter()
+                        .position(|s| *s == stage)
+                        .expect("known stage");
+                    if row[idx] > limit_ms {
+                        regressions.push(format!(
+                            "order 200 stage {stage}: {:.2} ms exceeds the absolute {limit_ms} ms gate",
+                            row[idx]
+                        ));
+                    }
                 }
             }
         }
@@ -276,7 +296,9 @@ fn run() -> Result<ExitCode, String> {
             }
             return Ok(ExitCode::from(2));
         }
-        println!("# perf_baseline: no stage regressed more than 3x against {reference_path}");
+        println!(
+            "# perf_baseline: no stage regressed more than 1.3x against {reference_path}, order-200 gates hold"
+        );
     }
     Ok(ExitCode::SUCCESS)
 }

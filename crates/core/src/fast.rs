@@ -211,9 +211,16 @@ pub fn check_passivity(
     };
     timings.spectral_split = t.elapsed();
 
-    // Stage 5: positive realness of the proper part.
+    // Stage 5: positive realness of the proper part. Its A is the restriction
+    // of the Hamiltonian to its stable invariant subspace — Hurwitz by
+    // construction — so the tester's stability pre-check (an n × n eigensolve)
+    // is skipped.
     let t = Instant::now();
-    let pr_verdict = positive_real::test_positive_real(&stable.state_space, &options.positive_real)
+    let pr_options = positive_real::PositiveRealOptions {
+        assume_stable: true,
+        ..options.positive_real.clone()
+    };
+    let pr_verdict = positive_real::test_positive_real(&stable.state_space, &pr_options)
         .map_err(PassivityError::Shh)?;
     timings.positive_real_test = t.elapsed();
 

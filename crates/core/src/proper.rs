@@ -18,7 +18,7 @@
 use crate::error::PassivityError;
 use ds_descriptor::{DescriptorSystem, StateSpace};
 use ds_linalg::decomp::lu;
-use ds_linalg::{lyapunov, Matrix};
+use ds_linalg::Matrix;
 use ds_shh::{pvl, stable_subspace};
 
 /// The regular Hamiltonian realization of the proper Φ-system
@@ -157,40 +157,28 @@ pub fn extract_stable_part(
     }
     let split =
         stable_subspace::hamiltonian_split(&phi.a44, rel_tol).map_err(PassivityError::Shh)?;
-    // Z₁ᵀ A₄₄ Z₁ = [[Ã, Γ], [0, −Ãᵀ]]; decouple with Z₂ = Z₁ [[I, Y], [0, I]]
-    // where Ã Y + Y Ãᵀ + Γ = 0.
-    let y = lyapunov::solve_lyapunov(&split.stable_block, &split.coupling_block)?;
-    let z_shift = Matrix::from_blocks_2x2(
-        &Matrix::identity(n),
-        &y,
-        &Matrix::zeros(n, n),
-        &Matrix::identity(n),
-    );
-    let z_shift_inv = Matrix::from_blocks_2x2(
-        &Matrix::identity(n),
-        &y.scale(-1.0),
-        &Matrix::zeros(n, n),
-        &Matrix::identity(n),
-    );
-    let z2 = split.z1.matmul(&z_shift)?;
-    let z2_inv = z_shift_inv.matmul(&split.z1.transpose())?;
+    // Z₁ᵀ A₄₄ Z₁ = [[Ã, Γ], [0, −Ãᵀ]]; decoupling with Z₂ = Z₁ [[I, Y], [0, I]]
+    // (Ã Y + Y Ãᵀ + Γ = 0, with Y already delivered by the sign function)
+    // leaves the diagonal blocks untouched, so the stable part reads off the
+    // split directly and the full 2n × 2n similarity `Z₂⁻¹ A₄₄ Z₂` never needs
+    // to be formed:
+    //   A₅ = [[Ã, ÃY + YÃᵀ + Γ], [0, −Ãᵀ]],
+    //   B₅ = [[Uᵀ − Y·(−JU)ᵀ], [(−JU)ᵀ]]·B₄₄,   C₅ = C₄₄·[U, …].
+    let y = &split.decoupling;
+    // The would-be off-diagonal block of A₅ is exactly the Lyapunov residual —
+    // keep it as the conditioning diagnostic.
+    let residual = &(&split.stable_block.matmul(y)?
+        + &y.matmul(&split.stable_block.transpose())?)
+        + &split.coupling_block;
+    let coupling = residual.norm_max();
 
-    let a5 = z2_inv.matmul(&phi.a44.matmul(&z2)?)?;
-    let b5 = z2_inv.matmul(&phi.b44)?;
-    let c5 = phi.c44.matmul(&z2)?;
-
-    // Off-diagonal coupling should vanish.
-    let coupling = a5
-        .block(0, n, n, 2 * n)
-        .norm_max()
-        .max(a5.block(n, 2 * n, 0, n).norm_max());
-
-    let a_stable = a5.block(0, n, 0, n);
-    let b_stable = b5.block(0, n, 0, m_in);
-    let c_stable = c5.block(0, m_out, 0, n);
+    let z1t_b = split.z1.transpose_matmul(&phi.b44)?;
+    let b_stable = &z1t_b.block(0, n, 0, m_in) - &y.matmul(&z1t_b.block(n, 2 * n, 0, m_in))?;
+    let c_stable = phi.c44.matmul(&split.stable_basis)?;
+    debug_assert_eq!(c_stable.shape(), (m_out, n));
 
     Ok(ProperPart {
-        state_space: StateSpace::new(a_stable, b_stable, c_stable, d_half)?,
+        state_space: StateSpace::new(split.stable_block, b_stable, c_stable, d_half)?,
         decoupling_residual: coupling,
     })
 }

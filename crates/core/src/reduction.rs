@@ -61,11 +61,39 @@ pub fn cancel_impulsive_modes(
     let z0 = if kernel_dim == 0 {
         Matrix::zeros(order, 0)
     } else {
+        // Every impulse-unobservable direction satisfies E_Φ v = 0, so it lies
+        // in ker(E_Φ) — spanned by the trailing right singular vectors K that
+        // the SVD above already delivers. Restricting the stacked operator
+        // [E_Φ; P⊥ A_Φ; C_Φ] to K shrinks the null-space factorization from
+        // (2·order + p) × order down to (2·order + p) × k with k = dim ker E_Φ
+        // (typically ≪ order), which was the dominant cost of this stage.
         let range_e = e_svd.u.block(0, order, 0, rank_e);
-        let projector = &Matrix::identity(order) - &(&range_e * &range_e.transpose());
-        let proj_a = projector.matmul(sys.a())?;
-        let stacked = Matrix::vstack(&[sys.e(), &proj_a, sys.c()]);
-        subspace::null_space(&stacked, tol)?
+        let kernel = e_svd.v.block(0, order, rank_e, order);
+        let e_k = sys.e().matmul(&kernel)?;
+        let a_k = sys.a().matmul(&kernel)?;
+        let proj_a_k = &a_k - &range_e.matmul(&range_e.transpose_matmul(&a_k)?)?;
+        let c_k = sys.c().matmul(&kernel)?;
+        let stacked = Matrix::vstack(&[&e_k, &proj_a_k, &c_k]);
+        // The rank decision must be made at the scale of the *unrestricted*
+        // stacked operator (what the full null space used), not of the thin
+        // restriction, whose largest singular value can be much smaller.
+        let small = ds_linalg::decomp::svd::svd(&stacked)?;
+        let scale_ref = e_svd
+            .s
+            .first()
+            .copied()
+            .unwrap_or(0.0)
+            .max(sys.a().norm_fro())
+            .max(sys.c().norm_fro())
+            .max(small.s.first().copied().unwrap_or(0.0));
+        let threshold = tol * scale_ref;
+        let null_cols: Vec<usize> = (0..kernel.cols())
+            .filter(|&j| small.s.get(j).copied().unwrap_or(0.0) <= threshold)
+            .collect();
+        let w = Matrix::from_fn(kernel.cols(), null_cols.len(), |i, j| {
+            small.v[(i, null_cols[j])]
+        });
+        kernel.matmul(&w)?
     };
 
     if z0.cols() == 0 {
@@ -167,9 +195,19 @@ pub fn remove_nondynamic_modes(
     }
     // Orthogonal U whose leading columns span range(E) and trailing columns
     // span ker(E); for a skew-symmetric E these are exact orthogonal
-    // complements.
-    let range = e_svd.u.block(0, order, 0, rank_e);
-    let u = subspace::complete_basis(&range, order)?;
+    // complements.  The kernel basis comes straight from the SVD's right
+    // factor (k orthonormal columns, k = dim ker E ≪ order), so completing
+    // *it* costs O(order²·k) — against the O(order³) of re-orthonormalizing
+    // and completing the (order − k)-column range basis.
+    let kernel = e_svd.v.block(0, order, rank_e, order);
+    let range = subspace::complement(&kernel, order)?;
+    if range.cols() != rank_e {
+        return Err(PassivityError::breakdown(format!(
+            "kernel complement of E has dimension {} (expected {rank_e})",
+            range.cols()
+        )));
+    }
+    let u = Matrix::hstack(&[&range, &kernel]);
     let rotated = transform::restricted_equivalence(sys, &u, &u)?;
 
     let r = rank_e;

@@ -19,7 +19,7 @@ pub fn jsonl_line(record: &SweepRecord) -> String {
             "{{\"task\":{},\"family\":{},\"scenario\":{},\"order\":{},\"ports\":{},",
             "\"seed\":{},\"margin\":{},\"method\":{},\"status\":{},\"passive\":{},",
             "\"strict\":{},\"reason\":{},\"expected_passive\":{},\"agrees\":{},",
-            "\"violation_count\":{}}}"
+            "\"violation_count\":{},\"witness_frequency\":{}}}"
         ),
         record.task_id,
         json::quote(record.family),
@@ -36,6 +36,7 @@ pub fn jsonl_line(record: &SweepRecord) -> String {
         json::opt_bool(record.expected_passive),
         json::opt_bool(record.agrees),
         json::opt_usize(record.violation_count),
+        json::opt_number(record.witness_frequency),
     )
 }
 
@@ -51,7 +52,7 @@ pub fn render_jsonl(records: &[SweepRecord]) -> String {
 
 /// The CSV artifact header.
 pub const CSV_HEADER: &str = "task,family,scenario,order,ports,seed,margin,method,status,passive,\
-strict,reason,expected_passive,agrees,violation_count,elapsed_seconds,worker";
+strict,reason,expected_passive,agrees,violation_count,witness_frequency,elapsed_seconds,worker";
 
 fn csv_quote(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
@@ -72,7 +73,7 @@ fn opt_bool_csv(v: Option<bool>) -> &'static str {
 /// Renders one CSV row (timing and worker columns included).
 pub fn csv_line(record: &SweepRecord) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{}",
         record.task_id,
         csv_quote(record.family),
         csv_quote(&record.scenario),
@@ -89,6 +90,9 @@ pub fn csv_line(record: &SweepRecord) -> String {
         opt_bool_csv(record.agrees),
         record
             .violation_count
+            .map_or(String::new(), |v| v.to_string()),
+        record
+            .witness_frequency
             .map_or(String::new(), |v| v.to_string()),
         record.elapsed.as_secs_f64(),
         record.worker,

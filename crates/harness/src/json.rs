@@ -49,6 +49,15 @@ pub fn opt_bool(v: Option<bool>) -> &'static str {
     }
 }
 
+/// Formats an optional `f64` as a JSON number or `null` (absent and
+/// non-finite values both collapse to `null`, like [`number`]).
+pub fn opt_number(v: Option<f64>) -> String {
+    match v {
+        Some(x) => number(x),
+        None => "null".to_string(),
+    }
+}
+
 /// Formats an optional unsigned count as a number or `null`.
 pub fn opt_usize(v: Option<usize>) -> String {
     match v {

@@ -168,6 +168,16 @@ pub fn record_from_jsonl_line(line: &str) -> Result<SweepRecord, String> {
                 as usize,
         ),
     };
+    // Added in schema v2; segments written by older builds lack the key, so
+    // it is optional rather than required — missing reads as "no witness".
+    let witness_frequency = match value.get("witness_frequency") {
+        None | Some(json::Value::Null) => None,
+        Some(other) => Some(
+            other
+                .as_f64()
+                .ok_or_else(|| "key 'witness_frequency' is not a number or null".to_string())?,
+        ),
+    };
     Ok(SweepRecord {
         task_id: usize_field(&value, "task")?,
         family: family.name(),
@@ -194,6 +204,7 @@ pub fn record_from_jsonl_line(line: &str) -> Result<SweepRecord, String> {
         expected_passive: opt_bool_field(&value, "expected_passive")?,
         agrees: opt_bool_field(&value, "agrees")?,
         violation_count,
+        witness_frequency,
         elapsed: Duration::ZERO,
         worker: 0,
     })

@@ -85,6 +85,11 @@ pub struct SweepRecord {
     /// has a negative eigenvalue (`None` when sampling was disabled or the
     /// model failed to build).
     pub violation_count: Option<usize>,
+    /// Witness frequency (rad/s) of the positive-realness violation, when the
+    /// verdict carries one.  Unlike the other verdict fields this is a
+    /// floating-point by-product of an iterative eigensolve, so golden
+    /// comparisons treat it as approximate (see `golden::semantic_diff`).
+    pub witness_frequency: Option<f64>,
     /// Wall-clock time of the method run (build and sampling excluded).
     pub elapsed: Duration,
     /// Which worker executed the task.
@@ -188,6 +193,20 @@ pub fn violation_frequency_count(
     Ok(count)
 }
 
+/// The frequency at which a rejection was witnessed, when the reason
+/// records one.
+pub fn verdict_witness(verdict: &PassivityVerdict) -> Option<f64> {
+    match verdict {
+        PassivityVerdict::NotPassive {
+            reason:
+                NonPassivityReason::ProperPartNotPositiveReal {
+                    witness_frequency, ..
+                },
+        } => *witness_frequency,
+        _ => None,
+    }
+}
+
 /// Maps a verdict to `(passive, strict, reason-slug)` for the artifacts.
 pub fn verdict_fields(verdict: &PassivityVerdict) -> (bool, bool, &'static str) {
     match verdict {
@@ -231,6 +250,7 @@ fn run_task(
         expected_passive: None,
         agrees: None,
         violation_count,
+        witness_frequency: None,
         elapsed: Duration::ZERO,
         worker,
     };
@@ -254,6 +274,7 @@ fn run_task(
             record.strict = strict;
             record.reason = slug.to_string();
             record.agrees = Some(passive == model.expected_passive);
+            record.witness_frequency = verdict_witness(&report.verdict);
         }
         Err(e) => {
             record.status = TaskStatus::MethodError;

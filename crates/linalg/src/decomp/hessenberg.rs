@@ -1,7 +1,23 @@
 //! Orthogonal reduction to upper Hessenberg form.
+//!
+//! Two kernels share the public entry points: the classic one-reflector-at-a-
+//! time sweep, and a compact-WY blocked sweep that aggregates `PANEL_NB`
+//! Householder reflectors into `I − V·T·Vᵀ` form so the trailing updates run
+//! as small-inner-dimension matrix products over contiguous rows instead of
+//! `n` separate rank-1 sweeps.  [`reduce_in`] dispatches on the dimension:
+//! below [`BLOCKED_MIN_DIM`] the unblocked sweep runs (bit-identical to the
+//! historical kernel), at or above it the blocked sweep takes over.
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
+use crate::workspace::ReflectorScratch;
+
+/// Smallest dimension routed to the compact-WY blocked sweep by [`reduce_in`].
+/// Below this the panel bookkeeping costs more than the cache locality wins.
+pub const BLOCKED_MIN_DIM: usize = 128;
+
+/// Reflectors aggregated per compact-WY panel.
+pub const PANEL_NB: usize = 32;
 
 /// Result of the Hessenberg reduction `Qᵀ A Q = H`.
 #[derive(Debug, Clone)]
@@ -23,7 +39,7 @@ pub fn reduce(a: &Matrix) -> Result<Hessenberg, LinalgError> {
     let mut q = Matrix::zeros(0, 0);
     crate::workspace::with_thread_pool(|pool| {
         let ws = pool.get(a.rows());
-        reduce_in(&mut h, Some(&mut q), &mut ws.hv, &mut ws.dots)
+        reduce_in(&mut h, Some(&mut q), &mut ws.refl)
     })?;
     Ok(Hessenberg { q, h })
 }
@@ -34,18 +50,47 @@ pub fn reduce(a: &Matrix) -> Result<Hessenberg, LinalgError> {
 /// passed).  Passing `q = None` skips all Q updates — the Q-free path used by
 /// pure eigenvalue computations.
 ///
-/// `hv` and `dots` are scratch vectors (Householder vector and per-column dot
-/// products); they are resized as needed and can be reused across calls for
-/// zero steady-state allocation.
+/// `scratch` holds every temporary the kernels need (Householder vector,
+/// dot-product accumulators, compact-WY panels); the buffers are resized as
+/// needed and can be reused across calls for zero steady-state allocation.
+///
+/// Dimensions at or above [`BLOCKED_MIN_DIM`] run the compact-WY blocked
+/// sweep; smaller ones run the unblocked sweep (bit-identical to the
+/// historical kernel).
 ///
 /// # Errors
 ///
 /// Returns [`LinalgError::NotSquare`] for rectangular input.
 pub fn reduce_in(
     h: &mut Matrix,
+    q: Option<&mut Matrix>,
+    scratch: &mut ReflectorScratch,
+) -> Result<(), LinalgError> {
+    let blocked = h.rows() >= BLOCKED_MIN_DIM;
+    reduce_impl(h, q, scratch, blocked)
+}
+
+/// In-place Hessenberg reduction forced through the compact-WY blocked sweep
+/// regardless of dimension.  Exposed so equivalence tests and benchmarks can
+/// exercise the blocked kernel at sizes [`reduce_in`] would route to the
+/// unblocked one; production callers should use [`reduce_in`].
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input.
+pub fn reduce_blocked_in(
+    h: &mut Matrix,
+    q: Option<&mut Matrix>,
+    scratch: &mut ReflectorScratch,
+) -> Result<(), LinalgError> {
+    reduce_impl(h, q, scratch, true)
+}
+
+fn reduce_impl(
+    h: &mut Matrix,
     mut q: Option<&mut Matrix>,
-    hv: &mut Vec<f64>,
-    dots: &mut Vec<f64>,
+    scratch: &mut ReflectorScratch,
+    blocked: bool,
 ) -> Result<(), LinalgError> {
     if !h.is_square() {
         return Err(LinalgError::NotSquare {
@@ -60,6 +105,27 @@ pub fn reduce_in(
     if n <= 2 {
         return Ok(());
     }
+    if blocked {
+        blocked_sweep(h, q, scratch, PANEL_NB);
+    } else {
+        unblocked_sweep(h, q, scratch);
+    }
+    // Clean the entries that are structurally zero.
+    let hd = h.as_mut_slice();
+    for i in 2..n {
+        for j in 0..(i - 1) {
+            hd[i * n + j] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// One reflector at a time; every update is a rank-1 sweep applied
+/// immediately.  Kept bit-identical to the historical kernel.
+fn unblocked_sweep(h: &mut Matrix, mut q: Option<&mut Matrix>, scratch: &mut ReflectorScratch) {
+    let n = h.rows();
+    let hv = &mut scratch.hv;
+    let dots = &mut scratch.dots;
     hv.resize(n, 0.0);
     dots.resize(n, 0.0);
     let hd = h.as_mut_slice();
@@ -139,13 +205,322 @@ pub fn reduce_in(
             }
         }
     }
-    // Clean the entries that are structurally zero.
-    for i in 2..n {
-        for j in 0..(i - 1) {
-            hd[i * n + j] = 0.0;
+}
+
+/// Compact-WY blocked sweep.
+///
+/// Reflectors `H_j = I − β_j v_j v_jᵀ` for a panel of `nb` columns are
+/// accumulated as `H_1 ⋯ H_nb = I − V·T·Vᵀ` (`V` unit-lower-trapezoidal by
+/// support, `T` upper triangular with `T[j][j] = β_j`).  During the panel only
+/// the panel columns themselves are written: column `c = k0 + j` is formed on
+/// demand as `Q_jᵀ (A Q_j) e_c = x − V·Tᵀ·Vᵀ·(x − U·T·(Vᵀe_c))` from the
+/// *original* trailing matrix and `U = A·V`, which is valid because the
+/// similarity's right half only ever reads original columns to the right of
+/// `c` (all of which are still untouched when reflector `j` is formed).  At
+/// panel end the trailing matrix gets the aggregated two-sided update
+/// `A ← (I − V·Tᵀ·Vᵀ)·A·(I − V·T·Vᵀ)` and `Q ← Q·(I − V·T·Vᵀ)` as three
+/// block products whose inner loops run over contiguous `nb`-length rows.
+///
+/// A column whose below-subdiagonal part is already (numerically) zero gets
+/// the zero reflector `v_j = 0, β_j = 0` — column `j` of `V`, `T` and `U`
+/// stays zero and the aggregated product is unaffected, mirroring the
+/// unblocked `continue`.
+fn blocked_sweep(
+    h: &mut Matrix,
+    mut q: Option<&mut Matrix>,
+    scratch: &mut ReflectorScratch,
+    nb: usize,
+) {
+    let n = h.rows();
+    let nb = nb.max(1);
+    scratch.col.clear();
+    scratch.col.resize(n, 0.0);
+    scratch.hv.clear();
+    scratch.hv.resize(n, 0.0);
+    scratch.dots.clear();
+    scratch.dots.resize(nb, 0.0);
+    let mut k0 = 0;
+    while k0 + 2 < n {
+        let nbe = nb.min(n - 2 - k0);
+        let vrows = n - k0 - 1; // V row r ↔ global row k0 + 1 + r
+        scratch.panel_v.clear();
+        scratch.panel_v.resize(vrows * nbe, 0.0);
+        scratch.panel_t.clear();
+        scratch.panel_t.resize(nbe * nbe, 0.0);
+        scratch.panel_u.clear();
+        scratch.panel_u.resize(n * nbe, 0.0);
+
+        for j in 0..nbe {
+            let c = k0 + j;
+            let x = &mut scratch.col[..n];
+            {
+                let hd = h.as_slice();
+                for (i, xi) in x.iter_mut().enumerate() {
+                    *xi = hd[i * n + c];
+                }
+            }
+            if j > 0 {
+                let v = &scratch.panel_v;
+                let t = &scratch.panel_t;
+                let u = &scratch.panel_u;
+                let tmp = &mut scratch.dots[..j];
+                // tmp = T_j · (Vᵀ e_c); row c of V is V row j−1.
+                let vrow_c = &v[(j - 1) * nbe..(j - 1) * nbe + j];
+                for i in 0..j {
+                    let mut acc = 0.0;
+                    for l in i..j {
+                        acc += t[i * nbe + l] * vrow_c[l];
+                    }
+                    tmp[i] = acc;
+                }
+                // Right half: x ← x − U·tmp (all rows).
+                for (i, xi) in x.iter_mut().enumerate() {
+                    let urow = &u[i * nbe..i * nbe + j];
+                    let mut acc = 0.0;
+                    for (ul, tl) in urow.iter().zip(tmp.iter()) {
+                        acc += ul * tl;
+                    }
+                    *xi -= acc;
+                }
+                // Left half: x ← x − V·(Tᵀ·(Vᵀ x)) over rows k0+1..n.
+                tmp.fill(0.0);
+                for r in 0..vrows {
+                    let xv = x[k0 + 1 + r];
+                    let vrow = &v[r * nbe..r * nbe + j];
+                    for (tl, vl) in tmp.iter_mut().zip(vrow.iter()) {
+                        *tl += vl * xv;
+                    }
+                }
+                // tmp ← Tᵀ·tmp in place (descending index: entry `idx` only
+                // reads originals at indices ≤ idx).
+                for idx in (0..j).rev() {
+                    let mut acc = 0.0;
+                    for (l, tl) in tmp.iter().enumerate().take(idx + 1) {
+                        acc += t[l * nbe + idx] * tl;
+                    }
+                    tmp[idx] = acc;
+                }
+                for r in 0..vrows {
+                    let vrow = &v[r * nbe..r * nbe + j];
+                    let mut acc = 0.0;
+                    for (vl, tl) in vrow.iter().zip(tmp.iter()) {
+                        acc += vl * tl;
+                    }
+                    x[k0 + 1 + r] -= acc;
+                }
+            }
+            // Householder vector annihilating x[c+2..]; zero reflector when
+            // the tail is already negligible.
+            let mut norm_x = 0.0;
+            for &xi in &x[(c + 1)..n] {
+                norm_x += xi * xi;
+            }
+            norm_x = norm_x.sqrt();
+            let mut beta = 0.0;
+            let mut subdiag = x[c + 1];
+            let vlen = vrows - j; // v_j support: V rows j..vrows
+            if norm_x != 0.0 {
+                let alpha = if x[c + 1] >= 0.0 { -norm_x } else { norm_x };
+                let vj = &mut scratch.hv[..vlen];
+                vj[0] = x[c + 1] - alpha;
+                vj[1..].copy_from_slice(&x[(c + 2)..n]);
+                let vnorm_sq: f64 = vj.iter().map(|y| y * y).sum();
+                if vnorm_sq > f64::MIN_POSITIVE {
+                    beta = 2.0 / vnorm_sq;
+                    subdiag = alpha;
+                    for (r, &vi) in vj.iter().enumerate() {
+                        scratch.panel_v[(j + r) * nbe + j] = vi;
+                    }
+                }
+            }
+            // Write the finalized column back; rows below the subdiagonal are
+            // structurally zero from here on.
+            {
+                let hd = h.as_mut_slice();
+                for (i, &xi) in x.iter().enumerate().take(c + 1) {
+                    hd[i * n + c] = xi;
+                }
+                hd[(c + 1) * n + c] = subdiag;
+                for i in (c + 2)..n {
+                    hd[i * n + c] = 0.0;
+                }
+            }
+            // T column j: T[0..j, j] = −β_j · T_j · (Vᵀ v_j), T[j][j] = β_j.
+            if beta != 0.0 {
+                if j > 0 {
+                    let w = &mut scratch.dots[..j];
+                    w.fill(0.0);
+                    {
+                        let v = &scratch.panel_v;
+                        let vj = &scratch.hv[..vlen];
+                        for (r, &vi) in vj.iter().enumerate() {
+                            let vrow = &v[(j + r) * nbe..(j + r) * nbe + j];
+                            for (wl, vl) in w.iter_mut().zip(vrow.iter()) {
+                                *wl += vl * vi;
+                            }
+                        }
+                    }
+                    let t = &mut scratch.panel_t;
+                    for i in 0..j {
+                        let mut acc = 0.0;
+                        for (l, wl) in w.iter().enumerate().skip(i) {
+                            acc += t[i * nbe + l] * wl;
+                        }
+                        t[i * nbe + j] = -beta * acc;
+                    }
+                }
+                scratch.panel_t[j * nbe + j] = beta;
+                // U column j = A[:, c+1..n]·v_j against the original trailing
+                // columns (panel columns > c are not yet written back).
+                let hd = h.as_slice();
+                let vj = &scratch.hv[..vlen];
+                let u = &mut scratch.panel_u;
+                for i in 0..n {
+                    let arow = &hd[i * n + (c + 1)..(i + 1) * n];
+                    let mut acc = 0.0;
+                    for (al, vl) in arow.iter().zip(vj.iter()) {
+                        acc += al * vl;
+                    }
+                    u[i * nbe + j] = acc;
+                }
+            }
         }
+
+        // Aggregated right update on the not-yet-reduced columns:
+        // A[:, k0+nbe..] ← A[:, k0+nbe..] − (U·T)·Vᵀ.  U ← U·T happens in
+        // place per row (descending target index only reads originals).
+        {
+            let t = &scratch.panel_t;
+            let u = &mut scratch.panel_u;
+            for i in 0..n {
+                let urow = &mut u[i * nbe..(i + 1) * nbe];
+                for l in (0..nbe).rev() {
+                    let mut acc = 0.0;
+                    for m in 0..=l {
+                        acc += urow[m] * t[m * nbe + l];
+                    }
+                    urow[l] = acc;
+                }
+            }
+            let v = &scratch.panel_v;
+            let hd = h.as_mut_slice();
+            for i in 0..n {
+                let (wrow, hrow) = {
+                    let urow = &u[i * nbe..(i + 1) * nbe];
+                    (urow, i * n)
+                };
+                for r in (nbe - 1)..vrows {
+                    let vrow = &v[r * nbe..(r + 1) * nbe];
+                    let mut acc = 0.0;
+                    for (wl, vl) in wrow.iter().zip(vrow.iter()) {
+                        acc += wl * vl;
+                    }
+                    hd[hrow + k0 + 1 + r] -= acc;
+                }
+            }
+        }
+        // Aggregated left update: A[k0+1.., k0+nbe..] ← same − V·(Tᵀ·(Vᵀ·A)).
+        let ncols_t = n - (k0 + nbe);
+        {
+            scratch.panel_w.clear();
+            scratch.panel_w.resize(nbe * ncols_t, 0.0);
+            let z = &mut scratch.panel_w;
+            let v = &scratch.panel_v;
+            let t = &scratch.panel_t;
+            let hd = h.as_mut_slice();
+            for r in 0..vrows {
+                let arow = &hd[(k0 + 1 + r) * n + k0 + nbe..(k0 + 2 + r) * n];
+                let vrow = &v[r * nbe..(r + 1) * nbe];
+                for (j, &vl) in vrow.iter().enumerate().take(r.min(nbe - 1) + 1) {
+                    if vl != 0.0 {
+                        let zrow = &mut z[j * ncols_t..(j + 1) * ncols_t];
+                        for (zl, &al) in zrow.iter_mut().zip(arow.iter()) {
+                            *zl += vl * al;
+                        }
+                    }
+                }
+            }
+            // Z ← Tᵀ·Z in place (descending row index).
+            for idx in (0..nbe).rev() {
+                let tii = t[idx * nbe + idx];
+                {
+                    let zrow = &mut z[idx * ncols_t..(idx + 1) * ncols_t];
+                    for zl in zrow.iter_mut() {
+                        *zl *= tii;
+                    }
+                }
+                for l in 0..idx {
+                    let tli = t[l * nbe + idx];
+                    if tli != 0.0 {
+                        let (zl_part, zi_part) = z.split_at_mut(idx * ncols_t);
+                        let src = &zl_part[l * ncols_t..(l + 1) * ncols_t];
+                        let dst = &mut zi_part[..ncols_t];
+                        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                            *d += tli * s;
+                        }
+                    }
+                }
+            }
+            for r in 0..vrows {
+                let vrow = &v[r * nbe..(r + 1) * nbe];
+                let row_start = (k0 + 1 + r) * n + k0 + nbe;
+                for (j, &vl) in vrow.iter().enumerate().take(r.min(nbe - 1) + 1) {
+                    if vl != 0.0 {
+                        let zrow = &z[j * ncols_t..(j + 1) * ncols_t];
+                        let arow = &mut hd[row_start..row_start + ncols_t];
+                        for (al, &zl) in arow.iter_mut().zip(zrow.iter()) {
+                            *al -= vl * zl;
+                        }
+                    }
+                }
+            }
+        }
+        // Q ← Q·(I − V·T·Vᵀ): columns k0+1..n, all rows.
+        if let Some(q) = q.as_deref_mut() {
+            scratch.panel_w.clear();
+            scratch.panel_w.resize(n * nbe, 0.0);
+            let qv = &mut scratch.panel_w;
+            let v = &scratch.panel_v;
+            let t = &scratch.panel_t;
+            let qd = q.as_mut_slice();
+            for i in 0..n {
+                let qrow = &qd[i * n + k0 + 1..(i + 1) * n];
+                let qvrow = &mut qv[i * nbe..(i + 1) * nbe];
+                for (r, &qx) in qrow.iter().enumerate() {
+                    if qx != 0.0 {
+                        let vrow = &v[r * nbe..r * nbe + r.min(nbe - 1) + 1];
+                        for (ql, &vl) in qvrow.iter_mut().zip(vrow.iter()) {
+                            *ql += qx * vl;
+                        }
+                    }
+                }
+            }
+            // QV ← QV·T in place per row.
+            for i in 0..n {
+                let qvrow = &mut qv[i * nbe..(i + 1) * nbe];
+                for l in (0..nbe).rev() {
+                    let mut acc = 0.0;
+                    for m in 0..=l {
+                        acc += qvrow[m] * t[m * nbe + l];
+                    }
+                    qvrow[l] = acc;
+                }
+            }
+            for i in 0..n {
+                let mrow = &qv[i * nbe..(i + 1) * nbe];
+                let qrow = &mut qd[i * n + k0 + 1..(i + 1) * n];
+                for (r, qx) in qrow.iter_mut().enumerate() {
+                    let vrow = &v[r * nbe..(r + 1) * nbe];
+                    let mut acc = 0.0;
+                    for (ml, vl) in mrow.iter().zip(vrow.iter()) {
+                        acc += ml * vl;
+                    }
+                    *qx -= acc;
+                }
+            }
+        }
+        k0 += nbe;
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -201,12 +576,7 @@ mod tests {
             Err(LinalgError::NotSquare { .. })
         ));
         assert!(matches!(
-            reduce_in(
-                &mut Matrix::zeros(2, 3),
-                None,
-                &mut Vec::new(),
-                &mut Vec::new()
-            ),
+            reduce_in(&mut Matrix::zeros(2, 3), None, &mut ReflectorScratch::new()),
             Err(LinalgError::NotSquare { .. })
         ));
     }
@@ -216,25 +586,114 @@ mod tests {
         let a = sample(9);
         let full = reduce(&a).unwrap();
         let mut h = a.clone();
-        let mut hv = Vec::new();
-        let mut dots = Vec::new();
-        reduce_in(&mut h, None, &mut hv, &mut dots).unwrap();
+        let mut scratch = ReflectorScratch::new();
+        reduce_in(&mut h, None, &mut scratch).unwrap();
         // Skipping the Q accumulation must not change H in any bit.
         assert_eq!(h.as_slice(), full.h.as_slice());
     }
 
     #[test]
     fn reduce_in_reuses_buffers_across_sizes() {
-        let mut hv = Vec::new();
-        let mut dots = Vec::new();
+        let mut scratch = ReflectorScratch::new();
         for &n in &[8usize, 5, 8] {
             let a = sample(n);
             let mut h = a.clone();
             let mut q = Matrix::zeros(0, 0);
-            reduce_in(&mut h, Some(&mut q), &mut hv, &mut dots).unwrap();
+            reduce_in(&mut h, Some(&mut q), &mut scratch).unwrap();
             let reference = reduce(&a).unwrap();
             assert_eq!(h.as_slice(), reference.h.as_slice());
             assert_eq!(q.as_slice(), reference.q.as_slice());
+        }
+    }
+
+    #[test]
+    fn blocked_path_is_a_valid_similarity_reduction() {
+        let mut scratch = ReflectorScratch::new();
+        for &n in &[3usize, 5, 17, 33, 40, 67, 95] {
+            let a = sample(n);
+            let mut h = a.clone();
+            let mut q = Matrix::zeros(0, 0);
+            reduce_blocked_in(&mut h, Some(&mut q), &mut scratch).unwrap();
+            // H is Hessenberg.
+            for i in 2..n {
+                for j in 0..(i - 1) {
+                    assert_eq!(h[(i, j)], 0.0, "n={n} below-subdiagonal ({i},{j})");
+                }
+            }
+            // Q orthogonal, Q H Qᵀ = A.
+            let qtq = q.transpose_matmul(&q).unwrap();
+            assert!(qtq.approx_eq(&Matrix::identity(n), 1e-11), "n={n} Q drift");
+            let recon = &(&q * &h) * &q.transpose();
+            assert!(
+                recon.approx_eq(&a, 1e-9 * a.norm_fro().max(1.0)),
+                "n={n} similarity residual {}",
+                (&recon - &a).norm_max()
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_q_free_matches_blocked_full_h() {
+        let a = sample(41);
+        let mut scratch = ReflectorScratch::new();
+        let mut h_full = a.clone();
+        let mut q = Matrix::zeros(0, 0);
+        reduce_blocked_in(&mut h_full, Some(&mut q), &mut scratch).unwrap();
+        let mut h_free = a.clone();
+        reduce_blocked_in(&mut h_free, None, &mut scratch).unwrap();
+        assert_eq!(h_free.as_slice(), h_full.as_slice());
+    }
+
+    #[test]
+    fn blocked_handles_zero_reflector_columns() {
+        // Upper-triangular input: every column's below-subdiagonal tail is
+        // zero, so every reflector is the zero reflector and the sweep must be
+        // an exact no-op (matching the unblocked `continue`).
+        let n = 37;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i > j {
+                0.0
+            } else {
+                ((i * 5 + j * 3) % 7) as f64 - 2.0
+            }
+        });
+        let mut h = a.clone();
+        let mut q = Matrix::zeros(0, 0);
+        reduce_blocked_in(&mut h, Some(&mut q), &mut ReflectorScratch::new()).unwrap();
+        assert_eq!(h.as_slice(), a.as_slice());
+        assert_eq!(q.as_slice(), Matrix::identity(n).as_slice());
+    }
+
+    #[test]
+    fn blocked_and_unblocked_agree_on_hessenberg_form() {
+        // The two kernels apply the same reflectors in different groupings, so
+        // H agrees to roundoff (not bitwise).  The n=34 case zeroes a block of
+        // early-column tails so panels mix zero and nonzero reflectors.
+        for &n in &[11usize, 29, 34, 50] {
+            let mut a = sample(n);
+            if n == 34 {
+                for j in 0..n / 2 {
+                    for i in (j + 1)..n {
+                        a[(i, j)] = 0.0;
+                    }
+                }
+            }
+            let mut scratch = ReflectorScratch::new();
+            let mut h_b = a.clone();
+            reduce_blocked_in(&mut h_b, None, &mut scratch).unwrap();
+            let mut h_u = a.clone();
+            unblocked_sweep(&mut h_u, None, &mut scratch);
+            let hd = h_u.as_mut_slice();
+            for i in 2..n {
+                for j in 0..(i - 1) {
+                    hd[i * n + j] = 0.0;
+                }
+            }
+            assert!(
+                h_b.approx_eq(&h_u, 1e-9 * a.norm_fro().max(1.0)),
+                "n={n} blocked/unblocked divergence {}",
+                (&h_b - &h_u).norm_max()
+            );
         }
     }
 }

@@ -1,5 +1,13 @@
 //! Householder QR factorization and least-squares solves.
+//!
+//! Like the Hessenberg reduction, the full factorization has two kernels: a
+//! one-reflector-at-a-time sweep (bit-identical to the historical code) and a
+//! compact-WY blocked sweep that aggregates [`hessenberg::PANEL_NB`] reflectors
+//! into `I − V·T·Vᵀ` form so the trailing and Q updates run as block products.
+//! [`factor_full`] routes matrices with at least
+//! [`hessenberg::BLOCKED_MIN_DIM`] rows to the blocked kernel.
 
+use super::hessenberg;
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 
@@ -16,6 +24,218 @@ pub struct Qr {
 /// Computes the *full* QR factorization: `q` is `m x m` orthogonal and `r` is
 /// `m x n` upper trapezoidal.
 pub fn factor_full(a: &Matrix) -> Qr {
+    if a.rows() >= hessenberg::BLOCKED_MIN_DIM {
+        factor_full_blocked(a)
+    } else {
+        factor_full_unblocked(a)
+    }
+}
+
+/// Compact-WY blocked full QR, used by [`factor_full`] for tall matrices and
+/// exposed so equivalence tests and benchmarks can run it at any size.
+///
+/// Panel columns are reduced one reflector at a time (rank-1 updates confined
+/// to the panel); the accumulated block reflector `I − V·T·Vᵀ` then hits the
+/// trailing columns as `C ← C − V·(Tᵀ·(Vᵀ·C))` and the orthogonal factor as
+/// `Q ← Q − (Q·V)·T·Vᵀ`, all with contiguous `nb`-length inner loops.
+pub fn factor_full_blocked(a: &Matrix) -> Qr {
+    let (m, n) = a.shape();
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+    let kmax = n.min(m.saturating_sub(1));
+    let nb = hessenberg::PANEL_NB.max(1);
+    let mut panel_v: Vec<f64> = Vec::new();
+    let mut panel_t: Vec<f64> = Vec::new();
+    let mut panel_z: Vec<f64> = Vec::new();
+    let mut hvec: Vec<f64> = vec![0.0; m];
+    let mut tdots: Vec<f64> = vec![0.0; nb];
+    let mut dots: Vec<f64> = vec![0.0; n.max(1)];
+    let mut k0 = 0;
+    while k0 < kmax {
+        let nbe = nb.min(kmax - k0);
+        let vrows = m - k0; // V row r ↔ global row k0 + r
+        panel_v.clear();
+        panel_v.resize(vrows * nbe, 0.0);
+        panel_t.clear();
+        panel_t.resize(nbe * nbe, 0.0);
+        {
+            let rd = r.as_mut_slice();
+            for j in 0..nbe {
+                let c = k0 + j;
+                // Householder vector for column c, rows c..m (same sign
+                // convention and skip conditions as the unblocked sweep; a
+                // skipped column leaves the zero reflector in V/T column j).
+                let mut norm_x = 0.0;
+                for i in c..m {
+                    norm_x += rd[i * n + c] * rd[i * n + c];
+                }
+                norm_x = norm_x.sqrt();
+                if norm_x == 0.0 {
+                    continue;
+                }
+                let alpha = if rd[c * n + c] >= 0.0 {
+                    -norm_x
+                } else {
+                    norm_x
+                };
+                let vlen = m - c;
+                let v = &mut hvec[..vlen];
+                v[0] = rd[c * n + c] - alpha;
+                for i in (c + 1)..m {
+                    v[i - c] = rd[i * n + c];
+                }
+                let vnorm_sq: f64 = v.iter().map(|x| x * x).sum();
+                if vnorm_sq <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let beta = 2.0 / vnorm_sq;
+                let v = &hvec[..vlen];
+                for (i, &vi) in v.iter().enumerate() {
+                    panel_v[(j + i) * nbe + j] = vi;
+                }
+                // Apply H_j to the remaining panel columns c..k0+nbe
+                // immediately (rows c..m, two-pass); trailing columns wait for
+                // the aggregated block update.
+                let jhi = k0 + nbe;
+                dots[c..jhi].fill(0.0);
+                for i in c..m {
+                    let vi = v[i - c];
+                    let row = &rd[i * n + c..i * n + jhi];
+                    for (d, &x) in dots[c..jhi].iter_mut().zip(row.iter()) {
+                        *d += vi * x;
+                    }
+                }
+                for i in c..m {
+                    let vi = v[i - c];
+                    let row = &mut rd[i * n + c..i * n + jhi];
+                    for (x, &d) in row.iter_mut().zip(dots[c..jhi].iter()) {
+                        *x -= (beta * d) * vi;
+                    }
+                }
+                // T column j: T[0..j, j] = −β_j·T_j·(Vᵀ v_j), T[j][j] = β_j.
+                if j > 0 {
+                    let w = &mut tdots[..j];
+                    w.fill(0.0);
+                    for (i, &vi) in v.iter().enumerate() {
+                        let vrow = &panel_v[(j + i) * nbe..(j + i) * nbe + j];
+                        for (wl, vl) in w.iter_mut().zip(vrow.iter()) {
+                            *wl += vl * vi;
+                        }
+                    }
+                    for i2 in 0..j {
+                        let mut acc = 0.0;
+                        for (l, wl) in w.iter().enumerate().skip(i2) {
+                            acc += panel_t[i2 * nbe + l] * wl;
+                        }
+                        panel_t[i2 * nbe + j] = -beta * acc;
+                    }
+                }
+                panel_t[j * nbe + j] = beta;
+            }
+            // Aggregated trailing update: the left-applied product is
+            // H_nbe···H_1 = (I − V·T·Vᵀ)ᵀ, so C ← C − V·(Tᵀ·(Vᵀ·C)).
+            let nc = n - (k0 + nbe);
+            if nc > 0 {
+                panel_z.clear();
+                panel_z.resize(nbe * nc, 0.0);
+                for r_i in 0..vrows {
+                    let arow = &rd[(k0 + r_i) * n + k0 + nbe..(k0 + r_i + 1) * n];
+                    let vrow = &panel_v[r_i * nbe..(r_i + 1) * nbe];
+                    for (j, &vl) in vrow.iter().enumerate().take(r_i.min(nbe - 1) + 1) {
+                        if vl != 0.0 {
+                            let zrow = &mut panel_z[j * nc..(j + 1) * nc];
+                            for (zl, &al) in zrow.iter_mut().zip(arow.iter()) {
+                                *zl += vl * al;
+                            }
+                        }
+                    }
+                }
+                // Z ← Tᵀ·Z in place (descending row index only reads
+                // originals at indices ≤ the target).
+                for idx in (0..nbe).rev() {
+                    let tii = panel_t[idx * nbe + idx];
+                    {
+                        let zrow = &mut panel_z[idx * nc..(idx + 1) * nc];
+                        for zl in zrow.iter_mut() {
+                            *zl *= tii;
+                        }
+                    }
+                    for l in 0..idx {
+                        let tli = panel_t[l * nbe + idx];
+                        if tli != 0.0 {
+                            let (head, tail) = panel_z.split_at_mut(idx * nc);
+                            let src = &head[l * nc..(l + 1) * nc];
+                            let dst = &mut tail[..nc];
+                            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                                *d += tli * s;
+                            }
+                        }
+                    }
+                }
+                for r_i in 0..vrows {
+                    let vrow = &panel_v[r_i * nbe..(r_i + 1) * nbe];
+                    let start = (k0 + r_i) * n + k0 + nbe;
+                    for (j, &vl) in vrow.iter().enumerate().take(r_i.min(nbe - 1) + 1) {
+                        if vl != 0.0 {
+                            let zrow = &panel_z[j * nc..(j + 1) * nc];
+                            let arow = &mut rd[start..start + nc];
+                            for (al, &zl) in arow.iter_mut().zip(zrow.iter()) {
+                                *al -= vl * zl;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Q ← Q·(I − V·T·Vᵀ): columns k0..m, all rows.
+        {
+            panel_z.clear();
+            panel_z.resize(m * nbe, 0.0);
+            let qv = &mut panel_z;
+            let qd = q.as_mut_slice();
+            for i in 0..m {
+                let qrow = &qd[i * m + k0..(i + 1) * m];
+                let qvrow = &mut qv[i * nbe..(i + 1) * nbe];
+                for (r_i, &qx) in qrow.iter().enumerate() {
+                    if qx != 0.0 {
+                        let vrow = &panel_v[r_i * nbe..r_i * nbe + r_i.min(nbe - 1) + 1];
+                        for (ql, &vl) in qvrow.iter_mut().zip(vrow.iter()) {
+                            *ql += qx * vl;
+                        }
+                    }
+                }
+            }
+            // QV ← QV·T in place per row (descending target index).
+            for i in 0..m {
+                let qvrow = &mut qv[i * nbe..(i + 1) * nbe];
+                for l in (0..nbe).rev() {
+                    let mut acc = 0.0;
+                    for mm in 0..=l {
+                        acc += qvrow[mm] * panel_t[mm * nbe + l];
+                    }
+                    qvrow[l] = acc;
+                }
+            }
+            for i in 0..m {
+                let mrow = &qv[i * nbe..(i + 1) * nbe];
+                let qrow = &mut qd[i * m + k0..(i + 1) * m];
+                for (r_i, qx) in qrow.iter_mut().enumerate() {
+                    let vrow = &panel_v[r_i * nbe..(r_i + 1) * nbe];
+                    let mut acc = 0.0;
+                    for (ml, vl) in mrow.iter().zip(vrow.iter()) {
+                        acc += ml * vl;
+                    }
+                    *qx -= acc;
+                }
+            }
+        }
+        k0 += nbe;
+    }
+    finish_qr(q, r)
+}
+
+/// One reflector at a time; bit-identical to the historical kernel.
+fn factor_full_unblocked(a: &Matrix) -> Qr {
     let (m, n) = a.shape();
     let mut r = a.clone();
     let mut q = Matrix::identity(m);
@@ -85,14 +305,20 @@ pub fn factor_full(a: &Matrix) -> Qr {
             }
         }
     }
-    // Zero out the numerically-negligible strictly lower part of R.
+    finish_qr(q, r)
+}
+
+/// Shared postlude of both full-QR kernels: wipe the numerically-negligible
+/// strictly lower part of `R` and normalize signs so `R` has a non-negative
+/// diagonal (making the factorization unique for full-rank input, and QR of I
+/// equal to (I, I)).
+fn finish_qr(mut q: Matrix, mut r: Matrix) -> Qr {
+    let (m, n) = r.shape();
     for i in 1..m {
         for j in 0..i.min(n) {
             r[(i, j)] = 0.0;
         }
     }
-    // Normalize signs so that R has a non-negative diagonal; this makes the
-    // factorization unique for full-rank input (and QR of I equal to (I, I)).
     for k in 0..m.min(n) {
         if r[(k, k)] < 0.0 {
             for j in 0..n {
@@ -311,5 +537,74 @@ mod tests {
         let qr = factor_full(&Matrix::identity(4));
         assert!(qr.q.approx_eq(&Matrix::identity(4), 1e-14));
         assert!(qr.r.approx_eq(&Matrix::identity(4), 1e-14));
+    }
+
+    #[test]
+    fn blocked_qr_reconstructs_all_shapes() {
+        // Square, tall, wide, and sizes straddling a panel boundary.
+        for &(m, n) in &[
+            (5usize, 5usize),
+            (40, 40),
+            (50, 33),
+            (33, 50),
+            (64, 64),
+            (70, 3),
+        ] {
+            let a = Matrix::from_fn(m, n, |i, j| {
+                ((i * 13 + j * 7) % 11) as f64 * 0.37 - 1.5 + if i == j { 2.0 } else { 0.0 }
+            });
+            let qr = factor_full_blocked(&a);
+            assert_eq!(qr.q.shape(), (m, m));
+            assert_eq!(qr.r.shape(), (m, n));
+            assert_orthogonal(&qr.q, 1e-11);
+            for i in 1..m {
+                for j in 0..i.min(n) {
+                    assert_eq!(qr.r[(i, j)], 0.0, "({m},{n}) lower entry ({i},{j})");
+                }
+            }
+            assert!(
+                (&qr.q * &qr.r).approx_eq(&a, 1e-10 * a.norm_fro().max(1.0)),
+                "({m},{n}) reconstruction failed"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_and_unblocked_qr_agree() {
+        // The sign normalization makes the full-rank factorization unique, so
+        // the two kernels agree to roundoff (not bitwise).
+        for &(m, n) in &[(21usize, 21usize), (45, 30), (30, 45)] {
+            let a = Matrix::from_fn(m, n, |i, j| {
+                ((i * 3 + j * 11) % 13) as f64 * 0.29 - 1.7 + if i == j { 3.0 } else { 0.0 }
+            });
+            let blocked = factor_full_blocked(&a);
+            let unblocked = factor_full_unblocked(&a);
+            assert!(
+                blocked
+                    .r
+                    .approx_eq(&unblocked.r, 1e-10 * a.norm_fro().max(1.0)),
+                "({m},{n}) R divergence {}",
+                (&blocked.r - &unblocked.r).norm_max()
+            );
+            assert!(
+                blocked.q.approx_eq(&unblocked.q, 1e-10),
+                "({m},{n}) Q divergence {}",
+                (&blocked.q - &unblocked.q).norm_max()
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_qr_handles_rank_deficiency_and_zero_columns() {
+        // A zero column inside a panel exercises the zero-reflector path.
+        let m = 40;
+        let a = Matrix::from_fn(m, 6, |i, j| match j {
+            2 => 0.0,
+            3 => ((i * 13) % 11) as f64 * 0.37 - 1.5, // duplicate of col 0 pattern
+            _ => ((i * 13 + j * 7) % 11) as f64 * 0.37 - 1.5,
+        });
+        let qr = factor_full_blocked(&a);
+        assert_orthogonal(&qr.q, 1e-11);
+        assert!((&qr.q * &qr.r).approx_eq(&a, 1e-11 * a.norm_fro().max(1.0)));
     }
 }

@@ -28,7 +28,7 @@ pub fn real_schur(a: &Matrix) -> Result<RealSchur, LinalgError> {
     let mut q = Matrix::zeros(0, 0);
     crate::workspace::with_thread_pool(|pool| {
         let ws = pool.get(a.rows());
-        real_schur_in(&mut t, Some(&mut q), &mut ws.hv, &mut ws.dots)
+        real_schur_in(&mut t, Some(&mut q), &mut ws.refl)
     })?;
     Ok(RealSchur { q, t })
 }
@@ -49,7 +49,7 @@ pub fn real_schur_t_only(a: &Matrix) -> Result<Matrix, LinalgError> {
     let mut t = a.clone();
     crate::workspace::with_thread_pool(|pool| {
         let ws = pool.get(a.rows());
-        real_schur_in(&mut t, None, &mut ws.hv, &mut ws.dots)
+        real_schur_in(&mut t, None, &mut ws.refl)
     })?;
     Ok(t)
 }
@@ -57,7 +57,7 @@ pub fn real_schur_t_only(a: &Matrix) -> Result<Matrix, LinalgError> {
 /// In-place real Schur iteration: overwrites `h` with the quasi-triangular
 /// factor and, when `q` is provided, overwrites `q` with the accumulated
 /// orthogonal factor (any buffer can be passed; it is reset to the identity).
-/// `hv`/`dots` are reusable scratch vectors (see
+/// `scratch` holds the reusable reflector buffers (see
 /// [`hessenberg::reduce_in`]).
 ///
 /// # Errors
@@ -66,8 +66,7 @@ pub fn real_schur_t_only(a: &Matrix) -> Result<Matrix, LinalgError> {
 pub fn real_schur_in(
     h: &mut Matrix,
     mut q: Option<&mut Matrix>,
-    hv: &mut Vec<f64>,
-    dots: &mut Vec<f64>,
+    scratch: &mut crate::workspace::ReflectorScratch,
 ) -> Result<(), LinalgError> {
     if !h.is_square() {
         return Err(LinalgError::NotSquare {
@@ -88,7 +87,7 @@ pub fn real_schur_in(
         }
         return Ok(());
     }
-    hessenberg::reduce_in(h, q.as_deref_mut(), hv, dots)?;
+    hessenberg::reduce_in(h, q.as_deref_mut(), scratch)?;
     let norm = h.norm_fro().max(f64::MIN_POSITIVE);
     let eps = f64::EPSILON;
 

@@ -57,7 +57,7 @@ pub fn eigenvalues_into(
 ) -> Result<(), LinalgError> {
     out.clear();
     ws.t.copy_from(a);
-    schur::real_schur_in(&mut ws.t, None, &mut ws.hv, &mut ws.dots)?;
+    schur::real_schur_in(&mut ws.t, None, &mut ws.refl)?;
     push_eigenvalues_from_schur(&ws.t, out);
     Ok(())
 }

@@ -24,6 +24,51 @@ use crate::matrix::Matrix;
 use std::cell::RefCell;
 use std::collections::HashMap;
 
+/// Scratch buffers for the Householder reflector kernels
+/// ([`crate::decomp::hessenberg::reduce_in`],
+/// [`crate::decomp::schur::real_schur_in`]).
+///
+/// Holds the per-reflector vectors of the unblocked paths plus the compact-WY
+/// panel storage (`V`, `T`, `U = A·V` and a general panel temporary) of the
+/// blocked paths.  All buffers are lazily resized by the kernels, so a warm
+/// scratch makes repeated same-order reductions allocation-free.
+#[derive(Debug, Default)]
+pub struct ReflectorScratch {
+    /// Householder-vector scratch.
+    pub(crate) hv: Vec<f64>,
+    /// Per-column dot-product scratch for the two-pass reflector updates.
+    pub(crate) dots: Vec<f64>,
+    /// Compact-WY reflector panel `V` (row-major, leading dimension `nb`).
+    pub(crate) panel_v: Vec<f64>,
+    /// Compact-WY triangular factor `T` (`nb x nb`, row-major).
+    pub(crate) panel_t: Vec<f64>,
+    /// Panel product `U = A·V` (row-major, leading dimension `nb`).
+    pub(crate) panel_u: Vec<f64>,
+    /// General panel temporary (`W = U·T`, `Z = Vᵀ·A`, `Q·V`).
+    pub(crate) panel_w: Vec<f64>,
+    /// Full-column temporary for the on-demand panel column updates.
+    pub(crate) col: Vec<f64>,
+}
+
+impl ReflectorScratch {
+    /// A fresh scratch with empty buffers (they grow on first use).
+    pub fn new() -> Self {
+        ReflectorScratch::default()
+    }
+
+    /// Approximate resident size of the buffers, in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        (self.hv.len()
+            + self.dots.len()
+            + self.panel_v.len()
+            + self.panel_t.len()
+            + self.panel_u.len()
+            + self.panel_w.len()
+            + self.col.len())
+            * std::mem::size_of::<f64>()
+    }
+}
+
 /// Per-dimension scratch buffers for the eigen kernels.
 ///
 /// The buffers are lazily resized by the kernels; after the first problem of a
@@ -38,10 +83,8 @@ pub struct EigenWorkspace {
     pub(crate) w2: Matrix,
     /// Reusable LU factorization storage (matrix + pivot vector).
     pub(crate) lu: Lu,
-    /// Householder-vector scratch.
-    pub(crate) hv: Vec<f64>,
-    /// Per-column dot-product scratch for the blocked reflector updates.
-    pub(crate) dots: Vec<f64>,
+    /// Householder reflector scratch (unblocked vectors + compact-WY panels).
+    pub(crate) refl: ReflectorScratch,
 }
 
 impl EigenWorkspace {
@@ -52,8 +95,7 @@ impl EigenWorkspace {
             w1: Matrix::zeros(0, 0),
             w2: Matrix::zeros(0, 0),
             lu: Lu::empty(),
-            hv: Vec::new(),
-            dots: Vec::new(),
+            refl: ReflectorScratch::new(),
         }
     }
 
@@ -65,7 +107,7 @@ impl EigenWorkspace {
             + mat(&self.w2)
             + mat(&self.lu.lu)
             + self.lu.perm.len() * std::mem::size_of::<usize>()
-            + (self.hv.len() + self.dots.len()) * std::mem::size_of::<f64>()
+            + self.refl.resident_bytes()
     }
 }
 

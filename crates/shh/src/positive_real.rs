@@ -61,6 +61,11 @@ pub struct PositiveRealOptions {
     /// Frequencies used by the sampling fallback (rad/s); also used to refine
     /// boundary cases of the Hamiltonian test.
     pub sampling_frequencies: Vec<f64>,
+    /// Skip the stability pre-check (an `n × n` eigensolve). Set by callers
+    /// whose system is Hurwitz by construction — e.g. the passivity flow,
+    /// where the proper part comes out of the stable invariant subspace of
+    /// the Hamiltonian split. Defaults to `false`.
+    pub assume_stable: bool,
 }
 
 impl Default for PositiveRealOptions {
@@ -74,6 +79,7 @@ impl Default for PositiveRealOptions {
         PositiveRealOptions {
             tolerance: 1e-8,
             sampling_frequencies: freqs,
+            assume_stable: false,
         }
     }
 }
@@ -102,7 +108,10 @@ pub fn test_positive_real(
     }
     let tol = options.tolerance;
     // Stability prerequisite (condition 1 of positive realness for proper parts).
-    if ss.order() > 0 && !ss.is_stable(0.0).map_err(ShhError::Descriptor)? {
+    if !options.assume_stable
+        && ss.order() > 0
+        && !ss.is_stable(0.0).map_err(ShhError::Descriptor)?
+    {
         // A pole in the closed right half-plane rules out positive realness.
         return Ok(PositiveRealVerdict::NotPositiveReal {
             witness_frequency: None,

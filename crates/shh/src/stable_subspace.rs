@@ -4,7 +4,7 @@
 use crate::error::ShhError;
 use crate::structure;
 use ds_linalg::sign::{self, SignOptions};
-use ds_linalg::{decomp::qr, subspace, Matrix};
+use ds_linalg::{subspace, Matrix};
 
 /// Result of the Hamiltonian spectral split used by the paper's proper-part
 /// extraction.
@@ -21,6 +21,10 @@ pub struct HamiltonianSplit {
     pub stable_block: Matrix,
     /// The coupling block `Γ` in `Z₁ᵀ A₄₄ Z₁ = [[Ã, Γ], [0, −Ãᵀ]]`.
     pub coupling_block: Matrix,
+    /// The decoupling matrix `Y` solving `Ã Y + Y Ãᵀ + Γ = 0`, read off the
+    /// converged sign function via Roberts' identity
+    /// `Z₁ᵀ sign(A₄₄) Z₁ = [[−I, 2Y], [0, I]]` — no Lyapunov solve required.
+    pub decoupling: Matrix,
 }
 
 /// Computes the stable invariant subspace of a Hamiltonian matrix and the
@@ -48,19 +52,21 @@ pub fn hamiltonian_split(a: &Matrix, tol: f64) -> Result<HamiltonianSplit, ShhEr
             "hamiltonian_split requires a Hamiltonian matrix",
         ));
     }
-    let split = sign::spectral_split(a, &SignOptions::default()).map_err(|err| match err {
+    // Only the stable basis is consumed here; `stable_split` verifies the
+    // dimension count through trace(sign(A)) instead of factoring the
+    // antistable projector as well.
+    let split = sign::stable_split(a, &SignOptions::default()).map_err(|err| match err {
         ds_linalg::LinalgError::Singular { .. } => ShhError::ImaginaryAxisEigenvalues,
         other => ShhError::Numerical(other),
     })?;
-    if split.stable_basis.cols() != n {
+    if split.stable_basis.cols() != n || split.unstable_dim != n {
         return Err(ShhError::ImaginaryAxisEigenvalues);
     }
-    // Re-orthonormalize and verify isotropy (UᵀJU = 0), which holds exactly in
-    // theory for the stable Lagrangian subspace of a Hamiltonian matrix.
-    let u = qr::orthonormalize_columns(&split.stable_basis, 1e-12);
-    if u.cols() != n {
-        return Err(ShhError::ImaginaryAxisEigenvalues);
-    }
+    // `stable_split` hands back SVD-U columns, which are orthonormal by
+    // construction — no re-orthonormalization pass is needed before the
+    // isotropy check (UᵀJU = 0), which holds exactly in theory for the stable
+    // Lagrangian subspace of a Hamiltonian matrix.
+    let u = split.stable_basis;
     let ju = structure::j_mul(&u)?;
     let isotropy = u.transpose_matmul(&ju)?.norm_max();
     if isotropy > 1e-6 * scale.max(1.0) {
@@ -69,22 +75,34 @@ pub fn hamiltonian_split(a: &Matrix, tol: f64) -> Result<HamiltonianSplit, ShhEr
              the matrix may be too far from Hamiltonian structure"
         )));
     }
-    // Z1 = [U, −J U] is orthogonal symplectic.
+    // Z1 = [U, −J U] is orthogonal symplectic. Of Z₁ᵀ A Z₁ only the top block
+    // row [Ã, Γ] = Uᵀ·A·Z₁ and the lower-left invariance residual
+    // (−JU)ᵀ·A·U are consumed — the lower-right block is −Ãᵀ by Hamiltonian
+    // structure — so the full (2n)×(2n) congruence is never formed.
     let z1 = Matrix::hstack(&[&u, &ju.scale(-1.0)]);
-    let transformed = &z1.transpose_matmul(a)? * &z1;
-    let stable_block = transformed.block(0, n, 0, n);
-    let coupling_block = transformed.block(0, n, n, 2 * n);
-    let lower_left = transformed.block(n, 2 * n, 0, n).norm_max();
+    let az1 = a.matmul(&z1)?;
+    let top = u.transpose_matmul(&az1)?;
+    let stable_block = top.block(0, n, 0, n);
+    let coupling_block = top.block(0, n, n, 2 * n);
+    let au = az1.block(0, 2 * n, 0, n);
+    let lower_left = ju.transpose_matmul(&au)?.norm_max();
     if lower_left > 1e-6 * scale {
         return Err(ShhError::structure(format!(
             "stable subspace is not invariant (residual {lower_left:.2e})"
         )));
     }
+    // Roberts' identity: the top-right block of Z₁ᵀ sign(A₄₄) Z₁ equals 2Y for
+    // the decoupling Lyapunov solution Ã Y + Y Ãᵀ + Γ = 0. With Z₁ = [U, −JU]
+    // that block is −Uᵀ·sign(A₄₄)·JU, so Y falls out of two thin products
+    // against the already-converged sign iterate.
+    let sign_ju = split.sign.matmul(&ju)?;
+    let decoupling = u.transpose_matmul(&sign_ju)?.scale(-0.5);
     Ok(HamiltonianSplit {
         stable_basis: u,
         z1,
         stable_block,
         coupling_block,
+        decoupling,
     })
 }
 

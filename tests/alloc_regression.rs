@@ -10,7 +10,7 @@
 use ds_circuits::generators;
 use ds_linalg::decomp::{hessenberg, lu, schur};
 use ds_linalg::sign::{self, SignOptions};
-use ds_linalg::workspace::WorkspacePool;
+use ds_linalg::workspace::{ReflectorScratch, WorkspacePool};
 use ds_linalg::{eigen, Complex, Matrix};
 use ds_passivity::fast::{check_passivity, FastTestOptions};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -71,8 +71,7 @@ fn eigen_kernels_are_allocation_free_in_steady_state() {
     let mut evals: Vec<Complex> = Vec::with_capacity(n);
     let mut h = Matrix::zeros(n, n);
     let mut q = Matrix::zeros(n, n);
-    let mut hv: Vec<f64> = Vec::with_capacity(n);
-    let mut dots: Vec<f64> = Vec::with_capacity(n);
+    let mut refl = ReflectorScratch::new();
     let mut factor = lu::Lu::empty();
     let mut inverse = Matrix::zeros(n, n);
     let mut solution = Matrix::zeros(n, n);
@@ -82,9 +81,13 @@ fn eigen_kernels_are_allocation_free_in_steady_state() {
     let mut run_all = |pool: &mut WorkspacePool| {
         eigen::eigenvalues_into(&a, pool.get(n), &mut evals).unwrap();
         h.copy_from(&a);
-        hessenberg::reduce_in(&mut h, Some(&mut q), &mut hv, &mut dots).unwrap();
+        hessenberg::reduce_in(&mut h, Some(&mut q), &mut refl).unwrap();
         h.copy_from(&a);
-        schur::real_schur_in(&mut h, None, &mut hv, &mut dots).unwrap();
+        // The compact-WY panel path must also reach zero steady-state
+        // allocations once its panel buffers are warm.
+        hessenberg::reduce_blocked_in(&mut h, Some(&mut q), &mut refl).unwrap();
+        h.copy_from(&a);
+        schur::real_schur_in(&mut h, None, &mut refl).unwrap();
         lu::factor_into(&a, &mut factor).unwrap();
         factor.inverse_into(&mut inverse).unwrap();
         factor.solve_into(&inverse, &mut solution).unwrap();

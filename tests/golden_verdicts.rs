@@ -1,7 +1,15 @@
 //! Golden-verdict conformance suite: the harness's golden sweep must
-//! reproduce `tests/golden/verdicts.json` byte-for-byte — verdict, reason
-//! slug and violation-frequency count for every (family, order, method) cell
-//! — and must do so identically on 1 and 2 threads.
+//! reproduce `tests/golden/verdicts.json` — verdict, reason slug,
+//! violation-frequency count and witness for every (family, order, method)
+//! cell — and must do so identically on 1 and 2 threads.
+//!
+//! Each sweep is checked in both comparison modes: **strict** (the rendered
+//! document is byte-for-byte identical to the fixture) and **semantic**
+//! (`golden::semantic_diff`: discrete fields exact, witness frequency within
+//! a relative tolerance).  Strict implies semantic on an unchanged kernel;
+//! running both keeps the semantic comparator itself honest, and after an
+//! intentional roundoff-level kernel change the semantic mode is the one
+//! that distinguishes "same verdicts, different bits" from real drift.
 //!
 //! Regenerate the fixture (after an intentional behaviour change) with
 //! `cargo run -p ds-harness --bin regen-golden`.
@@ -37,8 +45,17 @@ fn assert_same(rendered: &str, committed: &str, context: &str) {
 fn golden_sweep_matches_fixture_on_one_and_two_threads() {
     for threads in [1usize, 2] {
         let result = run_sweep(&SweepSpec::new(golden::golden_tasks(), threads));
+        // Strict mode: the serialized document is pinned byte-for-byte.
         let rendered = golden::render_golden(&result.records);
         assert_same(&rendered, FIXTURE, &format!("threads={threads}"));
+        // Semantic mode on the same records: field-exact verdicts with a
+        // tolerance-gated witness must also report equivalence.
+        let diffs = golden::semantic_diff(&result.records, FIXTURE, golden::SEMANTIC_REL_TOL);
+        assert!(
+            diffs.is_empty(),
+            "threads={threads}: semantic drift:\n{}",
+            diffs.join("\n")
+        );
     }
 }
 
