@@ -51,6 +51,7 @@ pub mod method;
 pub mod scenario;
 pub mod store;
 pub mod sweep;
+pub mod sync;
 
 pub use artifacts::{render_csv, render_jsonl, validate_csv, validate_jsonl, SweepSummary};
 pub use method::{run_method, Method, LMI_MAX_ORDER};
@@ -62,6 +63,7 @@ pub use store::{record_fingerprint, shard_tasks, task_fingerprint, ResultStore};
 pub use sweep::{
     run_single, run_sweep, run_sweep_with_progress, SweepRecord, SweepResult, SweepSpec,
 };
+pub use sync::{lock_infallible, wait_timeout_infallible};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {

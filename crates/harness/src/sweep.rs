@@ -496,7 +496,7 @@ mod tests {
         let seen = Mutex::new(Vec::new());
         let result = run_sweep_with_progress(
             &SweepSpec::new(tasks, 4),
-            Some(&|r: &SweepRecord| seen.lock().unwrap().push(r.task_id)),
+            Some(&|r: &SweepRecord| crate::sync::lock_infallible(&seen).push(r.task_id)),
         );
         let mut seen = seen.into_inner().unwrap();
         seen.sort_unstable();

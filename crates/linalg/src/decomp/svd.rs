@@ -172,7 +172,7 @@ fn jacobi_svd(a: &Matrix, want_v: bool) -> Result<Svd, LinalgError> {
     // Sort in non-increasing order of singular values and assemble the sorted
     // factors directly from the transposed buffers.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    order.sort_by(|&i, &j| sigma[j].total_cmp(&sigma[i]));
     let s_sorted: Vec<f64> = order.iter().map(|&i| sigma[i]).collect();
     let mut u_sorted = Matrix::zeros(m, n);
     for (jj, &src) in order.iter().enumerate() {

@@ -99,7 +99,7 @@ pub fn eigen_symmetric(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
     }
     let mut values: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap());
+    order.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
     values = order.iter().map(|&i| values[i]).collect();
     let vectors = v.select_columns(&order);
     Ok(SymmetricEigen { values, vectors })

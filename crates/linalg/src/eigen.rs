@@ -38,6 +38,7 @@ pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>, LinalgError> {
 ///
 /// Propagates the errors of [`schur::real_schur`].
 pub fn eigenvalues_in(a: &Matrix, ws: &mut EigenWorkspace) -> Result<Vec<Complex>, LinalgError> {
+    // ds-lint: allow(hot-path-alloc) -- allocates only the caller-owned result vector, per the documented contract; the zero-alloc path is eigenvalues_into
     let mut out = Vec::with_capacity(a.rows());
     eigenvalues_into(a, ws, &mut out)?;
     Ok(out)

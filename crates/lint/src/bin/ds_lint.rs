@@ -1,0 +1,145 @@
+//! The `ds-lint` binary: run the workspace static-analysis pass.
+//!
+//! ```text
+//! ds-lint [--root DIR] [--deny] [--out FILE] [--baseline FILE]
+//!         [--update-baseline] [--list-rules]
+//! ```
+//!
+//! Human diagnostics go to stdout as `file:line:col: rule: message`; `--out`
+//! additionally writes the byte-stable `ds-lint-report/v1` JSONL artifact.
+//! `--deny` compares per-rule counts against the committed baseline
+//! (`lint/baseline.json` by default) and exits 1 when any count rises; the
+//! counts may only decrease (`--update-baseline` rewrites the file after a
+//! burn-down).  Exit code 2 means the pass itself could not run.
+
+use ds_lint::report::{self, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    deny: bool,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        deny: false,
+        out: None,
+        baseline: None,
+        update_baseline: false,
+        list_rules: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => args.root = Some(PathBuf::from(iter.next().ok_or("--root needs a value")?)),
+            "--out" => args.out = Some(PathBuf::from(iter.next().ok_or("--out needs a value")?)),
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(
+                    iter.next().ok_or("--baseline needs a value")?,
+                ));
+            }
+            "--deny" => args.deny = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "ds-lint [--root DIR] [--deny] [--out FILE] [--baseline FILE] \
+                     [--update-baseline] [--list-rules]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("ds-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        for rule in ds_lint::rules::ALL_RULES {
+            println!("{rule}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let root = match &args.root {
+        Some(dir) => dir.clone(),
+        None => ds_lint::find_root(&std::env::current_dir().map_err(|e| e.to_string())?)?,
+    };
+    let outcome = ds_lint::run(&root)?;
+
+    let mut sorted = outcome.findings.clone();
+    report::sort_findings(&mut sorted);
+    for finding in &sorted {
+        println!("{finding}");
+    }
+    let counts = report::count_by_rule(&sorted);
+    println!(
+        "# ds-lint: {} files scanned, {} findings in {} rules",
+        outcome.files_scanned,
+        sorted.len(),
+        counts.len()
+    );
+    for (rule, n) in &counts {
+        println!("#   {rule}: {n}");
+    }
+
+    if let Some(out) = &args.out {
+        let jsonl = report::render_jsonl(&sorted, outcome.files_scanned);
+        if let Some(parent) = out.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(out, jsonl).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!("# report: {}", out.display());
+    }
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint").join("baseline.json"));
+    if args.update_baseline {
+        let baseline = Baseline { counts };
+        if let Some(parent) = baseline_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&baseline_path, baseline.render())
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!("# baseline updated: {}", baseline_path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let baseline = Baseline::parse(&baseline_text)?;
+    let ratchet = report::ratchet(&sorted, &baseline);
+    for (rule, live, allowed) in &ratchet.improvements {
+        println!(
+            "# ratchet: {rule} improved to {live} (baseline {allowed}) — run --update-baseline to lock it in"
+        );
+    }
+    if !ratchet.regressions.is_empty() {
+        for (rule, live, allowed) in &ratchet.regressions {
+            eprintln!("ds-lint: {rule}: {live} findings exceed the baseline of {allowed}");
+        }
+        if args.deny {
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,182 @@
+//! Workspace discovery and the full lint pass.
+
+use crate::invariants::{self, Member};
+use crate::lexer;
+use crate::report::Finding;
+use crate::rules::{self, FileSource};
+use std::path::{Path, PathBuf};
+
+/// Everything one lint pass produced.
+#[derive(Debug)]
+pub struct Outcome {
+    /// All findings, unsorted (the report sorts its own copy).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files lexed and rule-checked.
+    pub files_scanned: usize,
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+///
+/// # Errors
+///
+/// No ancestor qualifies.
+pub fn find_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start
+        .canonicalize()
+        .map_err(|e| format!("cannot canonicalize {}: {e}", start.display()))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent.to_path_buf(),
+            None => return Err(format!("no workspace root above {}", start.display())),
+        }
+    }
+}
+
+/// Parses the workspace member list and each member's package name.
+///
+/// # Errors
+///
+/// Unreadable root manifest.
+pub fn discover_members(root: &Path) -> Result<Vec<Member>, String> {
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml"))
+        .map_err(|e| format!("cannot read root Cargo.toml: {e}"))?;
+    let mut dirs: Vec<String> = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with("members") && line.contains('[') {
+            in_members = true;
+            continue;
+        }
+        if in_members {
+            if line.starts_with(']') {
+                in_members = false;
+                continue;
+            }
+            let entry = line.trim_matches(|c: char| c == '"' || c == ',' || c.is_whitespace());
+            if !entry.is_empty() {
+                dirs.push(entry.to_string());
+            }
+        }
+    }
+    let mut members = Vec::new();
+    for dir in dirs {
+        let text = std::fs::read_to_string(root.join(&dir).join("Cargo.toml"))
+            .map_err(|e| format!("cannot read {dir}/Cargo.toml: {e}"))?;
+        if let Some(name) = package_name(&text) {
+            members.push(Member { name, dir });
+        }
+    }
+    // The root manifest also declares the umbrella package.
+    if let Some(name) = package_name(&manifest) {
+        members.push(Member {
+            name,
+            dir: ".".to_string(),
+        });
+    }
+    members.sort_by(|a, b| a.dir.cmp(&b.dir));
+    Ok(members)
+}
+
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(value) = line.strip_prefix("name = ") {
+                return Some(value.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+pub fn walk_rs(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk_rs_into(dir, &mut out);
+    out
+}
+
+fn walk_rs_into(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            walk_rs_into(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Collects and lexes every `src/**/*.rs` of every member (rule scope:
+/// production code; integration tests, benches and examples are exempt from
+/// rules but still covered by the tokenizer self-test).
+///
+/// # Errors
+///
+/// Unreadable source files.
+pub fn load_sources(root: &Path, members: &[Member]) -> Result<Vec<FileSource>, String> {
+    let mut files = Vec::new();
+    for m in members {
+        let src = if m.dir == "." {
+            root.join("src")
+        } else {
+            root.join(&m.dir).join("src")
+        };
+        for path in walk_rs(&src) {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(FileSource {
+                path: rel,
+                package: m.name.clone(),
+                lexed: lexer::lex(&text),
+            });
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+/// Runs the complete pass: token rules with waivers, then the repo invariants.
+///
+/// # Errors
+///
+/// Workspace discovery or I/O failures (never individual findings).
+pub fn run(root: &Path) -> Result<Outcome, String> {
+    let members = discover_members(root)?;
+    let files = load_sources(root, &members)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        findings.extend(rules::check_file(file));
+    }
+    findings.extend(invariants::check_schema_once(&files));
+    findings.extend(invariants::check_ci_refs(root, &members));
+    findings.extend(invariants::check_dep_cycle(root, &members));
+    findings.extend(invariants::check_readme_crate_map(root, &members));
+    findings.extend(invariants::check_crate_roots(root, &members));
+    Ok(Outcome {
+        findings,
+        files_scanned: files.len(),
+    })
+}

@@ -1,0 +1,711 @@
+//! A hand-rolled Rust lexer, just deep enough for reliable rule matching.
+//!
+//! The token stream is *lossy by design*: rules only need identifier/punct
+//! sequences with positions, brace depth, and an `in_test` flag — not a full
+//! grammar.  What the lexer must get exactly right is everything that can
+//! hide or fake a token:
+//!
+//! * line comments and **nested** block comments (captured separately, with
+//!   positions, so waivers and `// SAFETY:` checks can find them);
+//! * string, byte-string, raw-string (`r#"…"#`, any hash count) and raw
+//!   byte-string literals;
+//! * `'a'` char literals (including `'\''`, `'\u{7FFF}'`) versus `'a` / `'static`
+//!   lifetimes;
+//! * raw identifiers (`r#fn`);
+//! * `#[cfg(test)]`-gated items and `mod tests { … }` regions, which every
+//!   rule skips.
+
+/// What a token is; just enough classification for pattern matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `unsafe`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — distinct from char literals.
+    Lifetime,
+    /// A string / byte-string / raw-string literal (text is the *contents*).
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A numeric literal.
+    Number,
+    /// A single punctuation character (`.`, `!`, `:`, `{`, …).
+    Punct,
+}
+
+/// One token with its source position and region metadata.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// The token text (for [`TokKind::Str`], the literal's contents).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (byte-based).
+    pub col: u32,
+    /// Brace-nesting depth at the token (before any `{`/`}` effect).
+    pub depth: u32,
+    /// Whether the token sits inside a `#[cfg(test)]` item or `mod tests`.
+    pub in_test: bool,
+}
+
+/// A comment, kept out of the token stream but retained for waiver and
+/// `// SAFETY:` analysis.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based column the comment starts on.
+    pub col: u32,
+    /// Comment text without the `//` / `/* */` markers, trimmed.
+    pub text: String,
+    /// `true` when nothing but whitespace precedes the comment on its line.
+    pub own_line: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The code tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes one file.  Unterminated literals/comments are tolerated (the rest of
+/// the file is swallowed into the open token) — rules still see everything up
+/// to that point, and the self-test flags files that end inside a literal.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    // Stack of brace depths at which a test region was *entered* (the depth
+    // just before its opening `{`).  Non-empty ⇒ tokens are test code.
+    let mut test_regions: Vec<u32> = Vec::new();
+    // Set when `#[cfg(test)]` (or `mod tests`) has been seen and the next
+    // block at the current depth belongs to it; cleared by `;` (attribute on
+    // a non-block item such as `use`).
+    let mut pending_test = false;
+    let mut depth: u32 = 0;
+    let mut line_has_code = false;
+    let mut last_line = 1u32;
+
+    while let Some(b) = cur.peek(0) {
+        if cur.line != last_line {
+            line_has_code = false;
+            last_line = cur.line;
+        }
+        let (line, col) = (cur.line, cur.col);
+        let in_test = !test_regions.is_empty();
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                let own_line = !line_has_code;
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = std::str::from_utf8(&cur.bytes[start..cur.pos])
+                    .unwrap_or("")
+                    .trim()
+                    .to_string();
+                out.comments.push(Comment {
+                    line,
+                    col,
+                    text,
+                    own_line,
+                });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                let own_line = !line_has_code;
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut nest = 1usize;
+                while nest > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            nest += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            nest -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let end = cur.pos.saturating_sub(2).max(start);
+                let text = std::str::from_utf8(&cur.bytes[start..end])
+                    .unwrap_or("")
+                    .trim()
+                    .to_string();
+                out.comments.push(Comment {
+                    line,
+                    col,
+                    text,
+                    own_line,
+                });
+            }
+            b'"' => {
+                line_has_code = true;
+                cur.bump();
+                let text = read_string_body(&mut cur);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                    depth,
+                    in_test,
+                });
+            }
+            b'\'' => {
+                line_has_code = true;
+                cur.bump();
+                // Lifetime iff `'` + ident-start and the char after the full
+                // identifier is not a closing `'`.
+                let mut is_lifetime = false;
+                if cur.peek(0).is_some_and(is_ident_start) {
+                    let mut k = 1usize;
+                    while cur.peek(k).is_some_and(is_ident_cont) {
+                        k += 1;
+                    }
+                    is_lifetime = cur.peek(k) != Some(b'\'');
+                }
+                if is_lifetime {
+                    let start = cur.pos;
+                    while cur.peek(0).is_some_and(is_ident_cont) {
+                        cur.bump();
+                    }
+                    let text = std::str::from_utf8(&cur.bytes[start..cur.pos])
+                        .unwrap_or("")
+                        .to_string();
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                        col,
+                        depth,
+                        in_test,
+                    });
+                } else {
+                    let start = cur.pos;
+                    while let Some(c) = cur.peek(0) {
+                        if c == b'\\' {
+                            cur.bump();
+                            cur.bump();
+                            continue;
+                        }
+                        if c == b'\'' {
+                            break;
+                        }
+                        cur.bump();
+                    }
+                    let text = std::str::from_utf8(&cur.bytes[start..cur.pos])
+                        .unwrap_or("")
+                        .to_string();
+                    cur.bump(); // closing quote
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                        col,
+                        depth,
+                        in_test,
+                    });
+                }
+            }
+            _ if is_ident_start(b) => {
+                line_has_code = true;
+                // Raw strings / raw identifiers / byte strings share the
+                // ident-start path: r" r#" br" b" rb is not a thing, r#ident.
+                if (b == b'r' || b == b'b') && starts_raw_or_byte_string(&cur) {
+                    let (kind, text) = read_prefixed_string(&mut cur);
+                    out.toks.push(Tok {
+                        kind,
+                        text,
+                        line,
+                        col,
+                        depth,
+                        in_test,
+                    });
+                } else if b == b'r'
+                    && cur.peek(1) == Some(b'#')
+                    && cur.peek(2).is_some_and(is_ident_start)
+                {
+                    // Raw identifier `r#fn`.
+                    cur.bump();
+                    cur.bump();
+                    let start = cur.pos;
+                    while cur.peek(0).is_some_and(is_ident_cont) {
+                        cur.bump();
+                    }
+                    let text = std::str::from_utf8(&cur.bytes[start..cur.pos])
+                        .unwrap_or("")
+                        .to_string();
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                        col,
+                        depth,
+                        in_test,
+                    });
+                } else {
+                    let start = cur.pos;
+                    while cur.peek(0).is_some_and(is_ident_cont) {
+                        cur.bump();
+                    }
+                    let text = std::str::from_utf8(&cur.bytes[start..cur.pos])
+                        .unwrap_or("")
+                        .to_string();
+                    if text == "mod" && !pending_test {
+                        // `mod tests` / `mod test` opens a test region even
+                        // without the attribute (the workspace convention).
+                        let rest = &cur.bytes[cur.pos..];
+                        let name_is_tests =
+                            peek_next_ident(rest).is_some_and(|n| n == "tests" || n == "test");
+                        if name_is_tests {
+                            pending_test = true;
+                        }
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                        col,
+                        depth,
+                        in_test,
+                    });
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                line_has_code = true;
+                let start = cur.pos;
+                cur.bump();
+                while let Some(c) = cur.peek(0) {
+                    if is_ident_cont(c) {
+                        cur.bump();
+                    } else if c == b'.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                        // `1.5` continues the number; `0..n` does not.
+                        cur.bump();
+                    } else if (c == b'+' || c == b'-')
+                        && matches!(cur.bytes.get(cur.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+                        && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        // Exponent sign: `1e-3`.
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&cur.bytes[start..cur.pos])
+                    .unwrap_or("")
+                    .to_string();
+                out.toks.push(Tok {
+                    kind: TokKind::Number,
+                    text,
+                    line,
+                    col,
+                    depth,
+                    in_test,
+                });
+            }
+            _ => {
+                line_has_code = true;
+                cur.bump();
+                if b == b'{' {
+                    if pending_test {
+                        test_regions.push(depth);
+                        pending_test = false;
+                    }
+                    depth += 1;
+                } else if b == b'}' {
+                    depth = depth.saturating_sub(1);
+                    if test_regions.last() == Some(&depth) {
+                        test_regions.pop();
+                    }
+                } else if b == b';' && pending_test {
+                    // Attribute attached to a block-less item (`use`, …).
+                    pending_test = false;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                    depth,
+                    in_test,
+                });
+                // `#[cfg(test)]` / `#[cfg(all(test, …))]` detection runs on
+                // the token tail once the closing `]` arrives.
+                if b == b']' && ends_cfg_test_attr(&out.toks) {
+                    pending_test = true;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// After a `"`'s been consumed: read the body of a plain (escaped) string.
+fn read_string_body(cur: &mut Cursor<'_>) -> String {
+    let start = cur.pos;
+    while let Some(c) = cur.peek(0) {
+        if c == b'\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if c == b'"' {
+            break;
+        }
+        cur.bump();
+    }
+    let text = std::str::from_utf8(&cur.bytes[start..cur.pos])
+        .unwrap_or("")
+        .to_string();
+    cur.bump(); // closing quote
+    text
+}
+
+/// Does the cursor sit at `r"`, `r#…#"`, `b"`, `br"`, or `br#…#"`?
+/// (`r#ident` is excluded: the byte after the hashes must be a quote.)
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    let (raw, mut k) = match (cur.peek(0), cur.peek(1)) {
+        (Some(b'b'), Some(b'r')) => (true, 2),
+        (Some(b'b'), _) => (false, 1),
+        (Some(b'r'), _) => (true, 1),
+        _ => return false,
+    };
+    if raw {
+        while cur.peek(k) == Some(b'#') {
+            k += 1;
+        }
+    }
+    cur.peek(k) == Some(b'"')
+}
+
+/// Reads `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` after [`starts_raw_or_byte_string`].
+fn read_prefixed_string(cur: &mut Cursor<'_>) -> (TokKind, String) {
+    let first = cur.bump(); // r or b
+    let mut raw = first == Some(b'r');
+    if first == Some(b'b') && cur.peek(0) == Some(b'r') {
+        cur.bump();
+        raw = true;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        cur.bump();
+        hashes += 1;
+    }
+    cur.bump(); // opening quote
+    if !raw {
+        // Plain byte string `b"…"`: escape-aware.
+        return (TokKind::Str, read_string_body(cur));
+    }
+    let start = cur.pos;
+    let end;
+    loop {
+        match cur.peek(0) {
+            Some(b'"') => {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if cur.peek(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    end = cur.pos;
+                    cur.bump();
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    break;
+                }
+                cur.bump();
+            }
+            Some(_) => {
+                cur.bump();
+            }
+            None => {
+                end = cur.pos;
+                break;
+            }
+        }
+    }
+    (
+        TokKind::Str,
+        std::str::from_utf8(&cur.bytes[start..end])
+            .unwrap_or("")
+            .to_string(),
+    )
+}
+
+/// The next identifier in `rest`, skipping only whitespace.
+fn peek_next_ident(rest: &[u8]) -> Option<String> {
+    let mut k = 0usize;
+    while rest.get(k).is_some_and(|b| b.is_ascii_whitespace()) {
+        k += 1;
+    }
+    if !rest.get(k).copied().is_some_and(is_ident_start) {
+        return None;
+    }
+    let start = k;
+    while rest.get(k).copied().is_some_and(is_ident_cont) {
+        k += 1;
+    }
+    std::str::from_utf8(&rest[start..k]).ok().map(String::from)
+}
+
+/// Whether the token stream ends with `#[cfg(test…)]` (also matching
+/// `#[cfg(all(test, …))]` and any form whose first `cfg` argument is `test`).
+fn ends_cfg_test_attr(toks: &[Tok]) -> bool {
+    // Walk backwards to the matching `#[`, bounded to keep this O(attr len).
+    let n = toks.len();
+    if n < 6 {
+        return false;
+    }
+    let mut i = n - 1; // the `]`
+    let mut bracket = 1i32;
+    let mut steps = 0;
+    while i > 0 {
+        i -= 1;
+        steps += 1;
+        if steps > 64 {
+            return false;
+        }
+        match (toks[i].kind, toks[i].text.as_str()) {
+            (TokKind::Punct, "]") => bracket += 1,
+            (TokKind::Punct, "[") => {
+                bracket -= 1;
+                if bracket == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    if i == 0 || toks[i].text != "[" || toks[i - 1].text != "#" {
+        return false;
+    }
+    // Inside: expect `cfg ( … test … )` where `test` appears as a bare ident.
+    // `not(test)` / `any(test, …)` do NOT gate the item to test builds, so
+    // their presence disqualifies the attribute (conservative: the item is
+    // treated as production code and rules keep applying).
+    let inner = &toks[i + 1..n - 1];
+    if inner.first().map(|t| t.text.as_str()) != Some("cfg") {
+        return false;
+    }
+    if inner
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && (t.text == "not" || t.text == "any"))
+    {
+        return false;
+    }
+    inner
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "test")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<&str> {
+        lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents_from_the_token_stream() {
+        let lexed = lex(r####"let s = r#"not .unwrap() and not "quote" either"#;"####);
+        let strs: Vec<&Tok> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r#"not .unwrap() and not "quote" either"#);
+        assert!(!idents(&lexed).contains(&"unwrap"));
+        // The statement still terminates: the `;` after the raw string is a token.
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Punct && t.text == ";"));
+    }
+
+    #[test]
+    fn raw_strings_with_more_hashes_and_byte_strings() {
+        let lexed = lex(
+            r#####"let a = r##"inner "# quote"##; let b = br"bytes"; let c = b"esc\"aped";"#####,
+        );
+        let strs: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, [r##"inner "# quote"##, "bytes", "esc\\\"aped"]);
+    }
+
+    #[test]
+    fn nested_block_comments_swallow_tokens_and_keep_text() {
+        let lexed = lex("a /* outer /* inner .unwrap() */ still comment */ b");
+        assert_eq!(idents(&lexed), ["a", "b"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner .unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let esc = '\\''; let s: &'static str = \"\"; }");
+        let lifetimes: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        let chars: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+        assert_eq!(chars, ["z", "\\'"]);
+    }
+
+    #[test]
+    fn cfg_test_regions_mark_tokens_in_test() {
+        let src = "fn prod() { a(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b(); }\n}\nfn prod2() { c(); }\n";
+        let lexed = lex(src);
+        let flag = |name: &str| {
+            lexed
+                .toks
+                .iter()
+                .find(|t| ident_is(t, name))
+                .map(|t| t.in_test)
+        };
+        assert_eq!(flag("a"), Some(false));
+        assert_eq!(flag("b"), Some(true));
+        assert_eq!(flag("c"), Some(false));
+    }
+
+    #[test]
+    fn cfg_not_test_and_cfg_any_do_not_open_test_regions() {
+        let src = "#[cfg(not(test))]\nfn prod() { a(); }\n#[cfg(any(test, feature = \"x\"))]\nfn maybe() { b(); }\n";
+        let lexed = lex(src);
+        assert!(lexed.toks.iter().all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn cfg_test_on_blockless_item_does_not_leak_to_the_next_block() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn prod() { a(); }\n";
+        let lexed = lex(src);
+        let a = lexed.toks.iter().find(|t| ident_is(t, "a")).unwrap();
+        assert!(!a.in_test);
+    }
+
+    #[test]
+    fn mod_tests_without_attribute_opens_a_test_region() {
+        let src = "mod tests { fn t() { b(); } }\nfn prod() { c(); }\n";
+        let lexed = lex(src);
+        let b = lexed.toks.iter().find(|t| ident_is(t, "b")).unwrap();
+        let c = lexed.toks.iter().find(|t| ident_is(t, "c")).unwrap();
+        assert!(b.in_test);
+        assert!(!c.in_test);
+    }
+
+    #[test]
+    fn own_line_versus_trailing_comments() {
+        let src = "    // own line\nlet x = 1; // trailing\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].own_line);
+        assert_eq!(lexed.comments[0].text, "own line");
+        assert!(!lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[1].text, "trailing");
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let lexed = lex("for i in 0..n { x = 1.5e-3; }");
+        let nums: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "1.5e-3"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let lexed = lex("let r#fn = r#type;");
+        assert_eq!(idents(&lexed), ["let", "fn", "type"]);
+    }
+
+    fn ident_is(t: &Tok, name: &str) -> bool {
+        t.kind == TokKind::Ident && t.text == name
+    }
+}

@@ -1,0 +1,31 @@
+//! `ds-lint`: the workspace's static-analysis pass.
+//!
+//! Clippy cannot express repo-specific rules like "no panics on the daemon
+//! request path" or "no allocation inside `_in`/`_into` kernels", and the
+//! counting allocator in `tests/alloc_regression.rs` only sees the paths the
+//! tests happen to exercise.  This crate closes the gap with a hand-rolled
+//! Rust lexer (no `syn`, no new dependencies) feeding a small rule engine:
+//!
+//! * [`rules`] — per-file token rules (`hot-path-alloc`, `no-panic-in-serve`,
+//!   `lock-discipline`, `unsafe-safety-comment`) with mandatory-reason inline
+//!   waivers;
+//! * [`invariants`] — cross-file repo invariants (`schema-once`, `ci-refs`,
+//!   `dep-cycle`, `readme-crate-map`);
+//! * [`report`] — `ds-lint-report/v1` JSONL output and the
+//!   `lint/baseline.json` ratchet (per-rule counts that may only decrease);
+//! * [`engine`] — workspace discovery and the full pass.
+//!
+//! The `ds-lint` binary runs it all; `--deny` (used by CI's `lint-smoke`
+//! job) exits nonzero when any rule count rises above the committed baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod invariants;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{find_root, run, Outcome};
+pub use report::{Baseline, Finding};

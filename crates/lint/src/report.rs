@@ -1,0 +1,234 @@
+//! Findings, the `ds-lint-report/v1` JSONL artifact, and the ratchet
+//! baseline.
+//!
+//! The report is byte-stable: findings are sorted by `(file, line, col,
+//! rule)`, paths use `/` separators, and nothing time- or host-dependent is
+//! emitted.  The baseline (`lint/baseline.json`) records per-rule violation
+//! counts that may only decrease; `--deny` fails when any rule's live count
+//! exceeds its baselined count.
+
+use ds_harness::json;
+use std::collections::BTreeMap;
+use std::fmt;
+
+// These two literals are themselves covered by the `schema-once` invariant:
+// the checker references these constants instead of repeating the literals.
+/// Version tag carried on every line of the JSONL report.
+pub const REPORT_SCHEMA: &str = "ds-lint-report/v1";
+/// Version tag of the committed baseline file.
+pub const BASELINE_SCHEMA: &str = "ds-lint-baseline/v1";
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule slug (`hot-path-alloc`, `no-panic-in-serve`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators (empty for repo-level
+    /// invariant findings that have no single file).
+    pub file: String,
+    /// 1-based line (0 for file- or repo-level findings).
+    pub line: u32,
+    /// 1-based column (0 for file- or repo-level findings).
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}: {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}:{}: {}: {}",
+                self.file, self.line, self.col, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Sorts findings into report order: `(file, line, col, rule)`.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Per-rule violation counts, ordered by rule slug.
+pub fn count_by_rule(findings: &[Finding]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule.to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Renders the `ds-lint-report/v1` JSONL artifact: a header record, one
+/// record per finding (sorted), and a trailing per-rule summary record.
+pub fn render_jsonl(findings: &[Finding], files_scanned: usize) -> String {
+    let mut sorted: Vec<Finding> = findings.to_vec();
+    sort_findings(&mut sorted);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":{},\"kind\":\"header\",\"files_scanned\":{files_scanned},\"findings\":{}}}\n",
+        json::quote(REPORT_SCHEMA),
+        sorted.len(),
+    ));
+    for f in &sorted {
+        out.push_str(&format!(
+            "{{\"schema\":{},\"kind\":\"finding\",\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{}}}\n",
+            json::quote(REPORT_SCHEMA),
+            json::quote(f.rule),
+            json::quote(&f.file),
+            f.line,
+            f.col,
+            json::quote(&f.message),
+        ));
+    }
+    let counts = count_by_rule(&sorted);
+    let body: Vec<String> = counts
+        .iter()
+        .map(|(rule, n)| format!("{}:{n}", json::quote(rule)))
+        .collect();
+    out.push_str(&format!(
+        "{{\"schema\":{},\"kind\":\"summary\",\"counts\":{{{}}}}}\n",
+        json::quote(REPORT_SCHEMA),
+        body.join(","),
+    ));
+    out
+}
+
+/// The committed ratchet baseline: per-rule counts that may only decrease.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Rule slug → allowed violation count.
+    pub counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parses `lint/baseline.json`.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON or a wrong `schema` tag.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = json::parse(text)?;
+        let schema = value
+            .get("schema")
+            .and_then(json::Value::as_str)
+            .ok_or("baseline missing \"schema\"")?;
+        if schema != BASELINE_SCHEMA {
+            return Err(format!(
+                "baseline schema is {schema:?}, expected {BASELINE_SCHEMA:?}"
+            ));
+        }
+        let mut counts = BTreeMap::new();
+        if let Some(json::Value::Object(entries)) = value.get("counts") {
+            for (rule, v) in entries {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| format!("baseline count for {rule:?} is not a number"))?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(format!("baseline count for {rule:?} is not a whole number"));
+                }
+                counts.insert(rule.clone(), n as usize);
+            }
+        } else {
+            return Err("baseline missing \"counts\" object".to_string());
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Renders the baseline file (trailing newline, sorted keys).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"schema\": {},\n",
+            json::quote(BASELINE_SCHEMA)
+        ));
+        if self.counts.is_empty() {
+            out.push_str("  \"counts\": {}\n}\n");
+            return out;
+        }
+        out.push_str("  \"counts\": {\n");
+        let body: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(rule, n)| format!("    {}: {n}", json::quote(rule)))
+            .collect();
+        out.push_str(&body.join(",\n"));
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// The allowed count for a rule (0 when absent).
+    pub fn allowed(&self, rule: &str) -> usize {
+        self.counts.get(rule).copied().unwrap_or(0)
+    }
+}
+
+/// Outcome of comparing live counts against the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Rules whose live count exceeds the baseline: `(rule, live, allowed)`.
+    pub regressions: Vec<(String, usize, usize)>,
+    /// Rules whose live count undercuts the baseline (the ratchet should be
+    /// tightened): `(rule, live, allowed)`.
+    pub improvements: Vec<(String, usize, usize)>,
+}
+
+/// Compares live findings against the baseline.
+pub fn ratchet(findings: &[Finding], baseline: &Baseline) -> RatchetReport {
+    let live = count_by_rule(findings);
+    let mut report = RatchetReport::default();
+    for (rule, &n) in &live {
+        let allowed = baseline.allowed(rule);
+        if n > allowed {
+            report.regressions.push((rule.clone(), n, allowed));
+        }
+    }
+    for (rule, &allowed) in &baseline.counts {
+        let n = live.get(rule).copied().unwrap_or(0);
+        if n < allowed {
+            report.improvements.push((rule.clone(), n, allowed));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_round_trips_and_ratchet_cuts_both_ways() {
+        let mut baseline = Baseline::default();
+        baseline.counts.insert("lock-discipline".to_string(), 2);
+        let reparsed = Baseline::parse(&baseline.render()).expect("round trip");
+        assert_eq!(reparsed, baseline);
+
+        let finding = |n: u32| Finding {
+            rule: "lock-discipline",
+            file: "crates/x/src/lib.rs".to_string(),
+            line: n,
+            col: 1,
+            message: "m".to_string(),
+        };
+        // 3 live vs 2 allowed: regression.
+        let r = ratchet(&[finding(1), finding(2), finding(3)], &baseline);
+        assert_eq!(r.regressions, [("lock-discipline".to_string(), 3, 2)]);
+        assert!(r.improvements.is_empty());
+        // 1 live vs 2 allowed: improvement (tighten the ratchet).
+        let r = ratchet(&[finding(1)], &baseline);
+        assert!(r.regressions.is_empty());
+        assert_eq!(r.improvements, [("lock-discipline".to_string(), 1, 2)]);
+    }
+
+    #[test]
+    fn empty_baseline_renders_compactly_and_parses() {
+        let b = Baseline::default();
+        assert!(b.render().contains("\"counts\": {}"));
+        assert_eq!(Baseline::parse(&b.render()).expect("parse"), b);
+    }
+}

@@ -1,0 +1,105 @@
+//! The linter's own conformance suite: lex every `.rs` file in the
+//! workspace without falling over, run the full pass twice, and assert the
+//! `ds-lint-report/v1` JSONL is byte-identical across runs.
+
+use ds_lint::engine::{discover_members, walk_rs};
+use ds_lint::lexer::{lex, TokKind};
+use ds_lint::report::render_jsonl;
+use ds_lint::{find_root, run};
+use std::path::Path;
+
+fn root() -> std::path::PathBuf {
+    find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+#[test]
+fn every_workspace_source_file_lexes_cleanly() {
+    let root = root();
+    let members = discover_members(&root).expect("workspace members");
+    let mut files_seen = 0usize;
+    for member in &members {
+        let src_dir = root.join(&member.dir).join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        for path in walk_rs(&src_dir) {
+            let src = std::fs::read_to_string(&path).expect("readable source");
+            let lexed = lex(&src);
+            files_seen += 1;
+            assert!(
+                !lexed.toks.is_empty(),
+                "{} lexed to zero tokens",
+                path.display()
+            );
+            // Brace depth must balance back to zero: if it does not, a
+            // string/comment heuristic swallowed real code somewhere.
+            let mut depth: i64 = 0;
+            for t in &lexed.toks {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            assert_eq!(
+                depth,
+                0,
+                "unbalanced braces after lexing {}",
+                path.display()
+            );
+            // Positions are sane: 1-based, non-decreasing lines.
+            let mut last_line = 0u32;
+            for t in &lexed.toks {
+                assert!(t.line >= 1 && t.col >= 1);
+                assert!(
+                    t.line >= last_line,
+                    "line went backwards in {}",
+                    path.display()
+                );
+                last_line = t.line;
+            }
+        }
+    }
+    assert!(
+        files_seen > 50,
+        "self-test only saw {files_seen} files — member discovery broke"
+    );
+}
+
+#[test]
+fn full_pass_is_deterministic_and_report_is_byte_stable() {
+    let root = root();
+    let first = run(&root).expect("first lint pass");
+    let second = run(&root).expect("second lint pass");
+    assert_eq!(first.files_scanned, second.files_scanned);
+    let report_a = render_jsonl(&first.findings, first.files_scanned);
+    let report_b = render_jsonl(&second.findings, second.files_scanned);
+    assert_eq!(report_a, report_b, "report JSONL must be byte-stable");
+    assert!(report_a.starts_with("{\"schema\":\"ds-lint-report/v1\""));
+    // Every line is one JSON object; the last is the summary.
+    let lines: Vec<&str> = report_a.lines().collect();
+    assert!(lines.len() >= 2);
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+    assert!(lines[lines.len() - 1].contains("\"kind\":\"summary\""));
+    assert!(lines[0].contains("\"kind\":\"header\""));
+}
+
+#[test]
+fn the_workspace_is_clean_under_its_own_rules() {
+    let root = root();
+    let outcome = run(&root).expect("lint pass");
+    assert!(
+        outcome.findings.is_empty(),
+        "the tree must lint clean; found:\n{}",
+        outcome
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -21,6 +21,7 @@
 use crate::http::{read_request, Request, RequestError, Response};
 use crate::service::{error_response, CheckJob, CheckReply, CheckService, SubmitError};
 use ds_passivity_suite::harness::json;
+use ds_passivity_suite::harness::sync::lock_infallible;
 use ds_passivity_suite::harness::Method;
 use ds_passivity_suite::netlist::parse_deck;
 use ds_passivity_suite::{SuiteError, REPORT_SCHEMA};
@@ -155,7 +156,7 @@ impl Server {
         // Unblock queued connections before joining them: draining the
         // service answers every parked request (computed or 503).
         let result = self.ctx.service.stop();
-        let handles: Vec<JoinHandle<()>> = self.connections.lock().unwrap().drain(..).collect();
+        let handles: Vec<JoinHandle<()>> = lock_infallible(&self.connections).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -178,7 +179,7 @@ fn accept_loop(
                     .name("ds-serve-conn".to_string())
                     .spawn(move || handle_connection(stream, &ctx))
                 {
-                    let mut held = connections.lock().unwrap();
+                    let mut held = lock_infallible(connections);
                     held.retain(|h| !h.is_finished());
                     held.push(handle);
                 }

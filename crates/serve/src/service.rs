@@ -20,6 +20,7 @@
 
 use crate::cache::LruCache;
 use ds_passivity_suite::harness::json;
+use ds_passivity_suite::harness::sync::{lock_infallible, wait_timeout_infallible};
 use ds_passivity_suite::harness::{task_fingerprint, Method, ResultStore, SweepRecord, SweepTask};
 use ds_passivity_suite::netlist::Deck;
 use ds_passivity_suite::{CheckOutcome, PassivityCheck, RepairOutcome, SuiteError};
@@ -236,6 +237,7 @@ impl CheckService {
                 std::thread::Builder::new()
                     .name(format!("ds-serve-worker-{index}"))
                     .spawn(move || worker_loop(&inner))
+                    // ds-lint: allow(no-panic-in-serve) -- startup-time spawn failure, before any request is accepted
                     .expect("spawning worker thread")
             })
             .collect();
@@ -262,7 +264,7 @@ impl CheckService {
         let cache_key = job.cache_key();
 
         // Tier 1: memory.
-        if let Some(body) = inner.cache.lock().unwrap().get(&cache_key) {
+        if let Some(body) = lock_infallible(&inner.cache).get(&cache_key) {
             inner.stats.hits_memory.fetch_add(1, Ordering::Relaxed);
             return Ok(immediate(CheckReply::Done { body, cache: "hit" }));
         }
@@ -272,7 +274,7 @@ impl CheckService {
         // compute); non-passive repairs carry enforcement results that the
         // store's record schema does not persist, so they recompute.
         if let Some(store) = &inner.store {
-            let state = store.lock().unwrap();
+            let state = lock_infallible(store);
             if let Some(record) = state.store.get(&fingerprint) {
                 let passive = record.passive;
                 let usable = !job.repair || passive == Some(true);
@@ -283,7 +285,7 @@ impl CheckService {
                     }
                     let body = outcome.report_json();
                     drop(state);
-                    inner.cache.lock().unwrap().put(&cache_key, body.clone());
+                    lock_infallible(&inner.cache).put(&cache_key, body.clone());
                     inner.stats.hits_store.fetch_add(1, Ordering::Relaxed);
                     return Ok(immediate(CheckReply::Done {
                         body,
@@ -296,13 +298,13 @@ impl CheckService {
         // Tier 3: compute, coalescing identical in-flight decks.
         let (tx, rx) = channel();
         {
-            let mut inflight = inner.inflight.lock().unwrap();
+            let mut inflight = lock_infallible(&inner.inflight);
             if let Some(waiters) = inflight.get_mut(&cache_key) {
                 waiters.push(tx);
                 inner.stats.coalesced.fetch_add(1, Ordering::Relaxed);
                 return Ok(rx);
             }
-            let mut queue = inner.queue.lock().unwrap();
+            let mut queue = lock_infallible(&inner.queue);
             if queue.len() >= inner.queue_capacity {
                 inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::QueueFull);
@@ -335,26 +337,22 @@ impl CheckService {
     pub fn stop(&self) -> Result<(), SuiteError> {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.available.notify_all();
-        let handles: Vec<JoinHandle<()>> = self.workers.lock().unwrap().drain(..).collect();
+        let handles: Vec<JoinHandle<()>> = lock_infallible(&self.workers).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
         // With zero workers the queue may still hold jobs: answer 503.
-        let leftovers: Vec<QueuedJob> = self.inner.queue.lock().unwrap().drain(..).collect();
+        let leftovers: Vec<QueuedJob> = lock_infallible(&self.inner.queue).drain(..).collect();
         for queued in leftovers {
             self.inner.stats.drained.fetch_add(1, Ordering::Relaxed);
-            self.inner
-                .inflight
-                .lock()
-                .unwrap()
-                .remove(&queued.cache_key);
+            lock_infallible(&self.inner.inflight).remove(&queued.cache_key);
             let _ = queued.reply.send(CheckReply::Failed {
                 status: 503,
                 body: "{\"error\":\"server shutting down\",\"kind\":\"shutdown\"}".to_string(),
             });
         }
         if let Some(store) = &self.inner.store {
-            let mut state = store.lock().unwrap();
+            let mut state = lock_infallible(store);
             flush_locked(&mut state).map_err(SuiteError::Harness)?;
             state.store.write_merged().map_err(SuiteError::Harness)?;
         }
@@ -366,16 +364,16 @@ impl CheckService {
         self.inner
             .store
             .as_ref()
-            .map(|s| s.lock().unwrap().store.dir().to_path_buf())
+            .map(|s| lock_infallible(s).store.dir().to_path_buf())
     }
 
     /// Renders the `/stats` body.
     pub fn stats_json(&self) -> String {
         let inner = &self.inner;
         let stats = &inner.stats;
-        let queue_depth = inner.queue.lock().unwrap().len();
-        let cache_entries = inner.cache.lock().unwrap().len();
-        let store_records = inner.store.as_ref().map(|s| s.lock().unwrap().store.len());
+        let queue_depth = lock_infallible(&inner.queue).len();
+        let cache_entries = lock_infallible(&inner.cache).len();
+        let store_records = inner.store.as_ref().map(|s| lock_infallible(s).store.len());
         format!(
             "{{\"schema\":{},\"checks\":{},\"hits_memory\":{},\"hits_store\":{},\"coalesced\":{},\"computed\":{},\"rejected\":{},\"errors\":{},\"drained\":{},\"queue_depth\":{queue_depth},\"queue_capacity\":{},\"workers\":{},\"cache_entries\":{cache_entries},\"store_records\":{}}}",
             json::quote(STATS_SCHEMA),
@@ -412,7 +410,7 @@ fn flush_locked(state: &mut StoreState) -> Result<(), String> {
 fn worker_loop(inner: &Inner) {
     loop {
         let queued = {
-            let mut queue = inner.queue.lock().unwrap();
+            let mut queue = lock_infallible(&inner.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
@@ -420,18 +418,13 @@ fn worker_loop(inner: &Inner) {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                let (guard, _) = inner
-                    .available
-                    .wait_timeout(queue, Duration::from_millis(100))
-                    .unwrap();
+                let (guard, _) =
+                    wait_timeout_infallible(&inner.available, queue, Duration::from_millis(100));
                 queue = guard;
             }
         };
         let reply = run_job(inner, &queued);
-        let waiters = inner
-            .inflight
-            .lock()
-            .unwrap()
+        let waiters = lock_infallible(&inner.inflight)
             .remove(&queued.cache_key)
             .unwrap_or_default();
         let coalesced_reply = match &reply {
@@ -448,18 +441,47 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
+/// Test-only panic injection: lets the panic-containment test force a job to
+/// panic mid-compute without depending on a pipeline crash.
+#[cfg(test)]
+fn panic_hook(name: &str) {
+    if name == "__ds-serve-test-panic__" {
+        panic!("injected test panic");
+    }
+}
+
+#[cfg(not(test))]
+fn panic_hook(_name: &str) {}
+
 fn run_job(inner: &Inner, queued: &QueuedJob) -> CheckReply {
     let job = &queued.job;
-    let result = PassivityCheck::deck(&job.name, job.deck.clone())
-        .method(job.method)
-        .repair(job.repair)
-        .run();
+    // A panicking check must not take down the worker thread (nor poison any
+    // service lock): contain it and answer 500, exactly like a pipeline
+    // error.  All service state is locked *after* this point, so an unwind
+    // here cannot leave a guard mid-update.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        panic_hook(&job.name);
+        PassivityCheck::deck(&job.name, job.deck.clone())
+            .method(job.method)
+            .repair(job.repair)
+            .run()
+    }));
+    let result = match result {
+        Ok(result) => result,
+        Err(_) => {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return CheckReply::Failed {
+                status: 500,
+                body: "{\"error\":\"check panicked\",\"kind\":\"panic\"}".to_string(),
+            };
+        }
+    };
     match result {
         Ok(outcome) => {
             inner.stats.computed.fetch_add(1, Ordering::Relaxed);
             let body = outcome.report_json();
             if let (Some(store), Some(record)) = (&inner.store, &outcome.record) {
-                let mut state = store.lock().unwrap();
+                let mut state = lock_infallible(store);
                 if !state.store.contains(&queued.fingerprint)
                     && !state.pending_fingerprints.contains(&queued.fingerprint)
                 {
@@ -474,11 +496,7 @@ fn run_job(inner: &Inner, queued: &QueuedJob) -> CheckReply {
                     }
                 }
             }
-            inner
-                .cache
-                .lock()
-                .unwrap()
-                .put(&queued.cache_key, body.clone());
+            lock_infallible(&inner.cache).put(&queued.cache_key, body.clone());
             CheckReply::Done {
                 body,
                 cache: "miss",
@@ -563,6 +581,33 @@ mod tests {
             panic!("drained job should fail");
         };
         assert_eq!(status, 503);
+    }
+
+    #[test]
+    fn panicking_job_answers_500_and_queue_keeps_serving() {
+        let service = CheckService::start(1, 8, 16, None).unwrap();
+        // The injected panic unwinds inside the worker; keep its backtrace
+        // noise out of the test output.
+        let saved_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut poison = job(Method::Proposed, false);
+        poison.name = "__ds-serve-test-panic__".to_string();
+        let rx = service.submit(poison).unwrap();
+        let CheckReply::Failed { status, body } = rx.recv().unwrap() else {
+            panic!("panicking job should fail");
+        };
+        std::panic::set_hook(saved_hook);
+        assert_eq!(status, 500);
+        assert!(body.contains("\"kind\":\"panic\""));
+        // The same worker (there is only one) must still serve new jobs, and
+        // no service mutex may be left poisoned.
+        let rx = service.submit(job(Method::Proposed, false)).unwrap();
+        let CheckReply::Done { cache, .. } = rx.recv().unwrap() else {
+            panic!("check after a panicked job failed");
+        };
+        assert_eq!(cache, "miss");
+        assert_eq!(service.inner.stats.errors.load(Ordering::Relaxed), 1);
+        service.stop().unwrap();
     }
 
     #[test]

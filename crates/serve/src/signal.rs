@@ -42,6 +42,13 @@ mod imp {
 
     pub fn install() {
         let handler = on_signal as *const () as usize;
+        // SAFETY: `signal(2)` is called with valid signal numbers and the
+        // address of an `extern "C" fn(i32)` whose ABI matches the handler
+        // type the kernel expects.  The handler itself only performs a
+        // relaxed-to-SeqCst atomic store, which is async-signal-safe (no
+        // allocation, no locking, no FFI re-entry).  Replacing a previous
+        // disposition is the intent, so the returned old handler is
+        // deliberately discarded.
         unsafe {
             signal(SIGINT, handler);
             signal(SIGTERM, handler);

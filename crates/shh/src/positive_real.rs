@@ -166,7 +166,7 @@ pub fn test_positive_real(
         .filter(|z| z.re.abs() <= axis_tol)
         .map(|z| z.im.abs())
         .collect();
-    boundary.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    boundary.sort_by(f64::total_cmp);
     boundary.dedup_by(|a, b| (*a - *b).abs() <= 1e-6 * (1.0 + b.abs()));
 
     if boundary.is_empty() {

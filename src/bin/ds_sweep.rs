@@ -229,7 +229,7 @@ fn run() -> Result<(), SuiteError> {
     let stdout = Mutex::new(std::io::stdout());
     let stream_cb = |record: &SweepRecord| {
         let line = artifacts::jsonl_line(record);
-        let mut out = stdout.lock().unwrap();
+        let mut out = ds_harness::sync::lock_infallible(&stdout);
         let _ = writeln!(out, "{line}");
     };
     let spec = SweepSpec {
