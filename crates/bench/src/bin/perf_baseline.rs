@@ -21,19 +21,9 @@
 
 use ds_bench::{table1_model, time_method, Method, LMI_MAX_ORDER};
 use ds_harness::json;
+use ds_obs::STAGES;
 use ds_passivity_suite::PassivityCheck;
 use std::process::ExitCode;
-
-const STAGES: [&str; 8] = [
-    "build_phi",
-    "impulse",
-    "nondynamic",
-    "residue",
-    "regularize",
-    "split",
-    "pr_test",
-    "total",
-];
 
 const FULL_ORDERS: [usize; 5] = [20, 40, 60, 100, 200];
 const QUICK_ORDERS: [usize; 3] = [20, 40, 60];
@@ -57,30 +47,30 @@ const SEED_STAGE_MS: [(usize, [f64; 8]); 5] = [
     ),
 ];
 
-/// One measured row: per-stage milliseconds in `STAGES` order.
+/// One measured row: per-stage milliseconds in [`ds_obs::STAGES`] order,
+/// read from the spans the pipeline emits under an active trace — the same
+/// span stream `ds-serve` feeds its `/metrics` stage histograms from, so the
+/// baseline gates exactly what production observability reports.
 fn measure_stages(order: usize, repeats: usize) -> Result<[f64; 8], String> {
     let model = table1_model(order).map_err(|e| format!("order {order}: {e}"))?;
     let mut best: Option<[f64; 8]> = None;
-    for _ in 0..repeats {
-        let outcome = PassivityCheck::model(model.clone())
-            .run()
-            .map_err(|e| format!("order {order}: {e}"))?;
-        let report = outcome
-            .report
-            .as_ref()
-            .ok_or_else(|| format!("order {order}: {}", outcome.reason))?;
-        let t = &report.timings;
-        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
-        let row = [
-            ms(t.build_phi),
-            ms(t.impulse_removal),
-            ms(t.nondynamic_removal),
-            ms(t.residue_extraction),
-            ms(t.regularization),
-            ms(t.spectral_split),
-            ms(t.positive_real_test),
-            ms(t.total()),
-        ];
+    for repeat in 0..repeats {
+        ds_obs::trace::begin(&format!("perf-baseline-o{order}-r{repeat}"));
+        let result = PassivityCheck::model(model.clone()).run();
+        let trace = ds_obs::trace::end().ok_or("trace collector vanished mid-run")?;
+        let outcome = result.map_err(|e| format!("order {order}: {e}"))?;
+        if outcome.report.is_none() {
+            return Err(format!("order {order}: {}", outcome.reason));
+        }
+        let mut row = [0.0f64; 8];
+        for (slot, stage) in row.iter_mut().zip(STAGES.iter()) {
+            let span = trace
+                .spans
+                .iter()
+                .find(|s| s.name == *stage)
+                .ok_or_else(|| format!("order {order}: span '{stage}' missing from trace"))?;
+            *slot = span.elapsed_ns as f64 / 1e6;
+        }
         // Keep the fastest run: the minimum is the standard noise-robust
         // statistic for wall-clock micro-measurements on shared machines.
         best = Some(match best {

@@ -1,4 +1,4 @@
-//! Load generator for the `ds-serve` passivity-check daemon (`BENCH_PR6.json`).
+//! Load generator for the `ds-serve` passivity-check daemon (`BENCH_PR9.json`).
 //!
 //! Replays the committed `examples/decks/` corpus against a daemon at
 //! increasing client concurrency and records per-level p50/p99 latency,
@@ -12,7 +12,7 @@
 //! ```text
 //! cargo run -p ds-bench --release --bin serve_load -- [--quick]
 //!     [--decks DIR]       # deck corpus (default examples/decks)
-//!     [--out PATH]        # artifact path (default BENCH_PR6.json)
+//!     [--out PATH]        # artifact path (default BENCH_PR9.json)
 //!     [--levels 1,2,4,8]  # client concurrency ladder
 //!     [--repeats N]       # corpus passes per client per level (default 4)
 //!     [--addr HOST:PORT]  # use an external daemon instead of self-hosting
@@ -22,6 +22,13 @@
 //! request is answered from the daemon's two-tier cache, so the artifact
 //! records both the cold-path compute latency and the hot-path cache latency
 //! the cache-hit rate buys.
+//!
+//! The artifact also cross-checks the two latency vantage points: the
+//! client-observed quantiles measured here against the server-side
+//! `check_latency_ms` quantiles from `/stats` (fed by the daemon's ds-obs
+//! histogram).  When the run self-hosts, the two must agree within the
+//! histogram's bucket resolution — a loud failure if the daemon's
+//! observability ever drifts from what clients actually experience.
 
 use ds_harness::json;
 use ds_serve::{client, Server, ServerConfig};
@@ -43,7 +50,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         decks_dir: PathBuf::from("examples/decks"),
-        out_path: PathBuf::from("BENCH_PR6.json"),
+        out_path: PathBuf::from("BENCH_PR9.json"),
         levels: vec![1, 2, 4, 8],
         repeats: 4,
         addr: None,
@@ -186,6 +193,9 @@ struct LevelResult {
     throughput_rps: f64,
     retried_429: usize,
     errors: usize,
+    /// Sorted per-request latencies, kept so the run-wide client quantiles
+    /// can be cross-checked against the server-side histogram.
+    latencies_ms: Vec<f64>,
 }
 
 fn run_level(
@@ -239,7 +249,62 @@ fn run_level(
         },
         retried_429: merged.retried_429,
         errors: merged.errors,
+        latencies_ms: merged.latencies_ms,
     }
+}
+
+/// Client-vs-server latency comparison: the run-wide client quantiles
+/// against the daemon's own `check_latency_ms` numbers from `/stats`.
+struct CrossCheck {
+    client_p50_ms: f64,
+    client_p99_ms: f64,
+    server_p50_ms: f64,
+    server_p99_ms: f64,
+    server_count: u64,
+    client_requests: usize,
+    consistent: bool,
+}
+
+/// Extracts `check_latency_ms` from the `/stats` body and compares it with
+/// the merged client-side distribution.
+///
+/// The server histogram is log-bucketed (ratio √2) and its quantile reports
+/// the bucket's upper bound, so the server number may legitimately sit up to
+/// one bucket width *above* the true latency; the client number includes
+/// connect/transfer overhead the server never sees, pushing it the other
+/// way.  The consistency bound (2x + 5 ms) leaves room for both effects —
+/// anything past it means the daemon's histogram is measuring wrongly.
+fn cross_check(levels: &[LevelResult], stats_body: &str) -> Result<CrossCheck, String> {
+    let mut client: Vec<f64> = levels
+        .iter()
+        .flat_map(|level| level.latencies_ms.iter().copied())
+        .collect();
+    client.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let stats = json::parse(stats_body).map_err(|e| format!("/stats body: {e}"))?;
+    let latency = stats
+        .get("check_latency_ms")
+        .ok_or("/stats body is missing check_latency_ms")?;
+    let field = |key: &str| {
+        latency
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("/stats check_latency_ms is missing '{key}'"))
+    };
+    let result = CrossCheck {
+        client_p50_ms: percentile(&client, 0.50),
+        client_p99_ms: percentile(&client, 0.99),
+        server_p50_ms: field("p50")?,
+        server_p99_ms: field("p99")?,
+        server_count: field("count")? as u64,
+        client_requests: client.len(),
+        consistent: true,
+    };
+    let within = |server: f64, client: f64| server <= client * 2.0 + 5.0;
+    Ok(CrossCheck {
+        consistent: within(result.server_p50_ms, result.client_p50_ms)
+            && within(result.server_p99_ms, result.client_p99_ms),
+        ..result
+    })
 }
 
 fn round3(value: f64) -> f64 {
@@ -252,6 +317,7 @@ fn render_artifact(
     levels: &[LevelResult],
     repeats: usize,
     stats_body: Option<&str>,
+    cross: Option<&CrossCheck>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -288,6 +354,19 @@ fn render_artifact(
         .collect();
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ],\n");
+    match cross {
+        Some(c) => out.push_str(&format!(
+            "  \"latency_cross_check\": {{\"client_p50_ms\": {}, \"client_p99_ms\": {}, \"server_p50_ms\": {}, \"server_p99_ms\": {}, \"server_count\": {}, \"client_requests\": {}, \"consistent\": {}}},\n",
+            json::number(round3(c.client_p50_ms)),
+            json::number(round3(c.client_p99_ms)),
+            json::number(round3(c.server_p50_ms)),
+            json::number(round3(c.server_p99_ms)),
+            c.server_count,
+            c.client_requests,
+            c.consistent
+        )),
+        None => out.push_str("  \"latency_cross_check\": null,\n"),
+    }
     match stats_body {
         Some(stats) => out.push_str(&format!("  \"server_stats\": {stats}\n")),
         None => out.push_str("  \"server_stats\": null\n"),
@@ -356,12 +435,33 @@ fn run() -> Result<(), String> {
         server.stop().map_err(|e| format!("stopping daemon: {e}"))?;
     }
 
+    let cross = match stats.as_deref() {
+        Some(body) => Some(cross_check(&levels, body)?),
+        None => None,
+    };
+    if let Some(c) = &cross {
+        eprintln!(
+            "# latency cross-check: client p50={:.2}ms p99={:.2}ms | server p50={:.2}ms p99={:.2}ms ({} observed)",
+            c.client_p50_ms, c.client_p99_ms, c.server_p50_ms, c.server_p99_ms, c.server_count
+        );
+        // Only a self-hosted daemon saw exactly this run's traffic; an
+        // external one may carry other clients' history in its histogram.
+        if args.addr.is_none() && !c.consistent {
+            return Err(format!(
+                "server-side latency quantiles disagree with the client view: \
+                 server p50 {:.2} ms / p99 {:.2} ms vs client p50 {:.2} ms / p99 {:.2} ms",
+                c.server_p50_ms, c.server_p99_ms, c.client_p50_ms, c.client_p99_ms
+            ));
+        }
+    }
+
     let artifact = render_artifact(
         &corpus,
         args.addr.is_none(),
         &levels,
         args.repeats,
         stats.as_deref(),
+        cross.as_ref(),
     );
     std::fs::write(&args.out_path, &artifact)
         .map_err(|e| format!("writing {}: {e}", args.out_path.display()))?;

@@ -1,11 +1,13 @@
 //! EXP-A2: per-stage wall-clock profile of the proposed test across model
 //! orders (which stage of the Fig. 1 flow dominates as the order grows).
-//! Checks run through the unified [`PassivityCheck`] pipeline, which keeps
-//! the full stage-timed report for in-memory sources.
+//! Checks run through the unified [`PassivityCheck`] pipeline under an
+//! active ds-obs trace; the table is read back from the emitted stage spans
+//! — the same span stream `ds-serve` exports on `/metrics` and `/trace/<id>`.
 //!
 //! Run with `cargo run -p ds-bench --release --bin stage_profile [--quick]`.
 
 use ds_bench::table1_model;
+use ds_obs::STAGES;
 use ds_passivity_suite::PassivityCheck;
 
 fn main() {
@@ -28,24 +30,36 @@ fn main() {
                 continue;
             }
         };
-        match PassivityCheck::model(model).run() {
+        ds_obs::trace::begin(&format!("stage-profile-o{order}"));
+        let result = PassivityCheck::model(model).run();
+        let trace = ds_obs::trace::end();
+        match result {
             Ok(outcome) => {
-                let Some(report) = &outcome.report else {
+                if outcome.report.is_none() {
                     eprintln!("order {order}: test failed: {}", outcome.reason);
                     continue;
+                }
+                let Some(trace) = trace else {
+                    eprintln!("order {order}: trace collector vanished mid-run");
+                    continue;
                 };
-                let t = &report.timings;
-                let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+                let ms = |stage: &str| {
+                    trace
+                        .spans
+                        .iter()
+                        .find(|s| s.name == stage)
+                        .map_or(f64::NAN, |s| s.elapsed_ns as f64 / 1e6)
+                };
                 println!(
                     "{:>6} {:>10.2} {:>10.2} {:>12.2} {:>10.2} {:>12.2} {:>10.2} {:>10.2}",
                     order,
-                    ms(t.build_phi),
-                    ms(t.impulse_removal),
-                    ms(t.nondynamic_removal),
-                    ms(t.residue_extraction),
-                    ms(t.regularization),
-                    ms(t.spectral_split),
-                    ms(t.positive_real_test),
+                    ms(STAGES[0]),
+                    ms(STAGES[1]),
+                    ms(STAGES[2]),
+                    ms(STAGES[3]),
+                    ms(STAGES[4]),
+                    ms(STAGES[5]),
+                    ms(STAGES[6]),
                 );
             }
             Err(e) => eprintln!("order {order}: test failed: {e}"),

@@ -405,6 +405,7 @@ mod tests {
     use crate::method::Method;
     use crate::scenario::{scenario_matrix, FamilyKind, Scenario};
     use crate::sweep::{run_sweep, SweepSpec};
+    use std::time::Duration;
 
     fn small_result() -> SweepResult {
         let scenarios = vec![
@@ -432,9 +433,31 @@ mod tests {
     #[test]
     fn jsonl_contains_no_timing_fields() {
         let result = small_result();
+        // The volatile fields must actually be populated before we assert
+        // they are excluded — otherwise this test would pass vacuously.
+        assert!(
+            result
+                .records
+                .iter()
+                .any(|r| r.stage_ns.is_some() && r.elapsed > Duration::ZERO),
+            "sweep produced no volatile timings to exclude"
+        );
         let text = render_jsonl(&result.records);
         assert!(!text.contains("elapsed"));
         assert!(!text.contains("worker"));
+        assert!(!text.contains("stage_ns"));
+    }
+
+    #[test]
+    fn jsonl_is_identical_with_and_without_volatile_timings() {
+        let result = small_result();
+        for record in &result.records {
+            let mut stripped = record.clone();
+            stripped.stage_ns = None;
+            stripped.elapsed = Duration::ZERO;
+            stripped.worker = 0;
+            assert_eq!(jsonl_line(record), jsonl_line(&stripped));
+        }
     }
 
     #[test]

@@ -205,6 +205,7 @@ pub fn record_from_jsonl_line(line: &str) -> Result<SweepRecord, String> {
         agrees: opt_bool_field(&value, "agrees")?,
         violation_count,
         witness_frequency,
+        stage_ns: None,
         elapsed: Duration::ZERO,
         worker: 0,
     })

@@ -90,10 +90,33 @@ pub struct SweepRecord {
     /// floating-point by-product of an iterative eigensolve, so golden
     /// comparisons treat it as approximate (see `golden::semantic_diff`).
     pub witness_frequency: Option<f64>,
+    /// Per-stage wall-clock nanoseconds of the method run, laid out in the
+    /// canonical `ds_obs::STAGES` order (seven pipeline stages then the
+    /// total).  Volatile like `elapsed`/`worker`: excluded from the JSONL
+    /// artifact and both golden modes, restored as `None` from the store.
+    pub stage_ns: Option<[u64; 8]>,
     /// Wall-clock time of the method run (build and sampling excluded).
     pub elapsed: Duration,
     /// Which worker executed the task.
     pub worker: usize,
+}
+
+/// Flattens a report's [`StageTimings`](ds_passivity::report::StageTimings)
+/// into the canonical 8-slot nanosecond layout of [`SweepRecord::stage_ns`]:
+/// the seven pipeline stages in `ds_obs::STAGES` order, then their sum as
+/// `total`.
+pub fn stage_ns_array(timings: &ds_passivity::report::StageTimings) -> [u64; 8] {
+    let ns = |d: Duration| d.as_nanos() as u64;
+    [
+        ns(timings.build_phi),
+        ns(timings.impulse_removal),
+        ns(timings.nondynamic_removal),
+        ns(timings.residue_extraction),
+        ns(timings.regularization),
+        ns(timings.spectral_split),
+        ns(timings.positive_real_test),
+        ns(timings.total()),
+    ]
 }
 
 /// A full sweep specification.
@@ -251,6 +274,7 @@ fn run_task(
         agrees: None,
         violation_count,
         witness_frequency: None,
+        stage_ns: None,
         elapsed: Duration::ZERO,
         worker,
     };
@@ -275,6 +299,7 @@ fn run_task(
             record.reason = slug.to_string();
             record.agrees = Some(passive == model.expected_passive);
             record.witness_frequency = verdict_witness(&report.verdict);
+            record.stage_ns = Some(stage_ns_array(&report.timings));
         }
         Err(e) => {
             record.status = TaskStatus::MethodError;
@@ -564,5 +589,49 @@ mod tests {
             result.threads, 1,
             "one task cannot use more than one worker"
         );
+    }
+
+    #[test]
+    fn stage_ns_array_layout_matches_the_canonical_stage_list() {
+        // The 8-slot layout is coupled to `ds_obs::STAGES` by position; pin
+        // both sides so neither can drift silently.
+        assert_eq!(
+            ds_obs::STAGES,
+            [
+                "build_phi",
+                "impulse",
+                "nondynamic",
+                "residue",
+                "regularize",
+                "split",
+                "pr_test",
+                "total"
+            ]
+        );
+        let timings = ds_passivity::report::StageTimings {
+            build_phi: Duration::from_nanos(1),
+            impulse_removal: Duration::from_nanos(2),
+            nondynamic_removal: Duration::from_nanos(3),
+            residue_extraction: Duration::from_nanos(4),
+            regularization: Duration::from_nanos(5),
+            spectral_split: Duration::from_nanos(6),
+            positive_real_test: Duration::from_nanos(7),
+        };
+        assert_eq!(stage_ns_array(&timings), [1, 2, 3, 4, 5, 6, 7, 28]);
+    }
+
+    #[test]
+    fn completed_tasks_carry_volatile_stage_timings() {
+        let task = SweepTask {
+            scenario: Scenario::new(FamilyKind::RcLadder, 4),
+            method: Method::Proposed,
+        };
+        let record = run_single(&task, 0);
+        assert_eq!(record.status, TaskStatus::Ok);
+        let stage_ns = record.stage_ns.expect("stage timings on an ok record");
+        let total = stage_ns[stage_ns.len() - 1];
+        assert_eq!(stage_ns.iter().take(7).sum::<u64>(), total);
+        assert!(total > 0, "total stage time cannot be zero");
+        assert!(total <= record.elapsed.as_nanos() as u64 * 2);
     }
 }

@@ -40,8 +40,40 @@ fn schema_needles() -> Vec<(&'static str, String)> {
             concat!("ds-check-report", "/v1").to_string(),
         ),
         ("serve-stats", concat!("ds-serve-stats", "/v1").to_string()),
+        ("trace", concat!("ds-trace", "/v1").to_string()),
         ("lint-report", crate::report::REPORT_SCHEMA.to_string()),
         ("lint-baseline", crate::report::BASELINE_SCHEMA.to_string()),
+        // Prometheus metric families: the exported name of each series is an
+        // external contract (dashboards, alerts), so like a schema string it
+        // must have a single definition site (`ds_obs::metrics::names`).
+        (
+            "metric-check-seconds",
+            concat!("ds_serve_check", "_seconds").to_string(),
+        ),
+        (
+            "metric-queue-wait-seconds",
+            concat!("ds_serve_queue_wait", "_seconds").to_string(),
+        ),
+        (
+            "metric-stage-seconds",
+            concat!("ds_check_stage", "_seconds").to_string(),
+        ),
+        (
+            "metric-requests-total",
+            concat!("ds_serve_requests", "_total").to_string(),
+        ),
+        (
+            "metric-cache-hits-total",
+            concat!("ds_serve_cache_hits", "_total").to_string(),
+        ),
+        (
+            "metric-errors-total",
+            concat!("ds_serve_errors", "_total").to_string(),
+        ),
+        (
+            "metric-queue-depth",
+            concat!("ds_serve_queue", "_depth").to_string(),
+        ),
     ]
 }
 

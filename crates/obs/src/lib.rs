@@ -1,0 +1,57 @@
+//! `ds-obs` — the workspace's observability layer, hand-rolled with zero
+//! dependencies (repo convention: the build environment has no registry
+//! access).
+//!
+//! Two halves, both designed for the check pipeline's shape:
+//!
+//! * [`trace`] — span-based tracing over thread-local span stacks and
+//!   [`std::time::Instant`].  Spans are nestable, carry the stable stage
+//!   names of [`STAGES`], export to byte-stable `ds-trace/v1` JSONL, and
+//!   render as a text flame tree.  Tracing is off by default: until a
+//!   thread calls [`trace::begin`], every [`trace::span`] /
+//!   [`trace::emit_ns`] is a no-op whose cost is one thread-local read —
+//!   library users pay effectively nothing.
+//! * [`metrics`] — atomic counters, gauges and log-bucketed latency
+//!   histograms (mergeable across threads, p50/p90/p99 derivable exactly
+//!   from the bucket counts) in a [`metrics::Registry`] with Prometheus
+//!   text exposition.  A process-wide [`metrics::global`] registry backs
+//!   the `ds-serve` `/metrics` endpoint.
+//!
+//! The bench binaries (`perf_baseline`, `stage_profile`) and the daemon
+//! both read per-stage cost from the same span path, so "what the bench
+//! gates" and "what production reports" can never drift apart.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+/// The canonical per-check stage names, in pipeline order, with the
+/// end-to-end `total` last.  These are the span names the pipeline emits,
+/// the row labels of `perf_baseline`/`stage_profile`, the `stage` label
+/// values of the `/metrics` stage histograms, and the layout of the
+/// volatile per-task stage timings on `SweepRecord` — one list, defined
+/// here once.
+pub const STAGES: [&str; 8] = [
+    "build_phi",
+    "impulse",
+    "nondynamic",
+    "residue",
+    "regularize",
+    "split",
+    "pr_test",
+    "total",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::STAGES;
+
+    #[test]
+    fn stage_names_are_distinct_and_end_with_total() {
+        let set: std::collections::HashSet<&str> = STAGES.iter().copied().collect();
+        assert_eq!(set.len(), STAGES.len());
+        assert_eq!(STAGES[STAGES.len() - 1], "total");
+    }
+}

@@ -1,0 +1,521 @@
+//! Atomic metrics: counters, gauges, log-bucketed latency histograms, and a
+//! registry that renders the Prometheus text exposition format.
+//!
+//! Histograms use a fixed geometric bucket ladder (ratio √2, from 1 µs to
+//! ~67 s) so two properties hold by construction:
+//!
+//! * **mergeable** — the buckets of every shard line up, so merging is a
+//!   per-bucket add and the quantile of merged shards equals the quantile
+//!   of the concatenated samples (pinned by a proptest);
+//! * **derivable quantiles** — p50/p90/p99 are an exact function of the
+//!   bucket counts (the reported value is the upper bound of the bucket
+//!   holding the rank), accurate to one bucket width (√2 ≈ 41 %).
+//!
+//! Everything is lock-free on the hot path: `observe`/`inc`/`set` are
+//! relaxed atomic ops on pre-resolved `Arc` handles; the registry mutex is
+//! only taken at registration and exposition time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// The stable metric names exported by the suite.  Each name is defined
+/// exactly once here (enforced by the ds-lint `schema-once` invariant) and
+/// referenced through these constants everywhere else.
+pub mod names {
+    /// Histogram: server-side end-to-end `/check` latency in seconds
+    /// (queue wait + compute or cache lookup), labelled by nothing.
+    pub const CHECK_SECONDS: &str = "ds_serve_check_seconds";
+    /// Histogram: time a job spent in the bounded queue before a worker
+    /// picked it up, in seconds.
+    pub const QUEUE_WAIT_SECONDS: &str = "ds_serve_queue_wait_seconds";
+    /// Histogram family: per-stage check-pipeline latency in seconds,
+    /// labelled `stage="<name>"` with the [`crate::STAGES`] names.
+    pub const STAGE_SECONDS: &str = "ds_check_stage_seconds";
+    /// Counter: `/check` requests accepted by the service.
+    pub const REQUESTS_TOTAL: &str = "ds_serve_requests_total";
+    /// Counter family: cache answers, labelled `tier="memory"|"store"|"coalesced"`.
+    pub const CACHE_HITS_TOTAL: &str = "ds_serve_cache_hits_total";
+    /// Counter: requests that ended in an error response.
+    pub const ERRORS_TOTAL: &str = "ds_serve_errors_total";
+    /// Gauge: jobs currently waiting in the bounded queue.
+    pub const QUEUE_DEPTH: &str = "ds_serve_queue_depth";
+}
+
+/// Number of finite histogram buckets; one overflow slot follows them.
+pub const FINITE_BUCKETS: usize = 52;
+
+/// Upper bound, in seconds, of finite bucket `k` (k < [`FINITE_BUCKETS`]):
+/// `1e-6 · 2^((k+1)/2)` — a √2 ladder from ~1.41 µs up to ~67 s.
+pub fn bucket_bound(k: usize) -> f64 {
+    1e-6 * 2f64.powf((k as f64 + 1.0) / 2.0)
+}
+
+fn bucket_index(secs: f64) -> usize {
+    // NaN and non-positive observations both land in the first bucket.
+    if secs.is_nan() || secs <= 0.0 {
+        return 0;
+    }
+    let mut k = 0;
+    while k < FINITE_BUCKETS && secs > bucket_bound(k) {
+        k += 1;
+    }
+    k
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log-bucketed latency histogram over seconds, safe to share across
+/// threads; all updates are relaxed atomic increments.
+#[derive(Debug)]
+pub struct Histogram {
+    // Finite buckets then one overflow slot.
+    counts: [AtomicU64; FINITE_BUCKETS + 1],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `secs` seconds.  Non-positive and NaN
+    /// values land in the first bucket rather than being dropped, so
+    /// `count` always equals the number of `observe` calls.
+    pub fn observe(&self, secs: f64) {
+        let ns = if secs.is_finite() && secs > 0.0 {
+            (secs * 1e9).round() as u64
+        } else {
+            0
+        };
+        self.counts[bucket_index(secs)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one observation given in integer nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        self.observe(ns as f64 / 1e9);
+    }
+
+    /// Folds another histogram's counts into this one (per-bucket add).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter().zip(&other.counts) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the current counts (buckets are read
+    /// relaxed; counters are monotonic, so quantiles from a snapshot are
+    /// always quantiles of *some* recent prefix of the observations).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts: [`FINITE_BUCKETS`] finite slots then overflow.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observations in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (0 < q ≤ 1) in seconds: the upper bound of the
+    /// bucket containing the rank-⌈q·count⌉ observation — an exact
+    /// function of the bucket counts, so merged shards and concatenated
+    /// samples agree bit-for-bit.  Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Overflow bucket reports one rung above the last finite
+                // bound — a saturated, finite estimate.
+                return bucket_bound(k.min(FINITE_BUCKETS));
+            }
+        }
+        bucket_bound(FINITE_BUCKETS)
+    }
+
+    /// [`Self::quantile`] in milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile(q) * 1e3
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn exposition_name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Key: (family name, rendered label pair or empty).
+type Key = (String, String);
+
+#[derive(Default)]
+struct Inner {
+    families: BTreeMap<String, (Kind, String)>,
+    counters: BTreeMap<Key, Arc<Counter>>,
+    gauges: BTreeMap<Key, Arc<Gauge>>,
+    histograms: BTreeMap<Key, Arc<Histogram>>,
+}
+
+/// A registry of named instruments with Prometheus text exposition.
+///
+/// Instruments are created on first use and shared afterwards: callers
+/// resolve an `Arc` handle once and update it lock-free.  A family's kind
+/// and help text are fixed by its first registration.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+fn label_key(label: Option<(&str, &str)>) -> String {
+    match label {
+        None => String::new(),
+        Some((k, v)) => format!("{k}=\"{}\"", escape_label(v)),
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter `name` (optionally labelled), created on first use.
+    pub fn counter(&self, name: &str, help: &str, label: Option<(&str, &str)>) -> Arc<Counter> {
+        let mut inner = lock(&self.inner);
+        inner
+            .families
+            .entry(name.to_string())
+            .or_insert((Kind::Counter, help.to_string()));
+        inner
+            .counters
+            .entry((name.to_string(), label_key(label)))
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge `name` (optionally labelled), created on first use.
+    pub fn gauge(&self, name: &str, help: &str, label: Option<(&str, &str)>) -> Arc<Gauge> {
+        let mut inner = lock(&self.inner);
+        inner
+            .families
+            .entry(name.to_string())
+            .or_insert((Kind::Gauge, help.to_string()));
+        inner
+            .gauges
+            .entry((name.to_string(), label_key(label)))
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram `name` (optionally labelled), created on first use.
+    pub fn histogram(&self, name: &str, help: &str, label: Option<(&str, &str)>) -> Arc<Histogram> {
+        let mut inner = lock(&self.inner);
+        inner
+            .families
+            .entry(name.to_string())
+            .or_insert((Kind::Histogram, help.to_string()));
+        inner
+            .histograms
+            .entry((name.to_string(), label_key(label)))
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Renders every registered instrument in the Prometheus text
+    /// exposition format (version 0.0.4): `# HELP` / `# TYPE` per family,
+    /// then samples sorted by name and label.
+    pub fn render_prometheus(&self) -> String {
+        let inner = lock(&self.inner);
+        let mut out = String::new();
+        for (family, (kind, help)) in &inner.families {
+            out.push_str(&format!("# HELP {family} {help}\n"));
+            out.push_str(&format!("# TYPE {family} {}\n", kind.exposition_name()));
+            match kind {
+                Kind::Counter => {
+                    for ((name, labels), c) in inner.counters.range(family_range(family)) {
+                        out.push_str(&sample_line(name, labels, &[], &c.get().to_string()));
+                    }
+                }
+                Kind::Gauge => {
+                    for ((name, labels), g) in inner.gauges.range(family_range(family)) {
+                        out.push_str(&sample_line(name, labels, &[], &g.get().to_string()));
+                    }
+                }
+                Kind::Histogram => {
+                    for ((name, labels), h) in inner.histograms.range(family_range(family)) {
+                        let snap = h.snapshot();
+                        let mut cumulative = 0u64;
+                        for (k, &c) in snap.counts.iter().take(FINITE_BUCKETS).enumerate() {
+                            cumulative += c;
+                            out.push_str(&sample_line(
+                                &format!("{name}_bucket"),
+                                labels,
+                                &[("le", &format!("{}", bucket_bound(k)))],
+                                &cumulative.to_string(),
+                            ));
+                        }
+                        out.push_str(&sample_line(
+                            &format!("{name}_bucket"),
+                            labels,
+                            &[("le", "+Inf")],
+                            &snap.count.to_string(),
+                        ));
+                        out.push_str(&sample_line(
+                            &format!("{name}_sum"),
+                            labels,
+                            &[],
+                            &format!("{}", snap.sum_ns as f64 / 1e9),
+                        ));
+                        out.push_str(&sample_line(
+                            &format!("{name}_count"),
+                            labels,
+                            &[],
+                            &snap.count.to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn family_range(family: &str) -> std::ops::RangeInclusive<Key> {
+    (family.to_string(), String::new())..=(family.to_string(), "\u{10FFFF}".to_string())
+}
+
+fn sample_line(name: &str, labels: &str, extra: &[(&str, &str)], value: &str) -> String {
+    let mut all = String::new();
+    if !labels.is_empty() {
+        all.push_str(labels);
+    }
+    for (k, v) in extra {
+        if !all.is_empty() {
+            all.push(',');
+        }
+        all.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if all.is_empty() {
+        format!("{name} {value}\n")
+    } else {
+        format!("{name}{{{all}}} {value}\n")
+    }
+}
+
+/// The process-wide registry backing the `ds-serve` `/metrics` endpoint.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_ladder_is_geometric_and_monotone() {
+        for k in 1..FINITE_BUCKETS {
+            let ratio = bucket_bound(k) / bucket_bound(k - 1);
+            assert!((ratio - 2f64.sqrt()).abs() < 1e-12, "ratio {ratio}");
+        }
+        assert!(bucket_bound(FINITE_BUCKETS - 1) > 60.0);
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e9), FINITE_BUCKETS);
+        // Values at a bound land in that bucket (`<=` boundary).
+        assert_eq!(bucket_index(bucket_bound(7)), 7);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0.0);
+        for _ in 0..90 {
+            h.observe(0.001);
+        }
+        for _ in 0..10 {
+            h.observe(0.1);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        let p50 = snap.quantile(0.5);
+        assert!((0.001..0.002).contains(&p50), "p50 {p50}");
+        let p99 = snap.quantile(0.99);
+        assert!((0.1..0.2).contains(&p99), "p99 {p99}");
+        // The p50 bucket bound is within one bucket ratio of the sample.
+        assert!(p50 / 0.001 <= 2f64.sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 0..1000u64 {
+            let v = 1e-5 * (1.0 + i as f64);
+            if i % 2 == 0 { &a } else { &b }.observe(v);
+            all.observe(v);
+        }
+        let merged = Histogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.snapshot(), all.snapshot());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(merged.snapshot().quantile(q), all.snapshot().quantile(q));
+        }
+    }
+
+    #[test]
+    fn registry_renders_valid_exposition() {
+        let r = Registry::new();
+        r.counter("demo_requests_total", "Requests.", None).add(3);
+        r.counter("demo_hits_total", "Hits.", Some(("tier", "memory")))
+            .inc();
+        r.gauge("demo_depth", "Depth.", None).set(2);
+        r.histogram("demo_seconds", "Latency.", Some(("stage", "split")))
+            .observe(0.01);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE demo_requests_total counter\n"));
+        assert!(text.contains("demo_requests_total 3\n"));
+        assert!(text.contains("demo_hits_total{tier=\"memory\"} 1\n"));
+        assert!(text.contains("# TYPE demo_depth gauge\n"));
+        assert!(text.contains("demo_depth 2\n"));
+        assert!(text.contains("# TYPE demo_seconds histogram\n"));
+        assert!(text.contains("demo_seconds_bucket{stage=\"split\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("demo_seconds_count{stage=\"split\"} 1\n"));
+        // Every sample line parses as `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name_part, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name_part.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparsable value in {line:?}");
+        }
+        // Same handle comes back for the same (name, label).
+        let again = r.counter("demo_requests_total", "ignored", None);
+        assert_eq!(again.get(), 3);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("esc_total", "Escapes.", Some(("k", "a\"b\\c\nd")))
+            .inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("esc_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the `ds-obs` histogram: sharding a sample stream
+//! across any number of histograms and merging them back must yield exactly
+//! the quantiles of one histogram fed the concatenated stream, and those
+//! quantiles must sit within one bucket width (√2 ratio) of the true
+//! sample quantile.
+
+use ds_obs::metrics::Histogram;
+use proptest::prelude::*;
+
+/// Deterministic sample stream: xorshift64* mapped onto (0, ~4 s].
+fn samples(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let unit =
+                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            // Log-uniform over roughly 1 µs .. 4 s.
+            1e-6 * 22f64.exp2().powf(unit)
+        })
+        .collect()
+}
+
+fn true_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_shards_quantile_matches_concatenated(
+        seed in 1u64..1_000_000,
+        n in 1usize..400,
+        shards in 1usize..7,
+    ) {
+        let values = samples(seed, n);
+        let all = Histogram::new();
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, v) in values.iter().enumerate() {
+            all.observe(*v);
+            parts[i % shards].observe(*v);
+        }
+        let merged = Histogram::new();
+        for part in &parts {
+            merged.merge_from(part);
+        }
+        prop_assert_eq!(merged.snapshot(), all.snapshot());
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.5, 0.9, 0.99] {
+            let from_merged = merged.snapshot().quantile(q);
+            let from_all = all.snapshot().quantile(q);
+            prop_assert_eq!(from_merged, from_all);
+            // Reported value is the bucket upper bound: at most one bucket
+            // ratio above the true sample quantile, never below it.
+            let truth = true_quantile(&sorted, q);
+            prop_assert!(
+                from_all >= truth * (1.0 - 1e-12),
+                "q={} reported {} below true {}", q, from_all, truth
+            );
+            prop_assert!(
+                from_all <= truth * 2f64.sqrt() * (1.0 + 1e-12),
+                "q={} reported {} more than one bucket above true {}", q, from_all, truth
+            );
+        }
+    }
+}

@@ -190,6 +190,8 @@ pub fn read_request(
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
     /// Additional headers (name, value), written verbatim.
     pub headers: Vec<(String, String)>,
     /// Response body bytes.
@@ -201,6 +203,18 @@ impl Response {
     pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
         Response {
             status,
+            content_type: "application/json".to_string(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A response with an explicit content type (Prometheus exposition,
+    /// trace JSONL, plain text).
+    pub fn text(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: content_type.to_string(),
             headers: Vec::new(),
             body: body.into(),
         }
@@ -221,9 +235,10 @@ impl Response {
     pub fn write_to(&self, writer: &mut impl Write) -> std::io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len()
         )?;
         for (name, value) in &self.headers {
@@ -326,6 +341,18 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn text_responses_carry_their_content_type() {
+        let mut out = Vec::new();
+        Response::text(200, "text/plain; charset=utf-8", "x 1\n")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; charset=utf-8\r\n"));
+        assert!(text.ends_with("\r\n\r\nx 1\n"));
     }
 }

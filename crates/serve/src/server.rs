@@ -4,12 +4,19 @@
 //! Endpoints:
 //!
 //! * `GET /health` — liveness probe;
-//! * `GET /stats` — cache/queue/worker counters (`ds-serve-stats/v1`);
+//! * `GET /stats` — cache/queue/worker counters (`ds-serve-stats/v1`) plus
+//!   server-side `/check` latency quantiles (`check_latency_ms`);
+//! * `GET /metrics` — Prometheus text exposition of the process-wide
+//!   registry: request/queue/stage latency histograms, cache-hit counters,
+//!   and the queue-depth gauge;
+//! * `GET /trace/<id>` — the `ds-trace/v1` span log of a recent check (ids
+//!   are handed out per request in the `X-Trace-Id` response header and kept
+//!   in a bounded ring);
 //! * `POST /check?method=proposed|weierstrass|lmi&repair=true` — body is a
 //!   SPICE deck; answers the `ds-check-report/v1` verdict with `X-Cache`
-//!   (tier that answered) and `X-Deck-Hash` (full canonical content hash)
-//!   headers.  Malformed decks get a 400 whose body carries the parser's
-//!   exact `line`/`column`; a full queue gets 429 + `Retry-After`.
+//!   (tier that answered), `X-Deck-Hash` (full canonical content hash), and
+//!   `X-Trace-Id` headers.  Malformed decks get a 400 whose body carries the
+//!   parser's exact `line`/`column`; a full queue gets 429 + `Retry-After`.
 //! * `POST /shutdown` — request graceful shutdown (same path as SIGTERM).
 //!
 //! The accept loop polls a shutdown flag (set by `Server::stop`, by
@@ -20,6 +27,7 @@
 
 use crate::http::{read_request, Request, RequestError, Response};
 use crate::service::{error_response, CheckJob, CheckReply, CheckService, SubmitError};
+use ds_obs::metrics::names;
 use ds_passivity_suite::harness::json;
 use ds_passivity_suite::harness::sync::lock_infallible;
 use ds_passivity_suite::harness::Method;
@@ -31,7 +39,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs; `Default` is a sensible local daemon.
 #[derive(Debug, Clone)]
@@ -226,7 +234,29 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
     let _ = write_half.flush();
 }
 
+/// The Prometheus text-exposition content type.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn route_slug(path: &str) -> &'static str {
+    match path {
+        "/health" => "health",
+        "/stats" => "stats",
+        "/metrics" => "metrics",
+        "/check" => "check",
+        "/shutdown" => "shutdown",
+        p if p.starts_with("/trace/") => "trace",
+        _ => "other",
+    }
+}
+
 fn route(request: &Request, ctx: &Ctx) -> Response {
+    ds_obs::metrics::global()
+        .counter(
+            names::REQUESTS_TOTAL,
+            "HTTP requests answered, by route",
+            Some(("route", route_slug(&request.path))),
+        )
+        .inc();
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => Response::json(
             200,
@@ -236,12 +266,31 @@ fn route(request: &Request, ctx: &Ctx) -> Response {
             ),
         ),
         ("GET", "/stats") => Response::json(200, ctx.service.stats_json()),
+        ("GET", "/metrics") => Response::text(
+            200,
+            PROMETHEUS_CONTENT_TYPE,
+            ds_obs::metrics::global().render_prometheus(),
+        ),
+        ("GET", path) if path.starts_with("/trace/") => {
+            let id = &path["/trace/".len()..];
+            match ctx.service.trace_body(id) {
+                Some(body) => Response::text(200, "application/jsonl; charset=utf-8", body),
+                None => Response::json(
+                    404,
+                    error_body("not_found", &format!("no trace '{id}' in the ring")),
+                ),
+            }
+        }
         ("POST", "/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             Response::json(200, "{\"status\":\"shutting-down\"}")
         }
         ("POST", "/check") => check(request, ctx),
-        (_, "/health" | "/stats") => {
+        (_, "/health" | "/stats" | "/metrics") => {
+            Response::json(405, error_body("method_not_allowed", "use GET"))
+                .with_header("Allow", "GET")
+        }
+        (_, path) if path.starts_with("/trace/") => {
             Response::json(405, error_body("method_not_allowed", "use GET"))
                 .with_header("Allow", "GET")
         }
@@ -254,6 +303,7 @@ fn route(request: &Request, ctx: &Ctx) -> Response {
 }
 
 fn check(request: &Request, ctx: &Ctx) -> Response {
+    let started = Instant::now();
     let Ok(text) = std::str::from_utf8(&request.body) else {
         return Response::json(400, error_body("bad_request", "deck body is not UTF-8"));
     };
@@ -294,7 +344,8 @@ fn check(request: &Request, ctx: &Ctx) -> Response {
         method,
         repair,
     };
-    let receiver = match ctx.service.submit(job) {
+    let trace_id = ds_obs::trace::next_trace_id();
+    let receiver = match ctx.service.submit_traced(job, trace_id.clone()) {
         Ok(receiver) => receiver,
         Err(SubmitError::QueueFull) => {
             return Response::json(429, error_body("overloaded", "request queue is full"))
@@ -305,11 +356,18 @@ fn check(request: &Request, ctx: &Ctx) -> Response {
         }
     };
     match receiver.recv() {
-        Ok(CheckReply::Done { body, cache }) => Response::json(200, body)
-            .with_header("X-Cache", cache)
-            .with_header("X-Deck-Hash", format!("{hash:016x}")),
+        Ok(CheckReply::Done { body, cache }) => {
+            ctx.service.observe_check_latency(started.elapsed());
+            Response::json(200, body)
+                .with_header("X-Cache", cache)
+                .with_header("X-Deck-Hash", format!("{hash:016x}"))
+                .with_header("X-Trace-Id", trace_id)
+        }
         Ok(CheckReply::Failed { status, body }) => {
-            Response::json(status, body).with_header("X-Deck-Hash", format!("{hash:016x}"))
+            ctx.service.observe_check_latency(started.elapsed());
+            Response::json(status, body)
+                .with_header("X-Deck-Hash", format!("{hash:016x}"))
+                .with_header("X-Trace-Id", trace_id)
         }
         Err(_) => Response::json(503, error_body("shutdown", "worker pool unavailable")),
     }

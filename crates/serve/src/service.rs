@@ -19,6 +19,8 @@
 //! (`X-Cache: coalesced`).
 
 use crate::cache::LruCache;
+use ds_obs::metrics::{names, Counter, Gauge, Histogram};
+use ds_obs::trace::TraceRing;
 use ds_passivity_suite::harness::json;
 use ds_passivity_suite::harness::sync::{lock_infallible, wait_timeout_infallible};
 use ds_passivity_suite::harness::{task_fingerprint, Method, ResultStore, SweepRecord, SweepTask};
@@ -30,7 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Version tag of the `/stats` response body.
 pub const STATS_SCHEMA: &str = "ds-serve-stats/v1";
@@ -38,6 +40,9 @@ pub const STATS_SCHEMA: &str = "ds-serve-stats/v1";
 /// Pending store records are flushed to a segment once this many accumulate
 /// (and unconditionally on shutdown).
 pub const FLUSH_THRESHOLD: usize = 64;
+
+/// How many recent traces `GET /trace/<id>` can replay before eviction.
+pub const TRACE_RING_CAPACITY: usize = 256;
 
 /// One deck check to run.
 #[derive(Debug, Clone)]
@@ -110,7 +115,17 @@ struct QueuedJob {
     job: CheckJob,
     fingerprint: String,
     cache_key: String,
+    trace_id: String,
+    submitted: Instant,
     reply: Sender<CheckReply>,
+}
+
+/// A request attached to an identical in-flight computation; it receives the
+/// computing job's bytes but keeps its own trace identity.
+struct Waiter {
+    reply: Sender<CheckReply>,
+    trace_id: String,
+    submitted: Instant,
 }
 
 struct StoreState {
@@ -142,6 +157,72 @@ pub struct ServiceStats {
     pub drained: AtomicU64,
 }
 
+/// Handles into the process-wide [`ds_obs::metrics::global`] registry; one
+/// set per service, but names are shared, so a second service in the same
+/// process (tests) accumulates into the same series.
+struct Metrics {
+    hits_memory: Arc<Counter>,
+    hits_store: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    errors: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    check_seconds: Arc<Histogram>,
+    queue_wait_seconds: Arc<Histogram>,
+    /// One histogram per [`ds_obs::STAGES`] entry, labelled `stage=<name>`.
+    stage_seconds: Vec<(&'static str, Arc<Histogram>)>,
+}
+
+impl Metrics {
+    fn register() -> Metrics {
+        let reg = ds_obs::metrics::global();
+        let hits = |tier: &str| {
+            reg.counter(
+                names::CACHE_HITS_TOTAL,
+                "Checks answered without recomputation, by cache tier",
+                Some(("tier", tier)),
+            )
+        };
+        Metrics {
+            hits_memory: hits("memory"),
+            hits_store: hits("store"),
+            coalesced: hits("coalesced"),
+            errors: reg.counter(
+                names::ERRORS_TOTAL,
+                "Checks that ended in a pipeline error or panic",
+                None,
+            ),
+            queue_depth: reg.gauge(
+                names::QUEUE_DEPTH,
+                "Jobs currently waiting in the bounded check queue",
+                None,
+            ),
+            check_seconds: reg.histogram(
+                names::CHECK_SECONDS,
+                "Server-side /check latency (parse to reply), seconds",
+                None,
+            ),
+            queue_wait_seconds: reg.histogram(
+                names::QUEUE_WAIT_SECONDS,
+                "Time jobs spent queued before a worker picked them up, seconds",
+                None,
+            ),
+            stage_seconds: ds_obs::STAGES
+                .iter()
+                .map(|stage| {
+                    (
+                        *stage,
+                        reg.histogram(
+                            names::STAGE_SECONDS,
+                            "Per-stage pipeline time for computed checks, seconds",
+                            Some(("stage", stage)),
+                        ),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 struct Inner {
     queue: Mutex<VecDeque<QueuedJob>>,
     available: Condvar,
@@ -149,9 +230,20 @@ struct Inner {
     workers: usize,
     shutdown: AtomicBool,
     cache: Mutex<LruCache>,
-    inflight: Mutex<HashMap<String, Vec<Sender<CheckReply>>>>,
+    inflight: Mutex<HashMap<String, Vec<Waiter>>>,
     store: Option<Mutex<StoreState>>,
     stats: ServiceStats,
+    metrics: Metrics,
+    traces: TraceRing,
+}
+
+/// Records a minimal single-span trace for a request answered without a
+/// fresh computation (cache tiers), so `GET /trace/<id>` works for every
+/// trace id the daemon handed out while it stays in the ring.
+fn record_hit_trace(inner: &Inner, trace_id: &str, started: Instant) {
+    let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let trace = ds_obs::trace::Trace::from_stage_durations(trace_id, "check", elapsed_ns, &[]);
+    inner.traces.insert(trace_id, trace.render_jsonl());
 }
 
 /// The worker-pool service behind the daemon's `/check` endpoint.
@@ -230,6 +322,8 @@ impl CheckService {
             inflight: Mutex::new(HashMap::new()),
             store,
             stats: ServiceStats::default(),
+            metrics: Metrics::register(),
+            traces: TraceRing::new(TRACE_RING_CAPACITY),
         });
         let handles = (0..workers)
             .map(|index| {
@@ -255,7 +349,24 @@ impl CheckService {
     /// [`SubmitError::QueueFull`] (429) when the bounded queue is at
     /// capacity, [`SubmitError::ShuttingDown`] (503) after shutdown began.
     pub fn submit(&self, job: CheckJob) -> Result<Receiver<CheckReply>, SubmitError> {
+        self.submit_traced(job, ds_obs::trace::next_trace_id())
+    }
+
+    /// [`CheckService::submit`] with a caller-chosen trace id (the daemon
+    /// generates one per request and echoes it as `X-Trace-Id`); the
+    /// completed check's trace is retrievable from [`CheckService::trace_body`]
+    /// while it stays in the bounded ring.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CheckService::submit`].
+    pub fn submit_traced(
+        &self,
+        job: CheckJob,
+        trace_id: String,
+    ) -> Result<Receiver<CheckReply>, SubmitError> {
         let inner = &self.inner;
+        let submitted = Instant::now();
         inner.stats.checks.fetch_add(1, Ordering::Relaxed);
         if inner.shutdown.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
@@ -266,6 +377,8 @@ impl CheckService {
         // Tier 1: memory.
         if let Some(body) = lock_infallible(&inner.cache).get(&cache_key) {
             inner.stats.hits_memory.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.hits_memory.inc();
+            record_hit_trace(inner, &trace_id, submitted);
             return Ok(immediate(CheckReply::Done { body, cache: "hit" }));
         }
 
@@ -287,6 +400,8 @@ impl CheckService {
                     drop(state);
                     lock_infallible(&inner.cache).put(&cache_key, body.clone());
                     inner.stats.hits_store.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.hits_store.inc();
+                    record_hit_trace(inner, &trace_id, submitted);
                     return Ok(immediate(CheckReply::Done {
                         body,
                         cache: "hit-store",
@@ -300,8 +415,13 @@ impl CheckService {
         {
             let mut inflight = lock_infallible(&inner.inflight);
             if let Some(waiters) = inflight.get_mut(&cache_key) {
-                waiters.push(tx);
+                waiters.push(Waiter {
+                    reply: tx,
+                    trace_id,
+                    submitted,
+                });
                 inner.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.coalesced.inc();
                 return Ok(rx);
             }
             let mut queue = lock_infallible(&inner.queue);
@@ -314,11 +434,20 @@ impl CheckService {
                 job,
                 fingerprint,
                 cache_key,
+                trace_id,
+                submitted,
                 reply: tx,
             });
+            inner.metrics.queue_depth.set(queue.len() as i64);
             inner.available.notify_one();
         }
         Ok(rx)
+    }
+
+    /// The `ds-trace/v1` JSONL body for a trace id, while it remains in the
+    /// bounded ring (capacity [`TRACE_RING_CAPACITY`], oldest evicted first).
+    pub fn trace_body(&self, id: &str) -> Option<String> {
+        self.inner.traces.get(id)
     }
 
     /// Whether shutdown has been requested.
@@ -343,6 +472,7 @@ impl CheckService {
         }
         // With zero workers the queue may still hold jobs: answer 503.
         let leftovers: Vec<QueuedJob> = lock_infallible(&self.inner.queue).drain(..).collect();
+        self.inner.metrics.queue_depth.set(0);
         for queued in leftovers {
             self.inner.stats.drained.fetch_add(1, Ordering::Relaxed);
             lock_infallible(&self.inner.inflight).remove(&queued.cache_key);
@@ -367,15 +497,25 @@ impl CheckService {
             .map(|s| lock_infallible(s).store.dir().to_path_buf())
     }
 
-    /// Renders the `/stats` body.
+    /// Renders the `/stats` body: the `ds-serve-stats/v1` counters, plus a
+    /// compatibly-added `check_latency_ms` object with the server-side
+    /// latency quantiles of every `/check` answered so far.
     pub fn stats_json(&self) -> String {
         let inner = &self.inner;
         let stats = &inner.stats;
         let queue_depth = lock_infallible(&inner.queue).len();
         let cache_entries = lock_infallible(&inner.cache).len();
         let store_records = inner.store.as_ref().map(|s| lock_infallible(s).store.len());
+        let latency = inner.metrics.check_seconds.snapshot();
+        let quantile_ms = |q: f64| {
+            if latency.count == 0 {
+                0.0
+            } else {
+                latency.quantile_ms(q)
+            }
+        };
         format!(
-            "{{\"schema\":{},\"checks\":{},\"hits_memory\":{},\"hits_store\":{},\"coalesced\":{},\"computed\":{},\"rejected\":{},\"errors\":{},\"drained\":{},\"queue_depth\":{queue_depth},\"queue_capacity\":{},\"workers\":{},\"cache_entries\":{cache_entries},\"store_records\":{}}}",
+            "{{\"schema\":{},\"checks\":{},\"hits_memory\":{},\"hits_store\":{},\"coalesced\":{},\"computed\":{},\"rejected\":{},\"errors\":{},\"drained\":{},\"queue_depth\":{queue_depth},\"queue_capacity\":{},\"workers\":{},\"cache_entries\":{cache_entries},\"store_records\":{},\"check_latency_ms\":{{\"count\":{},\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3}}}}}",
             json::quote(STATS_SCHEMA),
             stats.checks.load(Ordering::Relaxed),
             stats.hits_memory.load(Ordering::Relaxed),
@@ -388,7 +528,20 @@ impl CheckService {
             inner.queue_capacity,
             inner.workers,
             json::opt_usize(store_records),
+            latency.count,
+            quantile_ms(0.5),
+            quantile_ms(0.9),
+            quantile_ms(0.99),
         )
+    }
+
+    /// Records one server-side `/check` latency observation (the daemon calls
+    /// this once per answered request, whatever tier answered it).
+    pub fn observe_check_latency(&self, elapsed: Duration) {
+        self.inner
+            .metrics
+            .check_seconds
+            .observe(elapsed.as_secs_f64());
     }
 }
 
@@ -413,6 +566,7 @@ fn worker_loop(inner: &Inner) {
             let mut queue = lock_infallible(&inner.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
+                    inner.metrics.queue_depth.set(queue.len() as i64);
                     break job;
                 }
                 if inner.shutdown.load(Ordering::SeqCst) {
@@ -423,6 +577,10 @@ fn worker_loop(inner: &Inner) {
                 queue = guard;
             }
         };
+        inner
+            .metrics
+            .queue_wait_seconds
+            .observe(queued.submitted.elapsed().as_secs_f64());
         let reply = run_job(inner, &queued);
         let waiters = lock_infallible(&inner.inflight)
             .remove(&queued.cache_key)
@@ -435,7 +593,8 @@ fn worker_loop(inner: &Inner) {
             failed => failed.clone(),
         };
         for waiter in waiters {
-            let _ = waiter.send(coalesced_reply.clone());
+            record_hit_trace(inner, &waiter.trace_id, waiter.submitted);
+            let _ = waiter.reply.send(coalesced_reply.clone());
         }
         let _ = queued.reply.send(reply);
     }
@@ -459,6 +618,7 @@ fn run_job(inner: &Inner, queued: &QueuedJob) -> CheckReply {
     // service lock): contain it and answer 500, exactly like a pipeline
     // error.  All service state is locked *after* this point, so an unwind
     // here cannot leave a guard mid-update.
+    ds_obs::trace::begin(&queued.trace_id);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         panic_hook(&job.name);
         PassivityCheck::deck(&job.name, job.deck.clone())
@@ -466,10 +626,27 @@ fn run_job(inner: &Inner, queued: &QueuedJob) -> CheckReply {
             .repair(job.repair)
             .run()
     }));
+    // Close the collector even when the check panicked: span guards were
+    // dropped during the unwind, so the trace is complete either way, and a
+    // leftover collector must not leak into this worker's next job.
+    if let Some(trace) = ds_obs::trace::end() {
+        for span in &trace.spans {
+            if let Some((_, hist)) = inner
+                .metrics
+                .stage_seconds
+                .iter()
+                .find(|(name, _)| *name == span.name)
+            {
+                hist.observe_ns(span.elapsed_ns);
+            }
+        }
+        inner.traces.insert(&trace.id, trace.render_jsonl());
+    }
     let result = match result {
         Ok(result) => result,
         Err(_) => {
             inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.errors.inc();
             return CheckReply::Failed {
                 status: 500,
                 body: "{\"error\":\"check panicked\",\"kind\":\"panic\"}".to_string(),
@@ -504,6 +681,7 @@ fn run_job(inner: &Inner, queued: &QueuedJob) -> CheckReply {
         }
         Err(error) => {
             inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.errors.inc();
             let (status, body) = error_response(&error);
             CheckReply::Failed { status, body }
         }
@@ -607,6 +785,53 @@ mod tests {
         };
         assert_eq!(cache, "miss");
         assert_eq!(service.inner.stats.errors.load(Ordering::Relaxed), 1);
+        service.stop().unwrap();
+    }
+
+    #[test]
+    fn computed_checks_leave_a_stage_trace_in_the_ring() {
+        let service = CheckService::start(1, 8, 16, None).unwrap();
+        let rx = service
+            .submit_traced(job(Method::Proposed, false), "trace-ring-miss".to_string())
+            .unwrap();
+        let CheckReply::Done { cache, .. } = rx.recv().unwrap() else {
+            panic!("computed check failed");
+        };
+        assert_eq!(cache, "miss");
+        let body = service.trace_body("trace-ring-miss").unwrap();
+        for stage in ds_obs::STAGES {
+            assert!(
+                body.contains(&format!("\"span\":\"{stage}\"")),
+                "trace is missing stage '{stage}': {body}"
+            );
+        }
+        assert!(body.contains("\"span\":\"check\""));
+
+        // A memory hit records a minimal single-span trace under its own id.
+        let rx = service
+            .submit_traced(job(Method::Proposed, false), "trace-ring-hit".to_string())
+            .unwrap();
+        let CheckReply::Done { cache, .. } = rx.recv().unwrap() else {
+            panic!("cached check failed");
+        };
+        assert_eq!(cache, "hit");
+        let hit = service.trace_body("trace-ring-hit").unwrap();
+        assert!(hit.contains("\"span\":\"check\""));
+        assert!(!hit.contains("\"span\":\"total\""));
+        service.stop().unwrap();
+    }
+
+    #[test]
+    fn stats_carry_server_side_latency_quantiles() {
+        let service = CheckService::start(1, 8, 16, None).unwrap();
+        service.observe_check_latency(Duration::from_millis(5));
+        let stats = service.stats_json();
+        assert!(stats.contains("\"check_latency_ms\":{\"count\":"));
+        assert!(stats.contains("\"p50\":"));
+        assert!(stats.contains("\"p99\":"));
+        // The 5 ms observation pushes every quantile off zero (the registry
+        // is process-global, so other tests can only add observations).
+        assert!(!stats.contains("\"p50\":0.000"));
         service.stop().unwrap();
     }
 

@@ -99,6 +99,54 @@ fn daemon_serves_the_corpus_and_shuts_down_gracefully() {
     let stats = client::get(addr, "/stats").unwrap().body;
     assert_eq!(stat(&stats, "computed"), computed_after_first);
     assert_eq!(stat(&stats, "hits_memory"), corpus.len() as u64);
+    assert!(
+        stats.contains("\"check_latency_ms\":{\"count\":"),
+        "stats lost the server-side latency quantiles: {stats}"
+    );
+
+    // Observability surface: every /check reply carries an X-Trace-Id whose
+    // span log is retrievable from the bounded ring.
+    let reply = client::post(addr, "/check", &corpus[0].1).unwrap();
+    let trace_id = reply.header("x-trace-id").expect("X-Trace-Id").to_string();
+    let trace = client::get(addr, &format!("/trace/{trace_id}")).unwrap();
+    assert_eq!(trace.status, 200, "{}", trace.body);
+    assert!(!trace.body.is_empty());
+    for line in trace.body.lines() {
+        assert!(
+            line.starts_with("{\"schema\":\"ds-trace/v1\""),
+            "bad trace line: {line}"
+        );
+    }
+    assert!(trace.body.contains("\"span\":\"check\""));
+    let missing = client::get(addr, "/trace/no-such-id").unwrap();
+    assert_eq!(missing.status, 404);
+
+    // /metrics speaks the Prometheus text exposition and the computed pass
+    // fed the per-stage histograms.
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain")));
+    assert!(metrics
+        .body
+        .contains("# TYPE ds_serve_check_seconds histogram"));
+    assert!(metrics.body.contains("# TYPE ds_serve_queue_depth gauge"));
+    let stage_count_line = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("ds_check_stage_seconds_count{stage=\"total\"}"))
+        .expect("stage histogram sample");
+    let observed: u64 = stage_count_line
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        observed >= corpus.len() as u64,
+        "stage histograms missed computed checks: {stage_count_line}"
+    );
 
     // SIGTERM → graceful exit 0 with the segment flushed.
     let pid = child.id().to_string();

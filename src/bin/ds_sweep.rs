@@ -32,6 +32,9 @@
 //!   segments of `M` independent processes merge losslessly;
 //! * `--stream` — print each record's JSONL line to stdout as it completes
 //!   (completion order; the on-disk artifact stays sorted by task id);
+//! * `--trace OUT.jsonl` — export every completed task's per-stage timings
+//!   as a `ds-trace/v1` JSONL file (one trace per task, ids = the stable
+//!   store fingerprints; render it with the `ds-trace` binary);
 //! * `--no-violations` — skip the deterministic Popov-grid sampling;
 //! * `--compare-single-thread` — rerun the same matrix on 1 thread and print
 //!   the wall-clock speedup.
@@ -58,6 +61,7 @@ struct Args {
     resume: bool,
     shard: Option<(usize, usize)>,
     stream: bool,
+    trace_out: Option<PathBuf>,
     sample_violations: bool,
     compare_single_thread: bool,
 }
@@ -91,6 +95,7 @@ fn parse_args() -> Result<Args, SuiteError> {
         resume: false,
         shard: None,
         stream: false,
+        trace_out: None,
         sample_violations: true,
         compare_single_thread: false,
     };
@@ -120,6 +125,7 @@ fn parse_args() -> Result<Args, SuiteError> {
             "--resume" => args.resume = true,
             "--shard" => args.shard = Some(parse_shard(&value("--shard")?)?),
             "--stream" => args.stream = true,
+            "--trace" => args.trace_out = Some(PathBuf::from(value("--trace")?)),
             "--no-violations" => args.sample_violations = false,
             "--compare-single-thread" => args.compare_single_thread = true,
             "--quick" => args.preset = Some("quick".to_string()),
@@ -267,6 +273,37 @@ fn run() -> Result<(), SuiteError> {
             "artifact record counts diverge: jsonl={jsonl_records} csv={csv_records} expected={}",
             result.records.len()
         )));
+    }
+
+    if let Some(trace_path) = &args.trace_out {
+        let mut text = String::new();
+        let mut traced = 0usize;
+        for record in &result.records {
+            let Some(stage_ns) = &record.stage_ns else {
+                continue; // errored tasks have no stage timings
+            };
+            let stages: Vec<(&str, u64)> = ds_obs::STAGES[..ds_obs::STAGES.len() - 1]
+                .iter()
+                .zip(stage_ns)
+                .map(|(name, ns)| (*name, *ns))
+                .collect();
+            let trace = ds_obs::trace::Trace::from_stage_durations(
+                &ds_harness::record_fingerprint(record),
+                "total",
+                stage_ns[stage_ns.len() - 1],
+                &stages,
+            );
+            text.push_str(&trace.render_jsonl());
+            traced += 1;
+        }
+        std::fs::write(trace_path, &text)
+            .map_err(|e| SuiteError::Io(format!("writing {}: {e}", trace_path.display())))?;
+        println!(
+            "# trace: {} per-task stage traces -> {} (render with: cargo run --release --bin ds-trace -- {})",
+            traced,
+            trace_path.display(),
+            trace_path.display()
+        );
     }
 
     if let Some(store) = store.as_mut() {

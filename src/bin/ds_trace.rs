@@ -1,0 +1,117 @@
+//! `ds-trace`: renders `ds-trace/v1` JSONL files as a sorted text flame
+//! tree with per-stage totals and percentages.
+//!
+//! ```console
+//! $ cargo run -p ds-passivity-suite --release --bin ds-trace -- trace.jsonl
+//! ```
+//!
+//! Input files come from `ds-sweep --trace OUT.jsonl` or from the daemon's
+//! `GET /trace/<id>` endpoint; multiple files (or multi-trace files) are
+//! aggregated into one tree.
+
+use ds_obs::trace::{SpanRecord, Trace, TRACE_SCHEMA};
+use ds_passivity_suite::harness::json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn usize_field(value: &json::Value, key: &str) -> Result<usize, String> {
+    value
+        .get(key)
+        .and_then(json::Value::as_f64)
+        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("key '{key}' is not a non-negative integer"))
+}
+
+fn ns_field(value: &json::Value, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(json::Value::as_f64)
+        .filter(|n| *n >= 0.0)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("key '{key}' is not a non-negative number"))
+}
+
+/// Parses one `ds-trace/v1` JSONL document into its traces, in first-seen
+/// order, spans sorted by `seq`.
+fn parse_traces(text: &str) -> Result<Vec<Trace>, String> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_id: BTreeMap<String, Vec<SpanRecord>> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parse = |e: String| format!("line {}: {e}", lineno + 1);
+        let value = json::parse(line).map_err(parse)?;
+        let schema = value
+            .get("schema")
+            .and_then(json::Value::as_str)
+            .unwrap_or("");
+        if schema != TRACE_SCHEMA {
+            return Err(format!(
+                "line {}: schema '{schema}' is not '{TRACE_SCHEMA}'",
+                lineno + 1
+            ));
+        }
+        let id = value
+            .get("trace")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| format!("line {}: missing trace id", lineno + 1))?
+            .to_string();
+        let parent = match value.get("parent") {
+            None | Some(json::Value::Null) => None,
+            Some(_) => Some(usize_field(&value, "parent").map_err(parse)?),
+        };
+        let span = SpanRecord {
+            seq: usize_field(&value, "seq").map_err(parse)?,
+            parent,
+            depth: usize_field(&value, "depth").map_err(parse)?,
+            name: value
+                .get("span")
+                .and_then(json::Value::as_str)
+                .ok_or_else(|| format!("line {}: missing span name", lineno + 1))?
+                .to_string(),
+            start_ns: ns_field(&value, "start_ns").map_err(parse)?,
+            elapsed_ns: ns_field(&value, "elapsed_ns").map_err(parse)?,
+        };
+        if !by_id.contains_key(&id) {
+            order.push(id.clone());
+        }
+        by_id.entry(id).or_default().push(span);
+    }
+    Ok(order
+        .into_iter()
+        .map(|id| {
+            let mut spans = by_id.remove(&id).unwrap_or_default();
+            spans.sort_by_key(|s| s.seq);
+            Trace { id, spans }
+        })
+        .collect())
+}
+
+fn run() -> Result<(), String> {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "--help" || p == "-h") {
+        return Err("usage: ds-trace FILE.jsonl [FILE.jsonl ...]".to_string());
+    }
+    let mut traces = Vec::new();
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        traces.extend(parse_traces(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    if traces.is_empty() {
+        return Err("no traces found in the input".to_string());
+    }
+    print!("{}", ds_obs::trace::render_flame(&traces));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ds-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

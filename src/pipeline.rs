@@ -28,7 +28,7 @@ use ds_circuits::{mna, Netlist};
 use ds_descriptor::DescriptorSystem;
 use ds_harness::json;
 use ds_harness::scenario::Scenario;
-use ds_harness::sweep::{verdict_fields, TaskStatus};
+use ds_harness::sweep::{stage_ns_array, verdict_fields, TaskStatus};
 use ds_harness::{run_method, run_single, Method, SweepRecord, SweepTask, LMI_MAX_ORDER};
 use ds_netlist::Deck;
 use ds_passivity::enforce::{enforce_passivity, EnforcementOptions, EnforcementOutcome};
@@ -312,6 +312,19 @@ impl PassivityCheck {
     }
 }
 
+/// Replays per-stage timings onto the active trace (if any) as zero-width
+/// child spans named with the canonical [`ds_obs::STAGES`] list — the one
+/// clock path both the bench binaries and the daemon's stage histograms
+/// read from.  A no-op when the calling thread is not tracing.
+fn emit_stage_spans(stage_ns: &[u64; 8]) {
+    if !ds_obs::trace::is_active() {
+        return;
+    }
+    for (name, ns) in ds_obs::STAGES.iter().zip(stage_ns) {
+        ds_obs::trace::emit_ns(name, *ns);
+    }
+}
+
 fn gate_lmi(method: Method, order: usize) -> Result<(), SuiteError> {
     if method == Method::Lmi && order > LMI_MAX_ORDER {
         return Err(SuiteError::Unsupported(format!(
@@ -359,9 +372,13 @@ impl CheckRequest {
     /// order limit.  A *structurally failing method* is not an error: it is
     /// recorded in [`CheckOutcome::status`], matching the sweep engine.
     pub fn run(&self) -> Result<CheckOutcome, SuiteError> {
+        let _check_span = ds_obs::trace::span("check");
         match &self.source {
             CheckSource::DeckText { name, text } => {
-                let deck = ds_netlist::parse_deck(text)?;
+                let deck = {
+                    let _parse_span = ds_obs::trace::span("parse");
+                    ds_netlist::parse_deck(text)?
+                };
                 let name = name
                     .clone()
                     .unwrap_or_else(|| format!("{:016x}", deck.content_hash()));
@@ -369,7 +386,10 @@ impl CheckRequest {
             }
             CheckSource::Deck { name, deck } => self.run_deck(name, deck),
             CheckSource::Netlist { name, netlist } => {
-                let system = mna::stamp(netlist)?;
+                let system = {
+                    let _stamp_span = ds_obs::trace::span("stamp");
+                    mna::stamp(netlist)?
+                };
                 let model = CircuitModel {
                     name: name.clone(),
                     system,
@@ -402,7 +422,14 @@ impl CheckRequest {
             scenario,
             method: self.method,
         };
-        let record = run_single(&task, 0);
+        let record = {
+            let _method_span = ds_obs::trace::span("method");
+            let record = run_single(&task, 0);
+            if let Some(stage_ns) = &record.stage_ns {
+                emit_stage_spans(stage_ns);
+            }
+            record
+        };
         if record.status == TaskStatus::BuildError {
             // The deck parsed but cannot be stamped (e.g. an indefinite
             // coupled-inductance block): surface it as a circuit error.
@@ -415,6 +442,7 @@ impl CheckRequest {
         outcome.name = name.to_string();
         outcome.canonical_hash = Some(deck.content_hash());
         if self.repair {
+            let _repair_span = ds_obs::trace::span("repair");
             outcome.repair = Some(if outcome.passive == Some(false) {
                 let system = mna::stamp(&deck.netlist)?;
                 repair_outcome(&system)?
@@ -457,7 +485,15 @@ impl CheckRequest {
             record: None,
         };
         let start = Instant::now();
-        match run_method(self.method, model) {
+        let result = {
+            let _method_span = ds_obs::trace::span("method");
+            let result = run_method(self.method, model);
+            if let Ok(report) = &result {
+                emit_stage_spans(&stage_ns_array(&report.timings));
+            }
+            result
+        };
+        match result {
             Ok(report) => {
                 outcome.elapsed = start.elapsed();
                 let (passive, strict, slug) = verdict_fields(&report.verdict);
@@ -476,6 +512,7 @@ impl CheckRequest {
             }
         }
         if self.repair {
+            let _repair_span = ds_obs::trace::span("repair");
             outcome.repair = Some(if outcome.passive == Some(false) {
                 repair_outcome(&model.system)?
             } else {
@@ -560,6 +597,60 @@ mod tests {
         assert!(a
             .report_json()
             .starts_with("{\"schema\":\"ds-check-report/v1\""));
+    }
+
+    #[test]
+    fn report_json_is_identical_with_and_without_volatile_timings() {
+        let outcome = PassivityCheck::deck_text(DECK).run().unwrap();
+        let record = outcome.record.clone().expect("deck record");
+        // The record must actually carry timings, or the exclusion check
+        // below would pass vacuously.
+        assert!(record.stage_ns.is_some(), "record lost its stage timings");
+        assert!(record.elapsed > Duration::ZERO);
+        let mut stripped = record.clone();
+        stripped.stage_ns = None;
+        stripped.elapsed = Duration::ZERO;
+        stripped.worker = 0;
+        assert_eq!(
+            CheckOutcome::from_record(&record).report_json(),
+            CheckOutcome::from_record(&stripped).report_json()
+        );
+        for leaked in ["stage_ns", "elapsed", "worker", "start_ns"] {
+            assert!(
+                !outcome.report_json().contains(leaked),
+                "volatile field {leaked:?} leaked into the stable report"
+            );
+        }
+    }
+
+    #[test]
+    fn tracing_captures_stage_spans_without_changing_the_report() {
+        let untraced = PassivityCheck::deck_text(DECK).run().unwrap();
+        ds_obs::trace::begin("pipeline-test");
+        let traced = PassivityCheck::deck_text(DECK).run().unwrap();
+        let trace = ds_obs::trace::end().expect("trace");
+        // Verdicts are byte-identical with tracing on.
+        assert_eq!(untraced.report_json(), traced.report_json());
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in ["check", "parse", "method"] {
+            assert!(
+                names.contains(&expected),
+                "missing span {expected}: {names:?}"
+            );
+        }
+        for stage in ds_obs::STAGES {
+            assert!(
+                names.contains(&stage),
+                "missing stage span {stage}: {names:?}"
+            );
+        }
+        let find = |name: &str| trace.spans.iter().find(|s| s.name == name).unwrap();
+        assert_eq!(find("check").parent, None);
+        assert_eq!(find("parse").parent, Some(find("check").seq));
+        assert_eq!(find("total").parent, Some(find("method").seq));
+        assert!(find("total").elapsed_ns > 0);
+        let stage_sum: u64 = ds_obs::STAGES[..7].iter().map(|s| find(s).elapsed_ns).sum();
+        assert_eq!(stage_sum, find("total").elapsed_ns);
     }
 
     #[test]
