@@ -92,6 +92,50 @@ pub fn rlc_ladder(sections: usize, r: f64, l: f64, c: f64) -> Result<CircuitMode
     })
 }
 
+/// The netlist behind [`rlc_ladder`] — without stamping it, so order-10⁴
+/// variants can go straight to [`mna::stamp_sparse`] with no dense
+/// intermediate.  State dimension = `2·sections + 1`.
+///
+/// With `coupled`, disjoint inductor pairs `(2j, 2j+1)` are coupled with a
+/// small positive `k`: the coupling graph stays a matching, so the sparse
+/// PSD guard only ever sees 2×2 blocks and the netlist remains passive by
+/// construction.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnrealizableOrder`] for zero sections.
+pub fn reduced_ladder_netlist(sections: usize, coupled: bool) -> Result<Netlist, CircuitError> {
+    if sections == 0 {
+        return Err(CircuitError::UnrealizableOrder {
+            requested: 0,
+            details: "reduced_ladder_netlist needs at least one section".into(),
+        });
+    }
+    let (r, l, c) = (1.0, 0.5, 1.0);
+    let num_nodes = sections + 1;
+    let mut net = Netlist::new(num_nodes);
+    net.port(Port::to_ground(1));
+    for k in 0..sections {
+        let a = k + 1;
+        let b = k + 2;
+        net.resistor(a, b, r * (1.0 + 0.02 * k as f64));
+        if coupled {
+            net.named_inductor(format!("L{k}"), a, b, l * (1.0 + 0.04 * k as f64));
+        } else {
+            net.inductor(a, b, l * (1.0 + 0.04 * k as f64));
+        }
+        net.capacitor(b, 0, c * (1.0 + 0.01 * k as f64));
+    }
+    if coupled {
+        for j in 0..sections / 2 {
+            let (p, q) = (2 * j, 2 * j + 1);
+            net.couple(format!("K{j}"), format!("L{p}"), format!("L{q}"), 0.35);
+        }
+    }
+    net.resistor(num_nodes, 0, 10.0 * r);
+    Ok(net)
+}
+
 /// The Table-1 / Figure-2 workload: an RLC ladder whose port is fed through a
 /// series inductor, so the impedance behaves like `s·L_port` at high frequency
 /// — the model is passive *and* has impulsive modes (nonzero `M₁ ⪰ 0`).
@@ -336,6 +380,26 @@ mod tests {
         assert!(rc_ladder(0, 1.0, 1.0).is_err());
         assert!(rlc_ladder(0, 1.0, 1.0, 1.0).is_err());
         assert!(rc_grid(1, 5).is_err());
+    }
+
+    #[test]
+    fn reduced_ladder_netlist_matches_rlc_ladder_and_scales() {
+        // Uncoupled: same topology and values as rlc_ladder(s, 1.0, 0.5, 1.0).
+        let net = reduced_ladder_netlist(4, false).unwrap();
+        let sys = mna::stamp(&net).unwrap();
+        let reference = rlc_ladder(4, 1.0, 0.5, 1.0).unwrap().system;
+        assert_eq!(sys.order(), reference.order());
+        for i in 0..sys.order() {
+            for j in 0..sys.order() {
+                assert_eq!(sys.e()[(i, j)].to_bits(), reference.e()[(i, j)].to_bits());
+                assert_eq!(sys.a()[(i, j)].to_bits(), reference.a()[(i, j)].to_bits());
+            }
+        }
+        // Coupled: passes the sparse PSD guard and keeps order 2s + 1.
+        let coupled = reduced_ladder_netlist(51, true).unwrap();
+        let mna = mna::stamp_sparse(&coupled).unwrap();
+        assert_eq!(mna.order(), 2 * 51 + 1);
+        assert!(reduced_ladder_netlist(0, false).is_err());
     }
 
     #[test]

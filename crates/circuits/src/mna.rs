@@ -21,6 +21,7 @@ use crate::error::CircuitError;
 use crate::netlist::{Element, Netlist, Port};
 use ds_descriptor::DescriptorSystem;
 use ds_linalg::decomp::symmetric;
+use ds_linalg::sparse::{Coo, Csr};
 use ds_linalg::Matrix;
 
 /// Stamps the netlist into an MNA descriptor system (impedance formulation:
@@ -46,13 +47,7 @@ pub fn stamp(netlist: &Netlist) -> Result<DescriptorSystem, CircuitError> {
     for element in &netlist.elements {
         match *element {
             Element::Resistor { a, b, value } => {
-                // A zero-ohm resistor would be a short; treat tiny |R| as an error.
-                if value.abs() < 1e-300 {
-                    return Err(CircuitError::BadElementValue {
-                        details: "resistor with zero resistance".into(),
-                    });
-                }
-                let g = 1.0 / value;
+                let g = resistor_conductance(value)?;
                 stamp_two_terminal(&mut cond, a, b, g);
             }
             Element::Conductance { a, b, value } => {
@@ -80,22 +75,14 @@ pub fn stamp(netlist: &Netlist) -> Result<DescriptorSystem, CircuitError> {
     // indefinite — an unphysical inductance configuration the stamper
     // rejects rather than silently producing a bogus descriptor model.
     if !netlist.couplings.is_empty() {
-        for (p, q, k) in netlist.resolved_couplings()? {
+        let resolved = netlist.resolved_couplings()?;
+        for &(p, q, k) in &resolved {
             let m = k * (ind[(p, p)] * ind[(q, q)]).sqrt();
             ind[(p, q)] += m;
             ind[(q, p)] += m;
         }
-        let scale = ind.diagonal().iter().fold(1.0f64, |acc, &d| acc.max(d));
-        let min = symmetric::min_eigenvalue(&ind).map_err(|e| CircuitError::BadElementValue {
-            details: format!("inductance-matrix eigenvalue check failed: {e}"),
-        })?;
-        if min < -1e-12 * scale {
-            return Err(CircuitError::BadElementValue {
-                details: format!(
-                    "coupled inductance matrix is not positive semidefinite (λ_min = {min:.3e})"
-                ),
-            });
-        }
+        let values: Vec<f64> = (0..n_ind).map(|i| ind[(i, i)]).collect();
+        validate_coupled_inductance(&values, &resolved)?;
     }
 
     // Port incidence matrix.
@@ -139,6 +126,301 @@ fn apply_port(incidence: &mut Matrix, port: &Port, column: usize) {
     }
     if port.node_minus > 0 {
         incidence[(port.node_minus - 1, column)] -= 1.0;
+    }
+}
+
+/// The element-value check both stampers share: a zero-ohm resistor would be
+/// a short; treat tiny |R| as an error.
+fn resistor_conductance(value: f64) -> Result<f64, CircuitError> {
+    if value.abs() < 1e-300 {
+        return Err(CircuitError::BadElementValue {
+            details: "resistor with zero resistance".into(),
+        });
+    }
+    Ok(1.0 / value)
+}
+
+/// The PSD guard both stampers share, at sparse-friendly cost: the coupled
+/// inductance matrix is block-diagonal over the connected components of the
+/// coupling graph, so its spectrum is the union of the (small) component
+/// spectra — an order-10⁴ netlist with pairwise couplings never sees an
+/// `O(n³)` whole-matrix eigensolve.  Uncoupled inductors have strictly
+/// positive diagonal values (validated) and cannot produce the minimum.
+fn validate_coupled_inductance(
+    values: &[f64],
+    resolved: &[(usize, usize, f64)],
+) -> Result<(), CircuitError> {
+    if resolved.is_empty() {
+        return Ok(());
+    }
+    let scale = values.iter().fold(1.0f64, |acc, &d| acc.max(d));
+    // Union-find over the coupling graph.
+    let mut parent: Vec<usize> = (0..values.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for &(p, q, _) in resolved {
+        let (rp, rq) = (find(&mut parent, p), find(&mut parent, q));
+        parent[rp] = rq;
+    }
+    // Group the coupled inductors by component root.
+    let mut members: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
+    for &(p, q, _) in resolved {
+        for i in [p, q] {
+            let root = find(&mut parent, i);
+            let slot = members.entry(root).or_default();
+            if !slot.contains(&i) {
+                slot.push(i);
+            }
+        }
+    }
+    let mut min = f64::INFINITY;
+    for slot in members.values_mut() {
+        slot.sort_unstable();
+        let local: std::collections::HashMap<usize, usize> =
+            slot.iter().enumerate().map(|(li, &gi)| (gi, li)).collect();
+        let mut block = Matrix::zeros(slot.len(), slot.len());
+        for (li, &gi) in slot.iter().enumerate() {
+            block[(li, li)] = values[gi];
+        }
+        for &(p, q, k) in resolved {
+            let (Some(&lp), Some(&lq)) = (local.get(&p), local.get(&q)) else {
+                continue;
+            };
+            let m = k * (values[p] * values[q]).sqrt();
+            block[(lp, lq)] += m;
+            block[(lq, lp)] += m;
+        }
+        let block_min =
+            symmetric::min_eigenvalue(&block).map_err(|e| CircuitError::BadElementValue {
+                details: format!("inductance-matrix eigenvalue check failed: {e}"),
+            })?;
+        min = min.min(block_min);
+    }
+    if min < -1e-12 * scale {
+        return Err(CircuitError::BadElementValue {
+            details: format!(
+                "coupled inductance matrix is not positive semidefinite (λ_min = {min:.3e})"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The sparse MNA stamp of a netlist, in the PRIMA `(C, G, B, L)` form
+///
+/// ```text
+/// C x' = −G x + B u,    y = Lᵀ x
+/// ```
+///
+/// with `C = diag(C_cap, L_ind)` and `G = [[G_cond, A_L], [−A_Lᵀ, 0]]` —
+/// exactly the blocks the dense [`stamp`] assembles into `E = C`, `A = −G`,
+/// except no dense matrix is ever materialized.  [`SparseMna::to_dense`]
+/// replays the dense assembly bit-for-bit (the COO→CSR conversion sums
+/// duplicate entries in insertion order, matching the dense `+=` sequence),
+/// which the conformance suite pins.
+#[derive(Debug, Clone)]
+pub struct SparseMna {
+    /// Number of non-ground nodes.
+    pub num_nodes: usize,
+    /// Number of inductor branch currents.
+    pub num_inductors: usize,
+    /// Number of ports.
+    pub num_ports: usize,
+    cap: Csr,
+    cond: Csr,
+    ind: Csr,
+    incidence_l: Csr,
+    incidence_p: Csr,
+}
+
+impl SparseMna {
+    /// MNA state dimension (node voltages + inductor currents).
+    pub fn order(&self) -> usize {
+        self.num_nodes + self.num_inductors
+    }
+
+    /// The PRIMA `C` block `diag(C_cap, L_ind)` (the descriptor `E`).
+    pub fn c_matrix(&self) -> Csr {
+        let n = self.order();
+        let mut coo = Coo::with_capacity(n, n, self.cap.nnz() + self.ind.nnz());
+        push_block(&mut coo, &self.cap, 0, 0, 1.0);
+        push_block(&mut coo, &self.ind, self.num_nodes, self.num_nodes, 1.0);
+        coo.to_csr()
+    }
+
+    /// The PRIMA `G` block `[[G_cond, A_L], [−A_Lᵀ, 0]]` (the negated
+    /// descriptor `A`).
+    pub fn g_matrix(&self) -> Csr {
+        let n = self.order();
+        let nnz = self.cond.nnz() + 2 * self.incidence_l.nnz();
+        let mut coo = Coo::with_capacity(n, n, nnz);
+        push_block(&mut coo, &self.cond, 0, 0, 1.0);
+        push_block(&mut coo, &self.incidence_l, 0, self.num_nodes, 1.0);
+        push_block(
+            &mut coo,
+            &self.incidence_l.transpose(),
+            self.num_nodes,
+            0,
+            -1.0,
+        );
+        coo.to_csr()
+    }
+
+    /// The port map `B = [A_P; 0]` as a dense `n × m` matrix (ports are few;
+    /// `L = B` in the impedance formulation, which is what makes the
+    /// congruence projection passivity-preserving).
+    pub fn b_dense(&self) -> Matrix {
+        let mut b = Matrix::zeros(self.order(), self.num_ports);
+        for r in 0..self.num_nodes {
+            let (cols, vals) = self.incidence_p.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                b[(r, c)] = v;
+            }
+        }
+        b
+    }
+
+    /// Densifies into the same [`DescriptorSystem`] the dense [`stamp`]
+    /// produces — bit-identical, because each sparse block accumulated its
+    /// entries in the dense stamp's order and the assembly below is the
+    /// dense stamper's own code path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor-construction failures.
+    pub fn to_dense(&self) -> Result<DescriptorSystem, CircuitError> {
+        let cap = self.cap.to_dense();
+        let cond = self.cond.to_dense();
+        let ind = self.ind.to_dense();
+        let incidence_l = self.incidence_l.to_dense();
+        let incidence_p = self.incidence_p.to_dense();
+        let n_ind = self.num_inductors;
+        let m = self.num_ports;
+        let e = Matrix::block_diag(&[&cap, &ind]);
+        let a = Matrix::from_blocks_2x2(
+            &cond.scale(-1.0),
+            &incidence_l.scale(-1.0),
+            &incidence_l.transpose(),
+            &Matrix::zeros(n_ind, n_ind),
+        );
+        let b = Matrix::vstack(&[&incidence_p, &Matrix::zeros(n_ind, m)]);
+        let c = b.transpose();
+        let d = Matrix::zeros(m, m);
+        Ok(DescriptorSystem::new(e, a, b, c, d)?)
+    }
+}
+
+/// Appends every entry of `block`, scaled, at a row/column offset.
+fn push_block(coo: &mut Coo, block: &Csr, row_off: usize, col_off: usize, scale: f64) {
+    for r in 0..block.rows() {
+        let (cols, vals) = block.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            coo.push(row_off + r, col_off + c, scale * v);
+        }
+    }
+}
+
+/// Stamps the netlist directly into sparse `(C, G, B, L)` MNA form — the
+/// entry point of the reduce-then-verify path.  Shares element and coupling
+/// validation with the dense [`stamp`]; the PSD guard on the coupled
+/// inductance matrix runs per connected component of the coupling graph, so
+/// it scales to order-10⁴ netlists.
+///
+/// # Errors
+///
+/// Same contract as [`stamp`]: netlist validation errors, the zero-resistance
+/// check, and the indefinite-coupling rejection.
+pub fn stamp_sparse(netlist: &Netlist) -> Result<SparseMna, CircuitError> {
+    netlist.validate()?;
+    let n_nodes = netlist.num_nodes;
+    let n_ind = netlist.num_inductors();
+    let m = netlist.ports.len();
+
+    let mut cap = Coo::new(n_nodes, n_nodes);
+    let mut cond = Coo::new(n_nodes, n_nodes);
+    let mut ind = Coo::new(n_ind, n_ind);
+    let mut incidence_l = Coo::new(n_nodes, n_ind);
+    let mut l_values = Vec::with_capacity(n_ind);
+
+    let mut l_index = 0usize;
+    for element in &netlist.elements {
+        match *element {
+            Element::Resistor { a, b, value } => {
+                let g = resistor_conductance(value)?;
+                stamp_two_terminal_sparse(&mut cond, a, b, g);
+            }
+            Element::Conductance { a, b, value } => {
+                stamp_two_terminal_sparse(&mut cond, a, b, value);
+            }
+            Element::Capacitor { a, b, value } => {
+                stamp_two_terminal_sparse(&mut cap, a, b, value);
+            }
+            Element::Inductor { a, b, value } => {
+                ind.push(l_index, l_index, value);
+                l_values.push(value);
+                if a > 0 {
+                    incidence_l.push(a - 1, l_index, 1.0);
+                }
+                if b > 0 {
+                    incidence_l.push(b - 1, l_index, -1.0);
+                }
+                l_index += 1;
+            }
+        }
+    }
+
+    if !netlist.couplings.is_empty() {
+        let resolved = netlist.resolved_couplings()?;
+        for &(p, q, k) in &resolved {
+            let m = k * (l_values[p] * l_values[q]).sqrt();
+            ind.push(p, q, m);
+            ind.push(q, p, m);
+        }
+        validate_coupled_inductance(&l_values, &resolved)?;
+    }
+
+    let mut incidence_p = Coo::new(n_nodes, m);
+    for (j, port) in netlist.ports.iter().enumerate() {
+        if port.node_plus > 0 {
+            incidence_p.push(port.node_plus - 1, j, 1.0);
+        }
+        if port.node_minus > 0 {
+            incidence_p.push(port.node_minus - 1, j, -1.0);
+        }
+    }
+
+    Ok(SparseMna {
+        num_nodes: n_nodes,
+        num_inductors: n_ind,
+        num_ports: m,
+        cap: cap.to_csr(),
+        cond: cond.to_csr(),
+        ind: ind.to_csr(),
+        incidence_l: incidence_l.to_csr(),
+        incidence_p: incidence_p.to_csr(),
+    })
+}
+
+/// The sparse twin of [`stamp_two_terminal`]: pushing `−value` is IEEE-exact
+/// for the dense `-=` (subtraction is addition of the negation), and the
+/// COO→CSR conversion replays the per-cell accumulation in this insertion
+/// order.
+fn stamp_two_terminal_sparse(coo: &mut Coo, a: usize, b: usize, value: f64) {
+    if a > 0 {
+        coo.push(a - 1, a - 1, value);
+    }
+    if b > 0 {
+        coo.push(b - 1, b - 1, value);
+    }
+    if a > 0 && b > 0 {
+        coo.push(a - 1, b - 1, -value);
+        coo.push(b - 1, a - 1, -value);
     }
 }
 
@@ -310,6 +592,138 @@ mod tests {
             stamp(&net),
             Err(CircuitError::BadElementValue { .. })
         ));
+    }
+
+    fn assert_bit_identical(netlist: &Netlist) {
+        let dense = stamp(netlist).unwrap();
+        let sparse = stamp_sparse(netlist).unwrap().to_dense().unwrap();
+        assert_eq!(dense.order(), sparse.order());
+        assert_eq!(dense.num_inputs(), sparse.num_inputs());
+        let pairs = [
+            (dense.e(), sparse.e()),
+            (dense.a(), sparse.a()),
+            (dense.b(), sparse.b()),
+            (dense.c(), sparse.c()),
+            (dense.d(), sparse.d()),
+        ];
+        for (d, s) in pairs {
+            assert_eq!(d.rows(), s.rows());
+            assert_eq!(d.cols(), s.cols());
+            for i in 0..d.rows() {
+                for j in 0..d.cols() {
+                    assert_eq!(
+                        d[(i, j)].to_bits(),
+                        s[(i, j)].to_bits(),
+                        "mismatch at ({i}, {j}): {} vs {}",
+                        d[(i, j)],
+                        s[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_stamp_is_bit_identical_to_dense_on_rlc_with_couplings() {
+        let mut net = Netlist::new(4);
+        net.resistor(1, 2, 3.0)
+            .capacitor(2, 0, 0.5)
+            .named_inductor("L1", 2, 3, 0.25)
+            .named_inductor("L2", 3, 4, 0.75)
+            .conductance(3, 0, 0.1)
+            .capacitor(4, 0, 1.5)
+            .resistor(4, 0, 10.0)
+            .couple("K1", "L1", "L2", 0.4)
+            .port(Port::to_ground(1))
+            .port(Port {
+                node_plus: 3,
+                node_minus: 4,
+            });
+        assert_bit_identical(&net);
+    }
+
+    #[test]
+    fn sparse_stamp_is_bit_identical_on_a_floating_bridge() {
+        let mut net = Netlist::new(2);
+        net.resistor(1, 0, 1.0)
+            .resistor(2, 0, 1.0)
+            .resistor(1, 2, 1.0)
+            .capacitor(1, 0, 1.0)
+            .port(Port {
+                node_plus: 1,
+                node_minus: 2,
+            });
+        assert_bit_identical(&net);
+    }
+
+    #[test]
+    fn sparse_stamp_matches_dense_transfer_function() {
+        let mut net = Netlist::new(2);
+        net.resistor(1, 2, 3.0)
+            .inductor(2, 0, 0.25)
+            .port(Port::to_ground(1));
+        let sys = stamp_sparse(&net).unwrap().to_dense().unwrap();
+        let z = transfer::evaluate(&sys, Complex::new(0.0, 4.0)).unwrap();
+        assert!((z.re[(0, 0)] - 3.0).abs() < 1e-10);
+        assert!((z.im[(0, 0)] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sparse_stamp_rejects_indefinite_coupling_and_zero_resistance() {
+        let mut net = Netlist::new(3);
+        net.named_inductor("LA", 1, 0, 1.0)
+            .named_inductor("LB", 2, 0, 1.0)
+            .named_inductor("LC", 3, 0, 1.0)
+            .couple("K1", "LA", "LB", 0.9)
+            .couple("K2", "LB", "LC", 0.9)
+            .couple("K3", "LA", "LC", -0.9)
+            .port(Port::to_ground(1));
+        assert!(matches!(
+            stamp_sparse(&net),
+            Err(CircuitError::BadElementValue { details })
+                if details.contains("not positive semidefinite")
+        ));
+
+        let mut short = Netlist::new(1);
+        short.resistor(1, 0, 0.0).port(Port::to_ground(1));
+        assert!(matches!(
+            stamp_sparse(&short),
+            Err(CircuitError::BadElementValue { .. })
+        ));
+
+        let mut dangling = Netlist::new(2);
+        dangling
+            .named_inductor("L1", 1, 2, 1.0)
+            .resistor(2, 0, 1.0)
+            .couple("K1", "L1", "L9", 0.2)
+            .port(Port::to_ground(1));
+        assert!(matches!(
+            stamp_sparse(&dangling),
+            Err(CircuitError::CouplingTargetNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn sparse_blocks_reconstruct_the_descriptor_pieces() {
+        let mut net = Netlist::new(2);
+        net.resistor(1, 2, 2.0)
+            .inductor(2, 0, 0.5)
+            .capacitor(1, 0, 0.25)
+            .port(Port::to_ground(1));
+        let mna = stamp_sparse(&net).unwrap();
+        let dense = stamp(&net).unwrap();
+        let c = mna.c_matrix().to_dense();
+        let g = mna.g_matrix().to_dense();
+        let b = mna.b_dense();
+        let n = mna.order();
+        assert_eq!(n, dense.order());
+        for i in 0..n {
+            for j in 0..n {
+                assert!((c[(i, j)] - dense.e()[(i, j)]).abs() < 1e-15);
+                assert!((g[(i, j)] + dense.a()[(i, j)]).abs() < 1e-15);
+            }
+            assert!((b[(i, 0)] - dense.b()[(i, 0)]).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -19,7 +19,8 @@ pub fn jsonl_line(record: &SweepRecord) -> String {
             "{{\"task\":{},\"family\":{},\"scenario\":{},\"order\":{},\"ports\":{},",
             "\"seed\":{},\"margin\":{},\"method\":{},\"status\":{},\"passive\":{},",
             "\"strict\":{},\"reason\":{},\"expected_passive\":{},\"agrees\":{},",
-            "\"violation_count\":{},\"witness_frequency\":{}}}"
+            "\"violation_count\":{},\"witness_frequency\":{},",
+            "\"reduced_order\":{},\"residual\":{}}}"
         ),
         record.task_id,
         json::quote(record.family),
@@ -37,7 +38,35 @@ pub fn jsonl_line(record: &SweepRecord) -> String {
         json::opt_bool(record.agrees),
         json::opt_usize(record.violation_count),
         json::opt_number(record.witness_frequency),
+        json::opt_usize(record.reduced_order),
+        json::opt_number(record.residual),
     )
+}
+
+/// Renders the *segment* JSONL line for one record: the canonical line plus
+/// the volatile `reduction_ns` timing.  Store segments persist the reduction
+/// wall time; the canonical merged/sweep artifacts stay byte-deterministic by
+/// excluding it (the parser accepts both forms).
+pub fn segment_jsonl_line(record: &SweepRecord) -> String {
+    let line = jsonl_line(record);
+    match record.reduction_ns {
+        None => line,
+        Some(ns) => format!(
+            "{},\"reduction_ns\":{ns}}}",
+            line.strip_suffix('}').expect("jsonl_line ends with '}'")
+        ),
+    }
+}
+
+/// Renders the full segment JSONL text (one [`segment_jsonl_line`] per
+/// record).
+pub fn render_segment_jsonl(records: &[SweepRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&segment_jsonl_line(record));
+        out.push('\n');
+    }
+    out
 }
 
 /// Renders the full sorted JSONL artifact (one line per record).
@@ -52,7 +81,8 @@ pub fn render_jsonl(records: &[SweepRecord]) -> String {
 
 /// The CSV artifact header.
 pub const CSV_HEADER: &str = "task,family,scenario,order,ports,seed,margin,method,status,passive,\
-strict,reason,expected_passive,agrees,violation_count,witness_frequency,elapsed_seconds,worker";
+strict,reason,expected_passive,agrees,violation_count,witness_frequency,reduced_order,residual,\
+reduction_ns,elapsed_seconds,worker";
 
 fn csv_quote(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
@@ -73,7 +103,7 @@ fn opt_bool_csv(v: Option<bool>) -> &'static str {
 /// Renders one CSV row (timing and worker columns included).
 pub fn csv_line(record: &SweepRecord) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{}",
         record.task_id,
         csv_quote(record.family),
         csv_quote(&record.scenario),
@@ -94,6 +124,11 @@ pub fn csv_line(record: &SweepRecord) -> String {
         record
             .witness_frequency
             .map_or(String::new(), |v| v.to_string()),
+        record
+            .reduced_order
+            .map_or(String::new(), |v| v.to_string()),
+        record.residual.map_or(String::new(), |v| v.to_string()),
+        record.reduction_ns.map_or(String::new(), |v| v.to_string()),
         record.elapsed.as_secs_f64(),
         record.worker,
     )
@@ -128,6 +163,8 @@ const JSONL_REQUIRED_KEYS: &[&str] = &[
     "expected_passive",
     "agrees",
     "violation_count",
+    "reduced_order",
+    "residual",
 ];
 
 /// Validates a JSONL artifact: every line must parse as a JSON object with

@@ -92,6 +92,11 @@ pub fn golden_scenarios() -> Vec<Scenario> {
             .with_ports(2)
             .with_seed(1),
         Scenario::new(FamilyKind::RandomNonpassive, 5),
+        // Reduce-then-verify cells at fixture-friendly original orders: 49
+        // (one section past the default target, so the projection truncates)
+        // and 199 with the coupled-inductor variant.
+        Scenario::new(FamilyKind::Reduced, 24),
+        Scenario::new(FamilyKind::Reduced, 99).with_seed(1),
     ];
     scenarios.extend(golden_deck_scenarios());
     scenarios
@@ -283,9 +288,9 @@ mod tests {
     #[test]
     fn golden_matrix_is_stable_and_small() {
         let tasks = golden_tasks();
-        // 23 scenarios × 2 methods + the small-order LMI subset.
-        assert!(tasks.len() >= 46, "golden matrix shrank: {}", tasks.len());
-        assert!(tasks.len() <= 72, "golden matrix grew: {}", tasks.len());
+        // 25 scenarios × 2 methods + the small-order LMI subset.
+        assert!(tasks.len() >= 50, "golden matrix shrank: {}", tasks.len());
+        assert!(tasks.len() <= 76, "golden matrix grew: {}", tasks.len());
         assert!(tasks
             .iter()
             .filter(|t| t.method == Method::Lmi)
@@ -300,6 +305,7 @@ mod tests {
             "boundary_band",
             "deck",
             "random_nonpassive",
+            "reduced",
         ] {
             assert!(
                 tasks.iter().any(|t| t.scenario.family.name() == family),

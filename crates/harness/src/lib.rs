@@ -48,13 +48,17 @@ pub mod artifacts;
 pub mod golden;
 pub mod json;
 pub mod method;
+pub mod reduce;
 pub mod scenario;
 pub mod store;
 pub mod sweep;
 pub mod sync;
 
-pub use artifacts::{render_csv, render_jsonl, validate_csv, validate_jsonl, SweepSummary};
+pub use artifacts::{
+    render_csv, render_jsonl, render_segment_jsonl, validate_csv, validate_jsonl, SweepSummary,
+};
 pub use method::{run_method, Method, LMI_MAX_ORDER};
+pub use reduce::{build_reduced, reduce_netlist, ReductionStats};
 pub use scenario::{
     deck_scenarios_from_dir, deck_seed, scenario_matrix, DeckSpec, FamilyKind, Scenario,
     ScenarioKey, SweepTask,
@@ -69,6 +73,7 @@ pub use sync::{lock_infallible, wait_timeout_infallible};
 pub mod prelude {
     pub use crate::artifacts::{render_csv, render_jsonl, SweepSummary};
     pub use crate::method::{run_method, Method, LMI_MAX_ORDER};
+    pub use crate::reduce::{build_reduced, reduce_netlist, ReductionStats};
     pub use crate::scenario::{
         deck_scenarios_from_dir, quick_scenarios, scenario_matrix, standard_scenarios,
         standard_tasks, DeckSpec, FamilyKind, Scenario, ScenarioKey, SweepTask,

@@ -50,11 +50,16 @@ pub enum FamilyKind {
     RandomPassive,
     /// Randomized non-passive descriptor (`size` = dynamic states, `seed`).
     RandomNonpassive,
+    /// Reduce-then-verify RLC ladder (`size` = sections, original order
+    /// `2·size + 1`): stamped sparsely and Krylov-projected to a dense model
+    /// of order ≤ 48 before verification.  Odd seeds couple disjoint inductor
+    /// pairs.
+    Reduced,
 }
 
 impl FamilyKind {
     /// Every family, in declaration order.
-    pub const ALL: [FamilyKind; 15] = [
+    pub const ALL: [FamilyKind; 16] = [
         FamilyKind::RcLadder,
         FamilyKind::RlcLadder,
         FamilyKind::ImpulsiveLadder,
@@ -70,6 +75,7 @@ impl FamilyKind {
         FamilyKind::NegativeM1,
         FamilyKind::RandomPassive,
         FamilyKind::RandomNonpassive,
+        FamilyKind::Reduced,
     ];
 
     /// Parses a stable family identifier back to the family (the inverse of
@@ -96,6 +102,7 @@ impl FamilyKind {
             FamilyKind::NegativeM1 => "negative_m1",
             FamilyKind::RandomPassive => "random_passive",
             FamilyKind::RandomNonpassive => "random_nonpassive",
+            FamilyKind::Reduced => "reduced",
         }
     }
 }
@@ -257,6 +264,7 @@ impl Scenario {
                     }
             }
             FamilyKind::RandomNonpassive => s + 1,
+            FamilyKind::Reduced => 2 * s + 1,
         }
     }
 
@@ -325,6 +333,7 @@ impl Scenario {
                     has_impulsive_modes: options.with_impulsive_part,
                 })
             }
+            FamilyKind::Reduced => crate::reduce::build_reduced(self).map(|(model, _)| model),
             FamilyKind::RandomNonpassive => {
                 let options = RandomPassiveOptions {
                     dynamic_states: self.size,
@@ -471,6 +480,7 @@ pub fn quick_scenarios() -> Vec<Scenario> {
         Scenario::new(FamilyKind::NegativeM1, 8),
         Scenario::new(FamilyKind::RandomPassive, 5).with_seed(2),
         Scenario::new(FamilyKind::RandomNonpassive, 5).with_seed(0),
+        Scenario::new(FamilyKind::Reduced, 30),
     ]
 }
 
@@ -529,6 +539,10 @@ pub fn standard_scenarios(seeds: u64) -> Vec<Scenario> {
         scenarios.push(Scenario::new(FamilyKind::NonpassiveLadder, order));
         scenarios.push(Scenario::new(FamilyKind::NegativeM1, order));
     }
+    for &sections in &[30usize, 60] {
+        scenarios.push(Scenario::new(FamilyKind::Reduced, sections));
+        scenarios.push(Scenario::new(FamilyKind::Reduced, sections).with_seed(1));
+    }
     scenarios
 }
 
@@ -572,6 +586,7 @@ mod tests {
             Scenario::new(FamilyKind::RandomPassive, 5).with_seed(2),
             Scenario::new(FamilyKind::RandomPassive, 5).with_seed(1),
             Scenario::new(FamilyKind::RandomNonpassive, 5),
+            Scenario::new(FamilyKind::Reduced, 8),
         ];
         for scenario in scenarios {
             let model = scenario.build().unwrap();

@@ -178,6 +178,36 @@ pub fn record_from_jsonl_line(line: &str) -> Result<SweepRecord, String> {
                 .ok_or_else(|| "key 'witness_frequency' is not a number or null".to_string())?,
         ),
     };
+    // Added in schema v3 (the reduce-then-verify path); older segments lack
+    // the keys, which reads as "not a reduced task".
+    let reduced_order = match value.get("reduced_order") {
+        None | Some(json::Value::Null) => None,
+        Some(other) => Some(
+            other
+                .as_f64()
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .ok_or_else(|| "key 'reduced_order' is not a count or null".to_string())?
+                as usize,
+        ),
+    };
+    let residual = match value.get("residual") {
+        None | Some(json::Value::Null) => None,
+        Some(other) => Some(
+            other
+                .as_f64()
+                .ok_or_else(|| "key 'residual' is not a number or null".to_string())?,
+        ),
+    };
+    let reduction_ns = match value.get("reduction_ns") {
+        None | Some(json::Value::Null) => None,
+        Some(other) => Some(
+            other
+                .as_f64()
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .ok_or_else(|| "key 'reduction_ns' is not a count or null".to_string())?
+                as u64,
+        ),
+    };
     Ok(SweepRecord {
         task_id: usize_field(&value, "task")?,
         family: family.name(),
@@ -205,6 +235,9 @@ pub fn record_from_jsonl_line(line: &str) -> Result<SweepRecord, String> {
         agrees: opt_bool_field(&value, "agrees")?,
         violation_count,
         witness_frequency,
+        reduced_order,
+        residual,
+        reduction_ns,
         stage_ns: None,
         elapsed: Duration::ZERO,
         worker: 0,
@@ -348,7 +381,7 @@ impl ResultStore {
         if path.exists() {
             return Err(format!("segment {} already exists", path.display()));
         }
-        let text = artifacts::render_jsonl(records);
+        let text = artifacts::render_segment_jsonl(records);
         let tmp = self.dir.join(format!(".segment-{stamp}.jsonl.tmp"));
         std::fs::write(&tmp, &text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, &path)

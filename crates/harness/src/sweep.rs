@@ -90,6 +90,16 @@ pub struct SweepRecord {
     /// floating-point by-product of an iterative eigensolve, so golden
     /// comparisons treat it as approximate (see `golden::semantic_diff`).
     pub witness_frequency: Option<f64>,
+    /// Achieved reduced order for reduce-then-verify tasks (`None` for the
+    /// dense families).
+    pub reduced_order: Option<usize>,
+    /// Krylov truncation residual for reduce-then-verify tasks.
+    pub residual: Option<f64>,
+    /// Wall-clock nanoseconds of sparse stamp + Krylov projection for
+    /// reduce-then-verify tasks.  Persisted in the JSONL artifact — unlike
+    /// `elapsed`/`stage_ns` it is part of the reduction's recorded outcome,
+    /// and golden comparisons never read it.
+    pub reduction_ns: Option<u64>,
     /// Per-stage wall-clock nanoseconds of the method run, laid out in the
     /// canonical `ds_obs::STAGES` order (seven pipeline stages then the
     /// total).  Volatile like `elapsed`/`worker`: excluded from the JSONL
@@ -274,18 +284,34 @@ fn run_task(
         agrees: None,
         violation_count,
         witness_frequency: None,
+        reduced_order: None,
+        residual: None,
+        reduction_ns: None,
         stage_ns: None,
         elapsed: Duration::ZERO,
         worker,
     };
-    let model = match scenario.build() {
-        Ok(model) => model,
+    // Reduce-then-verify families build through the sparse path so the
+    // reduction diagnostics land on the record; everything else uses the
+    // scenario's own builder.
+    let built = if scenario.family == crate::scenario::FamilyKind::Reduced {
+        crate::reduce::build_reduced(scenario).map(|(model, stats)| (model, Some(stats)))
+    } else {
+        scenario.build().map(|model| (model, None))
+    };
+    let (model, reduction) = match built {
+        Ok(pair) => pair,
         Err(e) => {
             record.status = TaskStatus::BuildError;
             record.reason = e.to_string();
             return record;
         }
     };
+    if let Some(stats) = reduction {
+        record.reduced_order = Some(stats.reduced_order);
+        record.residual = Some(stats.residual);
+        record.reduction_ns = Some(stats.reduction_ns);
+    }
     record.scenario = model.name.clone();
     record.expected_passive = Some(model.expected_passive);
     let start = Instant::now();

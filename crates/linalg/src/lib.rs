@@ -45,6 +45,7 @@ pub mod matrix;
 pub mod pinv;
 pub mod scalar;
 pub mod sign;
+pub mod sparse;
 pub mod subspace;
 pub mod workspace;
 

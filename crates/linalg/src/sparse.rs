@@ -1,0 +1,843 @@
+//! Sparse matrices for the order-10⁴ reduce-then-verify path.
+//!
+//! Two storage forms, both hand-rolled like the rest of the crate:
+//!
+//! * [`Coo`] — an append-only triplet builder that MNA stamping writes into.
+//!   Converting to CSR ([`Coo::to_csr`]) accumulates duplicate `(row, col)`
+//!   entries **in insertion order**, so a sparse stamp replays exactly the
+//!   `+=` sequence the dense stamper performs and densifies bit-identically.
+//! * [`Csr`] — compressed sparse rows with `spmv_into` / `spmv_transpose_into`
+//!   kernels (zero-allocation, like the `_in` dense kernels), transpose,
+//!   dense round-trips, and scaled addition for building shifted systems.
+//!
+//! [`SparseLu`] is the factor-solve used by the Krylov reduction: a
+//! Gilbert–Peierls left-looking sparse LU with partial pivoting, applied
+//! after a reverse-Cuthill–McKee symmetric permutation of the pattern of
+//! `A + Aᵀ`.  That is sufficient — and fast — for the shifted MNA systems
+//! `(G + s₀·C)·x = b` the projection solves repeatedly: the RCM preorder
+//! keeps ladder/mesh fill near-banded while partial pivoting keeps the
+//! nonsymmetric incidence blocks stable.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// A triplet (COO) sparse-matrix builder.
+#[derive(Debug, Clone)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Coo {
+    /// An empty builder of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// An empty builder with room for `capacity` entries.
+    pub fn with_capacity(rows: usize, cols: usize, capacity: usize) -> Self {
+        Coo {
+            rows,
+            cols,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of (possibly duplicate) entries pushed so far.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends `value` at `(row, col)`.  Duplicates are allowed; conversion
+    /// to CSR sums them in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position is out of range (a stamping bug, not data).
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "COO entry ({row}, {col}) out of range for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Converts to CSR, summing duplicate positions in insertion order (the
+    /// accumulation order is what makes sparse stamping bit-compatible with
+    /// the dense `+=` stamp).
+    pub fn to_csr(&self) -> Csr {
+        // Counting sort by row keeps the conversion O(nnz + rows) and, with
+        // a stable per-row ordering by column below, preserves insertion
+        // order among duplicates.
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&idx| {
+            let (r, c, _) = self.entries[idx];
+            (r, c)
+        });
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        let mut prev: Option<(usize, usize)> = None;
+        for &idx in &order {
+            let (r, c, v) = self.entries[idx];
+            if prev == Some((r, c)) {
+                let last = values.len() - 1;
+                values[last] += v;
+            } else {
+                row_ptr[r + 1] += 1;
+                col_idx.push(c);
+                values.push(0.0 + v);
+                prev = Some((r, c));
+            }
+        }
+        for r in 0..self.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// A compressed-sparse-row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// An all-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Csr {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (explicit zeros included).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stored entries of row `r` as parallel `(columns, values)` slices.
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// Builds a CSR matrix from a dense one, storing every nonzero entry.
+    pub fn from_dense(dense: &Matrix) -> Self {
+        let (rows, cols) = (dense.rows(), dense.cols());
+        let mut coo = Coo::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense[(r, c)];
+                if v != 0.0 {
+                    coo.push(r, c, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Densifies: each stored value lands at its position (one write per
+    /// stored entry, so a stamp-accumulated CSR densifies to exactly the
+    /// matrix the dense stamper would have produced).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                out[(r, c)] = v;
+            }
+        }
+        out
+    }
+
+    /// `y = A·x`, allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths do not match the matrix shape.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "spmv_into: x length != cols");
+        assert_eq!(y.len(), self.rows, "spmv_into: y length != rows");
+        for (r, slot) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for t in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[t] * x[self.col_idx[t]];
+            }
+            *slot = acc;
+        }
+    }
+
+    /// `y = Aᵀ·x`, allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths do not match the matrix shape.
+    pub fn spmv_transpose_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "spmv_transpose_into: x length != rows");
+        assert_eq!(y.len(), self.cols, "spmv_transpose_into: y length != cols");
+        for slot in y.iter_mut() {
+            *slot = 0.0;
+        }
+        for (r, &xr) in x.iter().enumerate() {
+            for t in self.row_ptr[r]..self.row_ptr[r + 1] {
+                y[self.col_idx[t]] += self.values[t] * xr;
+            }
+        }
+    }
+
+    /// The transposed matrix (also usable as a CSR→CSC view change).
+    pub fn transpose(&self) -> Csr {
+        let mut row_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for c in 0..self.cols {
+            row_ptr[c + 1] += row_ptr[c];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        let mut cursor = row_ptr.clone();
+        for r in 0..self.rows {
+            for t in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[t];
+                let slot = cursor[c];
+                col_idx[slot] = r;
+                values[slot] = self.values[t];
+                cursor[c] += 1;
+            }
+        }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// `self + alpha·other`, entry-wise (used to build the shifted pencil
+    /// `K = G + s₀·C` without densifying).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the shapes differ.
+    pub fn add_scaled(&self, other: &Csr, alpha: f64) -> Result<Csr, LinalgError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                operation: "sparse add_scaled",
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let mut coo = Coo::with_capacity(self.rows, self.cols, self.nnz() + other.nnz());
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(r, c, v);
+            }
+            let (cols, vals) = other.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(r, c, alpha * v);
+            }
+        }
+        Ok(coo.to_csr())
+    }
+
+    /// The symmetric permutation `P·A·Pᵀ`: entry `(i, j)` of the result is
+    /// `self[perm[i], perm[j]]`.  Used to apply a fill-reducing ordering such
+    /// as [`rcm_order`] before factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] when the matrix is not square or
+    /// `perm` is not a permutation of its dimension.
+    pub fn permute_symmetric(&self, perm: &[usize]) -> Result<Csr, LinalgError> {
+        if self.rows != self.cols || perm.len() != self.rows {
+            return Err(LinalgError::invalid_input(
+                "permute_symmetric needs a square matrix and a matching permutation",
+            ));
+        }
+        let n = self.rows;
+        let mut pinv = vec![usize::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            if old >= n || pinv[old] != usize::MAX {
+                return Err(LinalgError::invalid_input(
+                    "permute_symmetric: perm is not a permutation",
+                ));
+            }
+            pinv[old] = new;
+        }
+        let mut coo = Coo::with_capacity(n, n, self.nnz());
+        for r in 0..n {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(pinv[r], pinv[c], v);
+            }
+        }
+        Ok(coo.to_csr())
+    }
+}
+
+/// Reverse-Cuthill–McKee ordering of the symmetrized pattern of `a`: a
+/// permutation `perm` such that `perm[k]` is the original index placed at
+/// position `k`.  Bandwidth-reducing for the ladder/mesh MNA systems the
+/// reduction targets, which keeps the LU fill near the band.
+pub fn rcm_order(a: &Csr) -> Vec<usize> {
+    let n = a.rows();
+    // Symmetrized adjacency (pattern of A + Aᵀ, diagonal dropped).
+    let at = a.transpose();
+    let mut degree = vec![0usize; n];
+    let mut adj_ptr = vec![0usize; n + 1];
+    for r in 0..n {
+        let mut count = 0usize;
+        for &c in a.row(r).0.iter().chain(at.row(r).0) {
+            if c != r {
+                count += 1;
+            }
+        }
+        adj_ptr[r + 1] = count;
+    }
+    for r in 0..n {
+        adj_ptr[r + 1] += adj_ptr[r];
+    }
+    let mut adj = vec![0usize; adj_ptr[n]];
+    let mut cursor = adj_ptr.clone();
+    for r in 0..n {
+        for &c in a.row(r).0.iter().chain(at.row(r).0) {
+            if c != r {
+                adj[cursor[r]] = c;
+                cursor[r] += 1;
+            }
+        }
+    }
+    for r in 0..n {
+        let span = &mut adj[adj_ptr[r]..adj_ptr[r + 1]];
+        span.sort_unstable();
+        degree[r] = span.len();
+    }
+
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut neighbors: Vec<usize> = Vec::new();
+    loop {
+        // Start each component from its minimum-degree unvisited node.
+        let start = (0..n)
+            .filter(|&v| !visited[v])
+            .min_by_key(|&v| (degree[v], v));
+        let Some(start) = start else { break };
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            neighbors.clear();
+            for &w in &adj[adj_ptr[v]..adj_ptr[v + 1]] {
+                if !visited[w] {
+                    visited[w] = true;
+                    neighbors.push(w);
+                }
+            }
+            neighbors.sort_by_key(|&w| (degree[w], w));
+            for &w in &neighbors {
+                queue.push_back(w);
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Column index marker: "not yet pivoted".
+const UNPIVOTED: usize = usize::MAX;
+
+/// A sparse LU factorization `P·(Q·A·Qᵀ) = L·U` with partial (row) pivoting
+/// `P` on top of the symmetric RCM permutation `Q` — Gilbert–Peierls
+/// left-looking columns with a depth-first reach on the growing `L`.
+///
+/// The factor owns its solve scratch, so [`SparseLu::solve`] performs no
+/// allocation after the first call.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// RCM permutation: `perm[k]` = original index at permuted position `k`.
+    perm: Vec<usize>,
+    /// Columns of L (strictly below the pivot, unit diagonal implicit),
+    /// entries as (permuted row, value), scaled by the pivot.
+    l_ptr: Vec<usize>,
+    l_row: Vec<usize>,
+    l_val: Vec<f64>,
+    /// Columns of U, entries as (pivot position i ≤ j, value); the diagonal
+    /// entry `U[j,j]` is stored last in each column.
+    u_ptr: Vec<usize>,
+    u_pos: Vec<usize>,
+    u_val: Vec<f64>,
+    /// Permuted row → elimination position (the row chosen as pivot `j`).
+    pinv: Vec<usize>,
+    /// Solve scratch (position-indexed intermediate vector).
+    scratch: Vec<f64>,
+}
+
+impl SparseLu {
+    /// Factors a square sparse matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular input and
+    /// [`LinalgError::Singular`] when no usable pivot remains in a column.
+    pub fn factor(a: &Csr) -> Result<SparseLu, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare {
+                operation: "sparse LU",
+                shape: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let perm = rcm_order(a);
+        let mut inv_perm = vec![0usize; n];
+        for (k, &orig) in perm.iter().enumerate() {
+            inv_perm[orig] = k;
+        }
+        // Columns of the permuted matrix Q·A·Qᵀ: permuted column j holds the
+        // entries of original column perm[j], with permuted row indices.
+        // Build by transposing A (CSR of Aᵀ = CSC of A) and remapping.
+        let at = a.transpose();
+
+        let mut lu = SparseLu {
+            n,
+            perm,
+            l_ptr: Vec::with_capacity(n + 1),
+            l_row: Vec::new(),
+            l_val: Vec::new(),
+            u_ptr: Vec::with_capacity(n + 1),
+            u_pos: Vec::new(),
+            u_val: Vec::new(),
+            pinv: vec![UNPIVOTED; n],
+            scratch: vec![0.0; n],
+        };
+        lu.l_ptr.push(0);
+        lu.u_ptr.push(0);
+
+        // Which permuted position each elimination step chose as pivot.
+        let mut x = vec![0.0f64; n];
+        let mut pattern: Vec<usize> = Vec::with_capacity(n);
+        let mut visited = vec![usize::MAX; n];
+        let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+
+        for j in 0..n {
+            // Scatter permuted column j and compute its reach through L.
+            pattern.clear();
+            let (orig_rows, vals) = at.row(lu.perm[j]);
+            for (&orig_row, &v) in orig_rows.iter().zip(vals) {
+                let row = inv_perm[orig_row];
+                if visited[row] != j {
+                    Self::reach(
+                        row,
+                        j,
+                        &lu.pinv,
+                        &lu.l_ptr,
+                        &lu.l_row,
+                        &mut visited,
+                        &mut dfs_stack,
+                        &mut pattern,
+                    );
+                }
+                x[row] += v;
+            }
+            // `pattern` is in topological order (DFS postorder, reversed by
+            // construction below): eliminate every already-pivoted row.
+            for idx in (0..pattern.len()).rev() {
+                let row = pattern[idx];
+                let step = lu.pinv[row];
+                if step == UNPIVOTED {
+                    continue;
+                }
+                let xv = x[row];
+                if xv != 0.0 {
+                    for t in lu.l_ptr[step]..lu.l_ptr[step + 1] {
+                        x[lu.l_row[t]] -= lu.l_val[t] * xv;
+                    }
+                }
+            }
+            // Partition into U entries (pivoted rows) and pivot candidates.
+            let mut pivot_row = UNPIVOTED;
+            let mut pivot_abs = 0.0f64;
+            for &row in &pattern {
+                if lu.pinv[row] == UNPIVOTED {
+                    let a = x[row].abs();
+                    if a > pivot_abs {
+                        pivot_abs = a;
+                        pivot_row = row;
+                    }
+                }
+            }
+            if pivot_row == UNPIVOTED || pivot_abs == 0.0 || !pivot_abs.is_finite() {
+                return Err(LinalgError::Singular {
+                    operation: "sparse LU",
+                });
+            }
+            let pivot = x[pivot_row];
+            for &row in &pattern {
+                let step = lu.pinv[row];
+                if step != UNPIVOTED {
+                    lu.u_pos.push(step);
+                    lu.u_val.push(x[row]);
+                } else if row != pivot_row {
+                    let v = x[row];
+                    if v != 0.0 {
+                        lu.l_row.push(row);
+                        lu.l_val.push(v / pivot);
+                    }
+                }
+                x[row] = 0.0;
+            }
+            // Diagonal of U last, so back substitution can pop it first.
+            lu.u_pos.push(j);
+            lu.u_val.push(pivot);
+            lu.pinv[pivot_row] = j;
+            lu.l_ptr.push(lu.l_row.len());
+            lu.u_ptr.push(lu.u_pos.len());
+        }
+
+        // Remap L rows (permuted row index) to elimination positions so the
+        // solves run purely in position space.
+        for slot in lu.l_row.iter_mut() {
+            *slot = lu.pinv[*slot];
+        }
+        // pinv currently maps permuted row → position; solves need both
+        // directions.  Reuse `visited` storage semantics: build prow.
+        Ok(lu)
+    }
+
+    /// Depth-first reach of `row` through the pivoted columns of L, appending
+    /// newly-reached rows to `pattern` in postorder.
+    #[allow(clippy::too_many_arguments)]
+    fn reach(
+        row: usize,
+        mark: usize,
+        pinv: &[usize],
+        l_ptr: &[usize],
+        l_row: &[usize],
+        visited: &mut [usize],
+        stack: &mut Vec<(usize, usize)>,
+        pattern: &mut Vec<usize>,
+    ) {
+        stack.push((row, 0));
+        visited[row] = mark;
+        while let Some(&mut (r, ref mut next)) = stack.last_mut() {
+            let step = pinv[r];
+            let mut descended = false;
+            if step != UNPIVOTED {
+                let span = l_ptr[step]..l_ptr[step + 1];
+                let len = span.end - span.start;
+                while *next < len {
+                    let child = l_row[span.start + *next];
+                    *next += 1;
+                    if visited[child] != mark {
+                        visited[child] = mark;
+                        stack.push((child, 0));
+                        descended = true;
+                        break;
+                    }
+                }
+            }
+            if !descended {
+                stack.pop();
+                pattern.push(r);
+            }
+        }
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` using the factorization (allocation-free after the
+    /// factor is built: the intermediate vector is owned scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b`/`x` lengths differ from the matrix order.
+    pub fn solve(&mut self, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n, "solve: b length != order");
+        assert_eq!(x.len(), n, "solve: x length != order");
+        // y[position] = entries of P·Q·b in elimination order.
+        let y = &mut self.scratch;
+        for k in 0..n {
+            // permuted row k holds original row perm[k]; its elimination
+            // position is pinv[k].
+            y[self.pinv[k]] = b[self.perm[k]];
+        }
+        // Forward: L has unit diagonal in position space.
+        for j in 0..n {
+            let v = y[j];
+            if v != 0.0 {
+                for t in self.l_ptr[j]..self.l_ptr[j + 1] {
+                    y[self.l_row[t]] -= self.l_val[t] * v;
+                }
+            }
+        }
+        // Backward, column-oriented: the diagonal is the last entry of each
+        // U column.
+        for j in (0..n).rev() {
+            let hi = self.u_ptr[j + 1];
+            let lo = self.u_ptr[j];
+            let xj = y[j] / self.u_val[hi - 1];
+            y[j] = xj;
+            if xj != 0.0 {
+                for t in lo..hi - 1 {
+                    y[self.u_pos[t]] -= self.u_val[t] * xj;
+                }
+            }
+        }
+        // Undo the symmetric permutation: position j is permuted index…
+        // x_permuted[k] lives at position… the column order IS the permuted
+        // order (no column pivoting), so permuted unknown j sits at y[j].
+        for k in 0..n {
+            x[self.perm[k]] = y[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::lu as dense_lu;
+
+    fn ladder_like(n: usize) -> Csr {
+        // A nonsymmetric, diagonally-dominant banded matrix shaped like a
+        // shifted MNA system.
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0 + (i % 3) as f64);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0 - 0.1 * (i % 5) as f64);
+                coo.push(i + 1, i, 1.0 + 0.2 * (i % 7) as f64);
+            }
+            if i + 7 < n {
+                coo.push(i, i + 7, -0.5);
+                coo.push(i + 7, i, 0.25);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_accumulates_duplicates_in_insertion_order() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 2.0);
+        coo.push(0, 0, 1e-17);
+        coo.push(0, 0, -1.0);
+        let csr = coo.to_csr();
+        // Same sequence as dense: ((1.0 + 1e-17) - 1.0), not (1e-17 + 0.0).
+        let mut dense = Matrix::zeros(2, 2);
+        dense[(0, 0)] += 1.0;
+        dense[(1, 1)] += 2.0;
+        dense[(0, 0)] += 1e-17;
+        dense[(0, 0)] -= 1.0;
+        assert_eq!(csr.to_dense()[(0, 0)].to_bits(), dense[(0, 0)].to_bits());
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn dense_round_trip_preserves_entries() {
+        let dense = Matrix::from_rows(&[&[1.0, 0.0, -2.5], &[0.0, 0.0, 3.25], &[4.0, -0.125, 0.0]]);
+        let csr = Csr::from_dense(&dense);
+        assert_eq!(csr.nnz(), 5);
+        assert_eq!(csr.to_dense(), dense);
+        let back = csr.transpose().transpose().to_dense();
+        assert_eq!(back, dense);
+    }
+
+    #[test]
+    fn spmv_and_transpose_match_dense() {
+        let a = ladder_like(23);
+        let dense = a.to_dense();
+        let x: Vec<f64> = (0..23).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y = vec![0.0; 23];
+        a.spmv_into(&x, &mut y);
+        let mut yt = vec![0.0; 23];
+        a.spmv_transpose_into(&x, &mut yt);
+        for r in 0..23 {
+            let want: f64 = (0..23).map(|c| dense[(r, c)] * x[c]).sum();
+            assert!((y[r] - want).abs() < 1e-12, "row {r}");
+            let want_t: f64 = (0..23).map(|c| dense[(c, r)] * x[c]).sum();
+            assert!((yt[r] - want_t).abs() < 1e-12, "t-row {r}");
+        }
+    }
+
+    #[test]
+    fn add_scaled_builds_the_shifted_system() {
+        let g = ladder_like(11);
+        let mut coo = Coo::new(11, 11);
+        for i in 0..11 {
+            coo.push(i, i, 1.5 + i as f64 * 0.1);
+        }
+        let c = coo.to_csr();
+        let k = g.add_scaled(&c, 2.0).unwrap();
+        let want = &g.to_dense() + &c.to_dense().scale(2.0);
+        assert!((&k.to_dense() - &want).norm_fro() < 1e-14);
+        assert!(g.add_scaled(&Csr::zeros(3, 3), 1.0).is_err());
+    }
+
+    #[test]
+    fn rcm_is_a_permutation_and_shrinks_bandwidth() {
+        let mut coo = Coo::new(8, 8);
+        // A star + ring pattern with terrible natural bandwidth.
+        for i in 0..8 {
+            coo.push(i, i, 1.0);
+            coo.push(i, (i + 4) % 8, 1.0);
+        }
+        let a = coo.to_csr();
+        let perm = rcm_order(&a);
+        let mut seen = [false; 8];
+        for &p in &perm {
+            assert!(!seen[p], "duplicate index in RCM order");
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sparse_lu_matches_dense_solve() {
+        for n in [1usize, 2, 5, 24, 61] {
+            let a = ladder_like(n);
+            let mut lu = SparseLu::factor(&a).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.61).cos()).collect();
+            let mut x = vec![0.0; n];
+            lu.solve(&b, &mut x);
+            let dense = a.to_dense();
+            let b_mat = Matrix::from_fn(n, 1, |r, _| b[r]);
+            let want = dense_lu::solve(&dense, &b_mat).unwrap();
+            for i in 0..n {
+                assert!(
+                    (x[i] - want[(i, 0)]).abs() < 1e-10 * (1.0 + want[(i, 0)].abs()),
+                    "n={n} x[{i}] = {} want {}",
+                    x[i],
+                    want[(i, 0)]
+                );
+            }
+            // Reuse the factor: solving again must give the same answer.
+            let mut x2 = vec![0.0; n];
+            lu.solve(&b, &mut x2);
+            assert_eq!(x, x2);
+        }
+    }
+
+    #[test]
+    fn sparse_lu_handles_permutation_forcing_pivoting() {
+        // Zero diagonal forces row pivoting.
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 3.0);
+        coo.push(1, 2, 1.0);
+        coo.push(2, 1, 1.0);
+        coo.push(2, 2, 4.0);
+        let a = coo.to_csr();
+        let mut lu = SparseLu::factor(&a).unwrap();
+        let b = [5.0, -1.0, 2.0];
+        let mut x = vec![0.0; 3];
+        lu.solve(&b, &mut x);
+        let dense = a.to_dense();
+        let mut r = [0.0; 3];
+        a.spmv_into(&x, &mut r);
+        for i in 0..3 {
+            assert!((r[i] - b[i]).abs() < 1e-12, "residual {i}: {dense:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_lu_reports_singularity() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 0, 2.0);
+        let a = coo.to_csr();
+        assert!(matches!(
+            SparseLu::factor(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+        assert!(matches!(
+            SparseLu::factor(&Csr::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn sparse_lu_on_a_random_sprinkled_matrix() {
+        // Deterministic pseudo-random pattern, nonsymmetric, with enough
+        // diagonal mass to be comfortably nonsingular.
+        let n = 40;
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 6.0 + (next() % 100) as f64 / 25.0);
+        }
+        for _ in 0..4 * n {
+            let r = (next() % n as u64) as usize;
+            let c = (next() % n as u64) as usize;
+            if r != c {
+                coo.push(r, c, ((next() % 200) as f64 - 100.0) / 80.0);
+            }
+        }
+        let a = coo.to_csr();
+        let mut lu = SparseLu::factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let mut x = vec![0.0; n];
+        lu.solve(&b, &mut x);
+        let mut back = vec![0.0; n];
+        a.spmv_into(&x, &mut back);
+        for i in 0..n {
+            assert!((back[i] - b[i]).abs() < 1e-9, "residual {i}");
+        }
+    }
+}

@@ -44,14 +44,28 @@ pub const STAGES: [&str; 8] = [
     "total",
 ];
 
+/// Stage names of the sparse reduce-then-verify path, which run *before* the
+/// [`STAGES`] pipeline when a check requests Krylov reduction.  Kept separate
+/// from `STAGES` so the per-task stage-timing layout on `SweepRecord` (and
+/// every artifact pinned to it) stays eight slots wide; the daemon's stage
+/// histograms register both lists.
+pub const EXTRA_STAGES: [&str; 2] = ["stamp_sparse", "reduce"];
+
 #[cfg(test)]
 mod tests {
-    use super::STAGES;
+    use super::{EXTRA_STAGES, STAGES};
 
     #[test]
     fn stage_names_are_distinct_and_end_with_total() {
         let set: std::collections::HashSet<&str> = STAGES.iter().copied().collect();
         assert_eq!(set.len(), STAGES.len());
         assert_eq!(STAGES[STAGES.len() - 1], "total");
+    }
+
+    #[test]
+    fn extra_stage_names_do_not_collide_with_the_pipeline_stages() {
+        let set: std::collections::HashSet<&str> =
+            STAGES.iter().chain(EXTRA_STAGES.iter()).copied().collect();
+        assert_eq!(set.len(), STAGES.len() + EXTRA_STAGES.len());
     }
 }

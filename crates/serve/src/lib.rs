@@ -2,7 +2,7 @@
 //!
 //! A long-running passivity-check daemon over the suite's unified pipeline
 //! API: POST a SPICE deck, get back a versioned JSON verdict report
-//! (`ds-check-report/v1`) keyed by the deck's canonical content hash.
+//! (`ds-check-report/v2`) keyed by the deck's canonical content hash.
 //!
 //! The stack is deliberately dependency-free (the build environment has no
 //! registry access): a hand-rolled, hard-limited HTTP/1.1 layer over

@@ -12,11 +12,14 @@
 //! * `GET /trace/<id>` — the `ds-trace/v1` span log of a recent check (ids
 //!   are handed out per request in the `X-Trace-Id` response header and kept
 //!   in a bounded ring);
-//! * `POST /check?method=proposed|weierstrass|lmi&repair=true` — body is a
-//!   SPICE deck; answers the `ds-check-report/v1` verdict with `X-Cache`
-//!   (tier that answered), `X-Deck-Hash` (full canonical content hash), and
-//!   `X-Trace-Id` headers.  Malformed decks get a 400 whose body carries the
-//!   parser's exact `line`/`column`; a full queue gets 429 + `Retry-After`.
+//! * `POST /check?method=proposed|weierstrass|lmi&repair=true&reduce=auto` —
+//!   body is a SPICE deck; answers the `ds-check-report/v2` verdict with
+//!   `X-Cache` (tier that answered), `X-Deck-Hash` (full canonical content
+//!   hash), and `X-Trace-Id` headers.  `reduce=auto` routes the check through
+//!   the sparse-stamp + Krylov reduction (the order-10⁴ path; reduced reports
+//!   bypass the store tier).  Malformed decks get a 400 whose body carries
+//!   the parser's exact `line`/`column`; a full queue gets 429 +
+//!   `Retry-After`.
 //! * `POST /shutdown` — request graceful shutdown (same path as SIGTERM).
 //!
 //! The accept loop polls a shutdown flag (set by `Server::stop`, by
@@ -330,6 +333,19 @@ fn check(request: &Request, ctx: &Ctx) -> Response {
             )
         }
     };
+    let reduce = match request.query_param("reduce") {
+        None | Some("off") => false,
+        Some("auto") => true,
+        Some(other) => {
+            return Response::json(
+                400,
+                error_body(
+                    "invalid_request",
+                    &format!("reduce must be auto or off, got '{other}'"),
+                ),
+            )
+        }
+    };
     let deck = match parse_deck(text) {
         Ok(deck) => deck,
         Err(parse_error) => {
@@ -343,6 +359,7 @@ fn check(request: &Request, ctx: &Ctx) -> Response {
         deck,
         method,
         repair,
+        reduce,
     };
     let trace_id = ds_obs::trace::next_trace_id();
     let receiver = match ctx.service.submit_traced(job, trace_id.clone()) {

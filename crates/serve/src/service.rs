@@ -56,6 +56,9 @@ pub struct CheckJob {
     pub method: Method,
     /// Whether to attempt enforcement on non-passive verdicts.
     pub repair: bool,
+    /// Whether to route the check through the sparse-stamp + Krylov
+    /// reduction (`?reduce=auto`, with the default [`ReduceSpec`]).
+    pub reduce: bool,
 }
 
 impl CheckJob {
@@ -70,13 +73,15 @@ impl CheckJob {
         })
     }
 
-    /// The cache key: the store fingerprint plus the repair flag (repair
-    /// changes the response body, so repaired and plain verdicts cache
-    /// separately).
+    /// The cache key: the store fingerprint plus the repair and reduce flags
+    /// (both change the response body, so each variant caches separately).
     pub fn cache_key(&self) -> String {
         let mut key = self.fingerprint();
         if self.repair {
             key.push_str("|repair");
+        }
+        if self.reduce {
+            key.push_str("|reduce");
         }
         key
     }
@@ -168,7 +173,8 @@ struct Metrics {
     queue_depth: Arc<Gauge>,
     check_seconds: Arc<Histogram>,
     queue_wait_seconds: Arc<Histogram>,
-    /// One histogram per [`ds_obs::STAGES`] entry, labelled `stage=<name>`.
+    /// One histogram per [`ds_obs::STAGES`] and [`ds_obs::EXTRA_STAGES`]
+    /// entry, labelled `stage=<name>`.
     stage_seconds: Vec<(&'static str, Arc<Histogram>)>,
 }
 
@@ -208,6 +214,7 @@ impl Metrics {
             ),
             stage_seconds: ds_obs::STAGES
                 .iter()
+                .chain(ds_obs::EXTRA_STAGES.iter())
                 .map(|stage| {
                     (
                         *stage,
@@ -385,8 +392,11 @@ impl CheckService {
         // Tier 2: the persistent store.  Repair requests can only be answered
         // here when the stored verdict is passive (no perturbation to
         // compute); non-passive repairs carry enforcement results that the
-        // store's record schema does not persist, so they recompute.
-        if let Some(store) = &inner.store {
+        // store's record schema does not persist, so they recompute.  Reduce
+        // requests bypass the store entirely: its records hold *dense*
+        // verdicts under the same fingerprint, and a reduced report carries
+        // reduction fields no dense record can replay.
+        if let (Some(store), false) = (&inner.store, job.reduce) {
             let state = lock_infallible(store);
             if let Some(record) = state.store.get(&fingerprint) {
                 let passive = record.passive;
@@ -621,10 +631,13 @@ fn run_job(inner: &Inner, queued: &QueuedJob) -> CheckReply {
     ds_obs::trace::begin(&queued.trace_id);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         panic_hook(&job.name);
-        PassivityCheck::deck(&job.name, job.deck.clone())
+        let mut check = PassivityCheck::deck(&job.name, job.deck.clone())
             .method(job.method)
-            .repair(job.repair)
-            .run()
+            .repair(job.repair);
+        if job.reduce {
+            check = check.reduce(ds_passivity_suite::shh::krylov::ReduceSpec::default());
+        }
+        check.run()
     }));
     // Close the collector even when the check panicked: span guards were
     // dropped during the unwind, so the trace is complete either way, and a
@@ -702,6 +715,7 @@ mod tests {
             deck,
             method,
             repair,
+            reduce: false,
         }
     }
 
@@ -818,6 +832,37 @@ mod tests {
         let hit = service.trace_body("trace-ring-hit").unwrap();
         assert!(hit.contains("\"span\":\"check\""));
         assert!(!hit.contains("\"span\":\"total\""));
+        service.stop().unwrap();
+    }
+
+    #[test]
+    fn reduce_jobs_compute_reduced_reports_and_cache_separately() {
+        let service = CheckService::start(1, 8, 16, None).unwrap();
+        let mut reduce = job(Method::Proposed, false);
+        reduce.reduce = true;
+        assert!(reduce.cache_key().ends_with("|reduce"));
+        let rx = service.submit(reduce.clone()).unwrap();
+        let CheckReply::Done { body, cache } = rx.recv().unwrap() else {
+            panic!("reduce check failed");
+        };
+        assert_eq!(cache, "miss");
+        // Order 4 passes through the projection exactly.
+        assert!(body.contains("\"reduced_order\":4"), "{body}");
+        assert!(body.contains("\"passive\":true"), "{body}");
+        // The dense variant of the same deck computes (and caches) separately.
+        let rx = service.submit(job(Method::Proposed, false)).unwrap();
+        let CheckReply::Done { body: dense, cache } = rx.recv().unwrap() else {
+            panic!("dense check failed");
+        };
+        assert_eq!(cache, "miss");
+        assert!(dense.contains("\"reduced_order\":null"), "{dense}");
+        // A repeated reduce request is a memory hit with identical bytes.
+        let rx = service.submit(reduce).unwrap();
+        let CheckReply::Done { body: again, cache } = rx.recv().unwrap() else {
+            panic!("cached reduce check failed");
+        };
+        assert_eq!(cache, "hit");
+        assert_eq!(again, body);
         service.stop().unwrap();
     }
 

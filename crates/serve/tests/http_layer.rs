@@ -55,7 +55,7 @@ fn health_stats_and_routing() {
     assert_eq!(health.status, 200);
     assert!(health
         .body
-        .contains("\"report_schema\":\"ds-check-report/v1\""));
+        .contains("\"report_schema\":\"ds-check-report/v2\""));
 
     let stats = client::get(addr, "/stats").unwrap();
     assert_eq!(stats.status, 200);
@@ -257,6 +257,43 @@ fn served_verdicts_are_byte_identical_to_the_sweep_engine() {
         }
     }
     assert!(checked >= 12, "deck corpus shrank? checked {checked}");
+    server.stop().unwrap();
+}
+
+#[test]
+fn reduce_auto_serves_a_reduced_report() {
+    let server = Server::start(test_config()).unwrap();
+    let addr = server.local_addr();
+
+    let reduced = client::post(addr, "/check?reduce=auto", DECK).unwrap();
+    assert_eq!(reduced.status, 200, "body: {}", reduced.body);
+    assert_eq!(reduced.header("x-cache"), Some("miss"));
+    // The 4-state divider passes through the projection exactly.
+    assert!(
+        reduced.body.contains("\"reduced_order\":4"),
+        "body: {}",
+        reduced.body
+    );
+    assert!(reduced.body.contains("\"residual\":0"), "{}", reduced.body);
+    assert!(
+        reduced.body.contains("\"passive\":true"),
+        "{}",
+        reduced.body
+    );
+
+    // Reduce and direct checks cache under different keys.
+    let direct = client::post(addr, "/check", DECK).unwrap();
+    assert_eq!(direct.header("x-cache"), Some("miss"));
+    assert!(direct.body.contains("\"reduced_order\":null"));
+
+    let again = client::post(addr, "/check?reduce=auto", DECK).unwrap();
+    assert_eq!(again.header("x-cache"), Some("hit"));
+    assert_eq!(again.body, reduced.body);
+
+    let bad = client::post(addr, "/check?reduce=yes", DECK).unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("\"kind\":\"invalid_request\""));
+
     server.stop().unwrap();
 }
 

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod krylov;
 pub mod pencil;
 pub mod positive_real;
 pub mod pvl;
@@ -36,6 +37,7 @@ pub use error::ShhError;
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::error::ShhError;
+    pub use crate::krylov::{KrylovReduction, ReduceSpec};
     pub use crate::pencil::PhiSystem;
     pub use crate::positive_real::PositiveRealVerdict;
 }

@@ -19,6 +19,12 @@
 //!   scenario and run through all methods (LMI gated by order as usual);
 //!   deck fingerprints hash the canonicalized deck, so `--store`/`--resume`
 //!   work across runs; conflicts with `--preset`/`--quick`/`--tasks`;
+//! * `--family NAME` — sweep one scenario family across a size ladder (two
+//!   seeds per size, all methods, LMI gated by order).  `--family reduced`
+//!   defaults to sections 50/250/1000/5000 — original MNA orders up to
+//!   10001 — running the sparse-stamp + Krylov reduce-then-verify path;
+//!   conflicts with `--preset`/`--quick`/`--decks`/`--tasks`;
+//! * `--sizes N,N,…` — override the `--family` size ladder;
 //! * `--tasks N` — grow the standard preset until the matrix has ≥ N tasks;
 //! * `--threads N` — worker-pool size (default: available parallelism);
 //! * `--out-dir PATH` — artifact directory (default `target/sweep`);
@@ -54,6 +60,8 @@ use std::time::{SystemTime, UNIX_EPOCH};
 struct Args {
     preset: Option<String>,
     decks_dir: Option<PathBuf>,
+    family: Option<String>,
+    sizes: Option<Vec<usize>>,
     tasks_target: Option<usize>,
     threads: usize,
     out_dir: PathBuf,
@@ -88,6 +96,8 @@ fn parse_args() -> Result<Args, SuiteError> {
     let mut args = Args {
         preset: None,
         decks_dir: None,
+        family: None,
+        sizes: None,
         tasks_target: None,
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         out_dir: PathBuf::from("target/sweep"),
@@ -108,6 +118,8 @@ fn parse_args() -> Result<Args, SuiteError> {
         match arg.as_str() {
             "--preset" => args.preset = Some(value("--preset")?),
             "--decks" => args.decks_dir = Some(PathBuf::from(value("--decks")?)),
+            "--family" => args.family = Some(value("--family")?),
+            "--sizes" => args.sizes = Some(parse_sizes(&value("--sizes")?)?),
             "--tasks" => {
                 args.tasks_target = Some(
                     value("--tasks")?
@@ -146,7 +158,39 @@ fn parse_args() -> Result<Args, SuiteError> {
             "--decks builds the matrix from the deck files; drop --preset/--quick/--tasks".into(),
         ));
     }
+    if args.family.is_some()
+        && (args.preset.is_some() || args.decks_dir.is_some() || args.tasks_target.is_some())
+    {
+        return Err(SuiteError::InvalidRequest(
+            "--family builds a single-family matrix; drop --preset/--quick/--decks/--tasks".into(),
+        ));
+    }
+    if args.sizes.is_some() && args.family.is_none() {
+        return Err(SuiteError::InvalidRequest(
+            "--sizes requires --family NAME".into(),
+        ));
+    }
     Ok(args)
+}
+
+fn parse_sizes(text: &str) -> Result<Vec<usize>, SuiteError> {
+    let sizes: Result<Vec<usize>, _> = text.split(',').map(str::parse).collect();
+    let sizes = sizes.map_err(|e| SuiteError::InvalidRequest(format!("--sizes '{text}': {e}")))?;
+    if sizes.is_empty() {
+        return Err(SuiteError::InvalidRequest("--sizes needs values".into()));
+    }
+    Ok(sizes)
+}
+
+/// Default size ladder for `--family`.  The `reduced` family climbs to
+/// 5000 sections — original MNA order 10001 — exercising the sparse
+/// reduce-then-verify path at the paper's "NIL for dense methods" scale.
+fn default_family_sizes(family: ds_harness::scenario::FamilyKind) -> Vec<usize> {
+    use ds_harness::scenario::FamilyKind;
+    match family {
+        FamilyKind::Reduced => vec![50, 250, 1000, 5000],
+        _ => vec![4, 8, 16],
+    }
 }
 
 fn build_tasks(args: &Args) -> Result<Vec<SweepTask>, SuiteError> {
@@ -154,6 +198,34 @@ fn build_tasks(args: &Args) -> Result<Vec<SweepTask>, SuiteError> {
     if let Some(dir) = &args.decks_dir {
         let scenarios = load_deck_scenarios(dir)?;
         eprintln!("# decks: {} parsed from {}", scenarios.len(), dir.display());
+        return Ok(scenario_matrix(&scenarios, &methods));
+    }
+    if let Some(name) = &args.family {
+        use ds_harness::scenario::{FamilyKind, Scenario};
+        let family = FamilyKind::parse(name).ok_or_else(|| {
+            let names: Vec<&str> = FamilyKind::ALL.iter().map(|f| f.name()).collect();
+            SuiteError::InvalidRequest(format!(
+                "unknown family '{name}' (one of: {})",
+                names.join(", ")
+            ))
+        })?;
+        if family == FamilyKind::Deck {
+            return Err(SuiteError::InvalidRequest(
+                "the deck family needs deck files; use --decks DIR".into(),
+            ));
+        }
+        let sizes = args
+            .sizes
+            .clone()
+            .unwrap_or_else(|| default_family_sizes(family));
+        let mut scenarios = Vec::new();
+        for &size in &sizes {
+            for seed in 0..2u64 {
+                scenarios.push(Scenario::new(family, size).with_seed(seed));
+            }
+        }
+        let max_order = scenarios.iter().map(Scenario::order).max().unwrap_or(0);
+        eprintln!("# family {name}: sizes {sizes:?} x 2 seeds (max order {max_order})");
         return Ok(scenario_matrix(&scenarios, &methods));
     }
     match args.preset.as_deref().unwrap_or("standard") {
@@ -218,9 +290,10 @@ fn run() -> Result<(), SuiteError> {
         );
     }
 
-    let matrix_source = match &args.decks_dir {
-        Some(dir) => format!("decks:{}", dir.display()),
-        None => args.preset.clone().unwrap_or_else(|| "standard".into()),
+    let matrix_source = match (&args.decks_dir, &args.family) {
+        (Some(dir), _) => format!("decks:{}", dir.display()),
+        (None, Some(family)) => format!("family:{family}"),
+        (None, None) => args.preset.clone().unwrap_or_else(|| "standard".into()),
     };
     eprintln!(
         "# ds-sweep: matrix={} tasks={} threads={}",

@@ -67,6 +67,7 @@ pub mod prelude {
     pub use ds_linalg::prelude::*;
     pub use ds_passivity::fast::{check_passivity, FastTestOptions};
     pub use ds_passivity::prelude::*;
+    pub use ds_shh::krylov::ReduceSpec;
 }
 
 /// Runs the proposed test and the Weierstrass baseline on the same system and

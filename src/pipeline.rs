@@ -33,10 +33,13 @@ use ds_harness::{run_method, run_single, Method, SweepRecord, SweepTask, LMI_MAX
 use ds_netlist::Deck;
 use ds_passivity::enforce::{enforce_passivity, EnforcementOptions, EnforcementOutcome};
 use ds_passivity::{PassivityReport, PassivityVerdict};
+use ds_shh::krylov::{self, ReduceSpec};
 use std::time::{Duration, Instant};
 
 /// Version tag of the serialized verdict report ([`CheckOutcome::report_json`]).
-pub const REPORT_SCHEMA: &str = "ds-check-report/v1";
+/// `v2` added the `reduced_order`/`residual` fields of the Krylov
+/// reduce-then-verify path (`null` for direct checks).
+pub const REPORT_SCHEMA: &str = "ds-check-report/v2";
 
 /// What a [`CheckRequest`] checks: a deck in some stage of parsing, or an
 /// in-memory model.
@@ -75,7 +78,7 @@ pub enum CheckSource {
     },
 }
 
-/// A fully-specified check: source, method, repair flag.
+/// A fully-specified check: source, method, repair flag, optional reduction.
 #[derive(Debug, Clone)]
 pub struct CheckRequest {
     /// What to check.
@@ -86,6 +89,12 @@ pub struct CheckRequest {
     /// the verdict is non-passive, reporting the perturbation in
     /// [`CheckOutcome::repair`].
     pub repair: bool,
+    /// When set, netlist-backed sources (deck text, decks, netlists) are
+    /// stamped *sparsely* and projected down by the PRIMA-style block-Krylov
+    /// congruence of `ds-shh::krylov` before verification — the order-10⁴
+    /// path.  Unsupported for [`CheckSource::Model`] / [`CheckSource::System`]
+    /// sources, which carry no netlist to stamp.
+    pub reduce: Option<ReduceSpec>,
 }
 
 /// Outcome of a passivity-enforcement attempt riding on a check
@@ -139,6 +148,15 @@ pub struct CheckOutcome {
     pub expected_passive: Option<bool>,
     /// Whether the verdict matched the ground truth.
     pub agrees: Option<bool>,
+    /// Achieved reduced order, when the check ran through the Krylov
+    /// reduce-then-verify path ([`CheckOutcome::order`] keeps the *original*
+    /// order on that path, so the compression is visible).
+    pub reduced_order: Option<usize>,
+    /// Krylov truncation residual of the reduction (`0` when exact).
+    pub residual: Option<f64>,
+    /// Wall-clock nanoseconds of sparse stamp + projection (volatile —
+    /// excluded from [`CheckOutcome::report_json`]).
+    pub reduction_ns: Option<u64>,
     /// Wall-clock time of the method run.
     pub elapsed: Duration,
     /// Enforcement outcome when the request asked for repair.
@@ -172,6 +190,9 @@ impl CheckOutcome {
             reason: record.reason.clone(),
             expected_passive: record.expected_passive,
             agrees: record.agrees,
+            reduced_order: record.reduced_order,
+            residual: record.residual,
+            reduction_ns: record.reduction_ns,
             elapsed: record.elapsed,
             repair: None,
             report: None,
@@ -196,7 +217,7 @@ impl CheckOutcome {
             ),
         };
         format!(
-            "{{\"schema\":{},\"family\":{},\"key\":{},\"method\":{},\"status\":{},\"order\":{},\"ports\":{},\"passive\":{},\"strict\":{},\"reason\":{},\"expected_passive\":{},\"agrees\":{},\"repair\":{}}}",
+            "{{\"schema\":{},\"family\":{},\"key\":{},\"method\":{},\"status\":{},\"order\":{},\"ports\":{},\"passive\":{},\"strict\":{},\"reason\":{},\"expected_passive\":{},\"agrees\":{},\"reduced_order\":{},\"residual\":{},\"repair\":{}}}",
             json::quote(REPORT_SCHEMA),
             json::quote(self.family),
             self.key,
@@ -209,6 +230,8 @@ impl CheckOutcome {
             json::quote(&self.reason),
             json::opt_bool(self.expected_passive),
             json::opt_bool(self.agrees),
+            json::opt_usize(self.reduced_order),
+            json::opt_number(self.residual),
             repair
         )
     }
@@ -227,6 +250,7 @@ impl PassivityCheck {
                 source,
                 method: Method::Proposed,
                 repair: false,
+                reduce: None,
             },
         }
     }
@@ -294,6 +318,14 @@ impl PassivityCheck {
     #[must_use]
     pub fn repair(mut self, repair: bool) -> Self {
         self.request.repair = repair;
+        self
+    }
+
+    /// Routes the check through the sparse-stamp + block-Krylov reduction
+    /// (only netlist-backed sources; see [`CheckRequest::reduce`]).
+    #[must_use]
+    pub fn reduce(mut self, spec: ReduceSpec) -> Self {
+        self.request.reduce = Some(spec);
         self
     }
 
@@ -382,10 +414,21 @@ impl CheckRequest {
                 let name = name
                     .clone()
                     .unwrap_or_else(|| format!("{:016x}", deck.content_hash()));
+                if let Some(spec) = &self.reduce {
+                    return self.run_reduced(&name, &deck.netlist, deck.expect, Some(&deck), spec);
+                }
                 self.run_deck(&name, &deck)
             }
-            CheckSource::Deck { name, deck } => self.run_deck(name, deck),
+            CheckSource::Deck { name, deck } => {
+                if let Some(spec) = &self.reduce {
+                    return self.run_reduced(name, &deck.netlist, deck.expect, Some(deck), spec);
+                }
+                self.run_deck(name, deck)
+            }
             CheckSource::Netlist { name, netlist } => {
+                if let Some(spec) = &self.reduce {
+                    return self.run_reduced(name, netlist, None, None, spec);
+                }
                 let system = {
                     let _stamp_span = ds_obs::trace::span("stamp");
                     mna::stamp(netlist)?
@@ -398,8 +441,12 @@ impl CheckRequest {
                 };
                 self.run_model(&model, "netlist", true)
             }
-            CheckSource::Model(model) => self.run_model(model, "model", true),
+            CheckSource::Model(model) => {
+                self.reject_reduce("model")?;
+                self.run_model(model, "model", true)
+            }
             CheckSource::System { name, system } => {
+                self.reject_reduce("system")?;
                 let model = CircuitModel {
                     name: name.clone(),
                     system: system.as_ref().clone(),
@@ -409,6 +456,73 @@ impl CheckRequest {
                 self.run_model(&model, "system", false)
             }
         }
+    }
+
+    fn reject_reduce(&self, family: &str) -> Result<(), SuiteError> {
+        if self.reduce.is_some() {
+            return Err(SuiteError::Unsupported(format!(
+                "Krylov reduction needs a netlist to stamp sparsely; {family} sources are already dense"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The reduce-then-verify path: sparse MNA stamp, PRIMA-style projection,
+    /// then the ordinary dense check on the reduced model.  The outcome keeps
+    /// the *original* order in [`CheckOutcome::order`] and records the
+    /// achieved order / truncation residual / reduction time.
+    fn run_reduced(
+        &self,
+        name: &str,
+        netlist: &Netlist,
+        expect: Option<bool>,
+        deck: Option<&Deck>,
+        spec: &ReduceSpec,
+    ) -> Result<CheckOutcome, SuiteError> {
+        let start = Instant::now();
+        let sparse = {
+            let _stamp_span = ds_obs::trace::span("stamp_sparse");
+            mna::stamp_sparse(netlist)?
+        };
+        let original_order = sparse.order();
+        let reduction = {
+            let _reduce_span = ds_obs::trace::span("reduce");
+            krylov::reduce_prima(
+                &sparse.c_matrix(),
+                &sparse.g_matrix(),
+                &sparse.b_dense(),
+                spec,
+            )?
+        };
+        let reduction_ns = start.elapsed().as_nanos() as u64;
+        // Ground truth without the dense whole-matrix PSD check of
+        // `is_passive_by_construction`: a successful sparse stamp has already
+        // validated the coupled inductance blocks per connected component, so
+        // passivity-by-construction reduces to element-wise passivity.
+        let expected = expect.unwrap_or_else(|| {
+            netlist
+                .elements
+                .iter()
+                .all(ds_circuits::Element::is_passive)
+        });
+        let model = CircuitModel {
+            name: name.to_string(),
+            system: reduction.system,
+            expected_passive: expected,
+            has_impulsive_modes: false,
+        };
+        let family = if deck.is_some() { "deck" } else { "netlist" };
+        let mut outcome = self.run_model(&model, family, true)?;
+        outcome.order = original_order;
+        outcome.reduced_order = Some(reduction.reduced_order);
+        outcome.residual = Some(reduction.residual);
+        outcome.reduction_ns = Some(reduction_ns);
+        if let Some(deck) = deck {
+            let hash = deck.content_hash();
+            outcome.canonical_hash = Some(hash);
+            outcome.key = ds_harness::deck_seed(hash);
+        }
+        Ok(outcome)
     }
 
     /// Deck sources execute through the sweep engine's single-task entry
@@ -479,6 +593,9 @@ impl CheckRequest {
             reason: String::new(),
             expected_passive: has_ground_truth.then_some(model.expected_passive),
             agrees: None,
+            reduced_order: None,
+            residual: None,
+            reduction_ns: None,
             elapsed: Duration::ZERO,
             repair: None,
             report: None,
@@ -596,7 +713,7 @@ mod tests {
         assert_eq!(a.report_json(), b.report_json());
         assert!(a
             .report_json()
-            .starts_with("{\"schema\":\"ds-check-report/v1\""));
+            .starts_with("{\"schema\":\"ds-check-report/v2\""));
     }
 
     #[test]
@@ -697,6 +814,72 @@ mod tests {
         assert!(!repair.enforced);
         assert!(!repair.passive_after);
         assert!(!repair.reason.is_empty());
+    }
+
+    #[test]
+    fn reduce_path_agrees_with_the_dense_check() {
+        let netlist = generators::reduced_ladder_netlist(100, true).unwrap();
+        let dense = PassivityCheck::netlist("ladder", netlist.clone())
+            .run()
+            .unwrap();
+        let reduced = PassivityCheck::netlist("ladder", netlist)
+            .reduce(ReduceSpec::default())
+            .run()
+            .unwrap();
+        assert_eq!(reduced.passive, dense.passive);
+        assert_eq!(reduced.passive, Some(true));
+        assert_eq!(reduced.agrees, Some(true));
+        // The outcome reports the original order plus the compression.
+        assert_eq!(reduced.order, dense.order);
+        assert_eq!(reduced.reduced_order, Some(48));
+        assert!(reduced.residual.unwrap() >= 0.0);
+        assert!(reduced.reduction_ns.unwrap() > 0);
+        assert!(dense.reduced_order.is_none());
+        // The reduction shows up in the stable report; its timing does not.
+        let report = reduced.report_json();
+        assert!(report.contains("\"reduced_order\":48"));
+        assert!(!report.contains("reduction_ns"));
+    }
+
+    #[test]
+    fn reduce_path_traces_sparse_stamp_and_projection() {
+        ds_obs::trace::begin("reduce-test");
+        let outcome = PassivityCheck::deck_text(DECK)
+            .reduce(ReduceSpec::default())
+            .run()
+            .unwrap();
+        let trace = ds_obs::trace::end().expect("trace");
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in ["check", "parse", "stamp_sparse", "reduce", "method"] {
+            assert!(
+                names.contains(&expected),
+                "missing span {expected}: {names:?}"
+            );
+        }
+        // Order 4 passes through the projection exactly, so the verdict
+        // matches the direct check field-for-field except the reduce fields.
+        assert_eq!(outcome.passive, Some(true));
+        assert_eq!(outcome.reduced_order, Some(outcome.order));
+        assert_eq!(outcome.residual, Some(0.0));
+        let direct = PassivityCheck::deck_text(DECK).run().unwrap();
+        assert_eq!(outcome.key, direct.key);
+        assert_eq!(outcome.canonical_hash, direct.canonical_hash);
+        assert_eq!(outcome.family, "deck");
+    }
+
+    #[test]
+    fn reduce_is_rejected_for_dense_sources() {
+        let model = generators::rc_ladder(4, 1.0, 1.0).unwrap();
+        let err = PassivityCheck::system("bare", model.system.clone())
+            .reduce(ReduceSpec::default())
+            .run()
+            .unwrap_err();
+        assert_eq!(err.kind(), "unsupported");
+        let err = PassivityCheck::model(model)
+            .reduce(ReduceSpec::default())
+            .run()
+            .unwrap_err();
+        assert_eq!(err.kind(), "unsupported");
     }
 
     #[test]

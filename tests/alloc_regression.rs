@@ -116,6 +116,44 @@ fn eigen_kernels_are_allocation_free_in_steady_state() {
 }
 
 #[test]
+fn sparse_spmv_kernels_are_allocation_free() {
+    // The sparse mat-vec kernels feed the Krylov reduction's inner loop at
+    // order 10⁴, where even one allocation per call would dominate; unlike
+    // the eigen kernels they need no warm-up, so the very first call must
+    // already be clean.
+    let _guard = SERIALIZE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let n = 500;
+    let mut coo = ds_linalg::sparse::Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.0 + i as f64 * 1e-3);
+        if i + 1 < n {
+            coo.push(i, i + 1, -1.0);
+            coo.push(i + 1, i, -1.0);
+        }
+    }
+    let csr = coo.to_csr();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let mut y = vec![0.0; n];
+    let mut z = vec![0.0; n];
+
+    let before = allocations();
+    for _ in 0..8 {
+        csr.spmv_into(&x, &mut y);
+        csr.spmv_transpose_into(&y, &mut z);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "sparse spmv kernels performed {} heap allocations",
+        after - before
+    );
+    assert!(z.iter().all(|v| v.is_finite()));
+}
+
+#[test]
 fn second_harness_task_of_same_order_allocates_less() {
     // One full passivity task on a fresh thread state, then the identical task
     // again: the second run hits the warm per-thread workspace pools (and the

@@ -87,6 +87,7 @@ fn fixture_is_valid_json_and_covers_every_family() {
         "negative_m1",
         "random_passive",
         "random_nonpassive",
+        "reduced",
     ] {
         assert!(
             cells

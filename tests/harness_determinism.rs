@@ -11,13 +11,13 @@ fn spec(threads: usize) -> SweepSpec {
     SweepSpec::new(tasks, threads)
 }
 
-/// Strips the nondeterministic trailing columns (elapsed_seconds, worker)
-/// from a CSV artifact.
+/// Strips the nondeterministic trailing columns (reduction_ns,
+/// elapsed_seconds, worker) from a CSV artifact.
 fn deterministic_csv(text: &str) -> String {
     text.lines()
         .map(|line| {
             let fields: Vec<&str> = line.split(',').collect();
-            fields[..fields.len().saturating_sub(2)].join(",")
+            fields[..fields.len().saturating_sub(3)].join(",")
         })
         .collect::<Vec<_>>()
         .join("\n")

@@ -1,0 +1,200 @@
+//! Sparse-stamp conformance: `mna::stamp_sparse` must agree with the dense
+//! `mna::stamp` *bit-for-bit* after densification — same matrices, same
+//! rejections — over randomized netlists covering every element family
+//! (R/L/C/G, grounded and floating terminals, negative values) and `K`
+//! mutual-inductance couplings, plus the committed example-deck corpus.
+//!
+//! Bit-identity (not approximate equality) is the contract that lets the
+//! reduce-then-verify path share validation semantics with the dense
+//! pipeline: any drift in accumulation order would surface here first.
+
+use ds_passivity_suite::circuits::{mna, Element, Netlist, Port};
+use ds_passivity_suite::descriptor::DescriptorSystem;
+use ds_passivity_suite::netlist::parse_deck;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+/// Builds a random netlist exercising all element kinds, repeated parallel
+/// elements (duplicate-entry accumulation), floating branches, negative
+/// values, and couplings (some of which drive the inductance block
+/// indefinite, so the *rejection* paths are compared too).
+fn random_netlist(seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let n_elements = rng.gen_range(1usize..14);
+    let mut net = Netlist::new(0);
+    let mut max_node = 0usize;
+    let mut inductors: Vec<String> = Vec::new();
+    for i in 0..n_elements {
+        let a = if max_node == 0 {
+            max_node += 1;
+            max_node
+        } else {
+            rng.gen_range(0..max_node + 1)
+        };
+        let b = if max_node == 0 || rng.gen_bool(0.5) {
+            max_node += 1;
+            max_node
+        } else {
+            loop {
+                let candidate = rng.gen_range(0..max_node + 1);
+                if candidate != a {
+                    break candidate;
+                }
+            }
+        };
+        match rng.gen_range(0usize..4) {
+            0 => {
+                let magnitude = rng.gen_range(0.1..10.0);
+                let value = if rng.gen_bool(0.2) {
+                    -magnitude
+                } else {
+                    magnitude
+                };
+                net.add_named(format!("R{i}"), Element::Resistor { a, b, value });
+            }
+            1 => {
+                net.add_named(
+                    format!("C{i}"),
+                    Element::Capacitor {
+                        a,
+                        b,
+                        value: rng.gen_range(0.01..5.0),
+                    },
+                );
+            }
+            2 => {
+                let label = format!("L{i}");
+                inductors.push(label.clone());
+                net.add_named(
+                    label,
+                    Element::Inductor {
+                        a,
+                        b,
+                        value: rng.gen_range(0.01..5.0),
+                    },
+                );
+            }
+            _ => {
+                let magnitude = rng.gen_range(0.01..2.0);
+                let value = if rng.gen_bool(0.2) {
+                    -magnitude
+                } else {
+                    magnitude
+                };
+                net.add_named(format!("G{i}"), Element::Conductance { a, b, value });
+            }
+        }
+    }
+    net.num_nodes = max_node;
+    if inductors.len() >= 2 {
+        let n_couplings = rng.gen_range(0usize..inductors.len().min(3) + 1);
+        let mut used: Vec<(usize, usize)> = Vec::new();
+        for c in 0..n_couplings {
+            let p = rng.gen_range(0..inductors.len());
+            let q = rng.gen_range(0..inductors.len());
+            let pair = (p.min(q), p.max(q));
+            if p == q || used.contains(&pair) {
+                continue;
+            }
+            used.push(pair);
+            net.couple(
+                format!("K{c}"),
+                inductors[p].clone(),
+                inductors[q].clone(),
+                rng.gen_range(-1.0..1.0),
+            );
+        }
+    }
+    for _ in 0..rng.gen_range(1usize..3) {
+        net.port(Port::to_ground(rng.gen_range(1..max_node + 1)));
+    }
+    net
+}
+
+/// Bit-level equality of two descriptor systems (E, A, B, C, D).
+fn assert_systems_bit_identical(dense: &DescriptorSystem, sparse: &DescriptorSystem, ctx: &str) {
+    assert_eq!(dense.order(), sparse.order(), "{ctx}: order");
+    assert_eq!(dense.num_inputs(), sparse.num_inputs(), "{ctx}: inputs");
+    let pairs = [
+        ("E", dense.e(), sparse.e()),
+        ("A", dense.a(), sparse.a()),
+        ("B", dense.b(), sparse.b()),
+        ("C", dense.c(), sparse.c()),
+        ("D", dense.d(), sparse.d()),
+    ];
+    for (name, d, s) in pairs {
+        assert_eq!(d.rows(), s.rows(), "{ctx}: {name} rows");
+        assert_eq!(d.cols(), s.cols(), "{ctx}: {name} cols");
+        for i in 0..d.rows() {
+            for j in 0..d.cols() {
+                assert_eq!(
+                    d[(i, j)].to_bits(),
+                    s[(i, j)].to_bits(),
+                    "{ctx}: {name}[{i},{j}] = {} dense vs {} sparse",
+                    d[(i, j)],
+                    s[(i, j)]
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random netlists: both stamps succeed with bit-identical systems, or
+    /// both reject with the same diagnostic.
+    #[test]
+    fn sparse_stamp_is_bit_identical_to_dense(seed in 0u64..100_000) {
+        let net = random_netlist(seed);
+        prop_assert!(net.validate().is_ok(), "generated netlist invalid (seed {seed})");
+        match (mna::stamp(&net), mna::stamp_sparse(&net)) {
+            (Ok(dense), Ok(sparse)) => {
+                let densified = sparse.to_dense().unwrap();
+                assert_systems_bit_identical(&dense, &densified, &format!("seed {seed}"));
+            }
+            (Err(dense_err), Err(sparse_err)) => {
+                let (dense_msg, sparse_msg) = (dense_err.to_string(), sparse_err.to_string());
+                prop_assert!(
+                    dense_msg == sparse_msg,
+                    "seed {seed}: rejection diagnostics diverged: '{dense_msg}' vs '{sparse_msg}'"
+                );
+            }
+            (dense, sparse) => {
+                return Err(TestCaseError::fail(format!(
+                    "seed {seed}: dense {:?} but sparse {:?}",
+                    dense.map(|_| "ok"),
+                    sparse.map(|_| "ok")
+                )));
+            }
+        }
+    }
+}
+
+/// The committed example decks — the corpus served by the daemon and swept by
+/// `ds-sweep --decks` — stamp bit-identically on both paths.
+#[test]
+fn example_decks_stamp_bit_identically() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/decks");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cir"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 4, "deck corpus shrank: {}", paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let deck = parse_deck(&text).unwrap();
+        let dense = mna::stamp(&deck.netlist)
+            .unwrap_or_else(|e| panic!("{} does not stamp densely: {e}", path.display()));
+        let sparse = mna::stamp_sparse(&deck.netlist)
+            .unwrap()
+            .to_dense()
+            .unwrap();
+        assert_systems_bit_identical(&dense, &sparse, &path.display().to_string());
+    }
+}
